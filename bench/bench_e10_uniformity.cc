@@ -1,0 +1,92 @@
+// E10 — the k = 1 specialization: tiling-1-histogram testing IS uniformity
+// testing (paper, Related Work: "A uniform distribution can be represented
+// by a tiling 1-histogram").
+//
+// Cross-validate Algorithm 2 at k=1 against the classic GR00/BFR+10
+// collision uniformity tester at matched (n, eps): both must accept the
+// uniform distribution and reject uniform-on-a-random-half (the canonical
+// 1-far instance), and their sample counts should be comparable objects
+// (the specialized tester is leaner — Algorithm 2 pays for generality).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "benchutil/harness.h"
+#include "core/histk.h"
+
+namespace histk {
+namespace {
+
+constexpr int64_t kTrials = 10;
+
+Distribution HalfSupportUniform(int64_t n, Rng& rng) {
+  std::vector<double> w(static_cast<size_t>(n), 0.0);
+  for (int64_t v : rng.SampleDistinct(n, n / 2)) w[static_cast<size_t>(v)] = 1.0;
+  return Distribution::FromWeights(std::move(w));
+}
+
+void RunExperiment() {
+  PrintExperimentHeader(
+      "E10: k=1 tester vs classic collision uniformity testing (GR00)",
+      "tiling-1-histogram testing specializes to uniformity testing",
+      "YES = uniform; NO = uniform on a random half (1-far in L1); "
+      "Algorithm 2 L1 at 0.002x formula, r=9; GR00 at 16 sqrt(n)/eps^2");
+
+  Table table({"n", "eps", "alg2 samples", "alg2 yes", "alg2 no", "gr00 samples",
+               "gr00 yes", "gr00 no"});
+  for (int64_t n : {256, 1024, 4096}) {
+    const double eps = 0.4;
+    Rng rng(0x10E + static_cast<uint64_t>(n));
+    const Distribution uniform = Distribution::Uniform(n);
+    const Distribution half = HalfSupportUniform(n, rng);
+    const AliasSampler s_yes(uniform);
+    const AliasSampler s_no(half);
+
+    TestConfig cfg;
+    cfg.k = 1;
+    cfg.eps = eps;
+    cfg.norm = Norm::kL1;
+    cfg.sample_scale = 0.002;
+    cfg.r_override = 9;
+
+    int64_t alg2_samples = 0;
+    const AcceptRate a_yes = MeasureRate(kTrials, [&](int64_t) {
+      const TestOutcome out = TestKHistogram(s_yes, cfg, rng);
+      alg2_samples = out.total_samples;
+      return out.accepted;
+    });
+    const AcceptRate a_no = MeasureRate(
+        kTrials, [&](int64_t) { return TestKHistogram(s_no, cfg, rng).accepted; });
+
+    int64_t gr_samples = 0;
+    const AcceptRate g_yes = MeasureRate(kTrials, [&](int64_t) {
+      const UniformityResult res = TestUniformity(s_yes, eps, Norm::kL1, rng);
+      gr_samples = res.samples_used;
+      return res.accepted;
+    });
+    const AcceptRate g_no = MeasureRate(kTrials, [&](int64_t) {
+      return TestUniformity(s_no, eps, Norm::kL1, rng).accepted;
+    });
+
+    table.AddRow({FmtI(n), FmtF(eps, 2), FmtI(alg2_samples), FmtRate(a_yes),
+                  FmtRate(a_no), FmtI(gr_samples), FmtRate(g_yes), FmtRate(g_no)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nshape check: both testers separate uniform from half-support at\n"
+      "every n; both sample ~sqrt(n) (double n -> ~1.4x samples). The\n"
+      "specialized GR00 tester needs fewer samples — Algorithm 2's r\n"
+      "replicated sets and binary-search generality cost a constant\n"
+      "factor, which is exactly what Theorem 4 spends for arbitrary k.\n");
+}
+
+void BM_E10(benchmark::State& state) {
+  for (auto _ : state) RunExperiment();
+}
+BENCHMARK(BM_E10)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace histk
+
+BENCHMARK_MAIN();

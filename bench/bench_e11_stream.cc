@@ -1,0 +1,97 @@
+// E11 — extension: one-pass streaming deployment ([TGIK02] lineage).
+//
+// The paper's learner consumes an i.i.d. sample oracle; over a massive
+// item stream that oracle is realized by reservoir sampling in one pass.
+// Compare, at equal k on the same stream:
+//   * StreamHistogramBuilder (reservoirs -> Algorithm 1),
+//   * the oracle-sampling learner (i.i.d. draws, the paper's setting),
+//   * equi-depth from the dyadic Count-Min sketch,
+// with the builder's working-set size (reservoir slots + CM counters)
+// reported against the stream length it summarizes.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "benchutil/harness.h"
+#include "core/histk.h"
+
+namespace histk {
+namespace {
+
+constexpr int64_t kN = 512;
+constexpr int64_t kK = 6;
+constexpr double kEps = 0.2;
+constexpr int64_t kStreamLen = 2'000'000;
+
+void RunExperiment() {
+  PrintExperimentHeader(
+      "E11 (extension): one-pass stream learning vs the sample oracle",
+      "reservoir sampling realizes the paper's oracle over a stream",
+      "n=512, k=6, eps=0.2; stream of 2M items; L2^2 vs the stream's "
+      "source distribution");
+
+  Table table({"workload", "stream", "reservoir+CM slots", "err(stream 1-pass)",
+               "err(oracle iid)", "err(CM equi-depth)", "OPT"});
+
+  Rng gen(0xE11);
+  struct Workload {
+    const char* name;
+    Distribution dist;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"khist(k=6)", MakeRandomKHistogram(kN, kK, gen, 30.0).dist});
+  workloads.push_back(
+      {"gauss-mix", MakeGaussianMixture(kN, {{0.35, 0.07, 1.5}, {0.7, 0.05, 1.0}}, 0.1)});
+
+  for (const auto& wl : workloads) {
+    StreamHistogramOptions opt;
+    opt.k = kK;
+    opt.eps = kEps;
+    opt.seed = 17;
+    // Keep reservoirs well under the stream length.
+    const GreedyParams formula = ComputeGreedyParams(kN, kK, kEps, 1.0);
+    opt.sample_scale =
+        std::min(1.0, static_cast<double>(kStreamLen / 50) /
+                          static_cast<double>(std::max(formula.l, formula.m)));
+
+    StreamHistogramBuilder builder(kN, opt);
+    const AliasSampler sampler(wl.dist);
+    Rng rng(0x1E11);
+    for (int64_t i = 0; i < kStreamLen; ++i) builder.Add(sampler.Draw(rng));
+
+    const LearnResult stream_res = builder.Finalize();
+    const double err_stream = stream_res.tiling.L2SquaredErrorTo(wl.dist);
+    const double err_depth =
+        builder.FinalizeEquiDepth().L2SquaredErrorTo(wl.dist);
+
+    LearnOptions oracle_opt;
+    oracle_opt.k = kK;
+    oracle_opt.eps = kEps;
+    oracle_opt.sample_scale = opt.sample_scale;
+    const LearnResult oracle_res = LearnHistogram(sampler, oracle_opt, rng);
+    const double err_oracle = oracle_res.tiling.L2SquaredErrorTo(wl.dist);
+
+    const int64_t slots = builder.params().l + builder.params().r * builder.params().m;
+    table.AddRow({wl.name, FmtI(kStreamLen), FmtI(slots), FmtE(err_stream, 2),
+                  FmtE(err_oracle, 2), FmtE(err_depth, 2),
+                  FmtE(VOptimalSse(wl.dist, kK), 2)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nshape check: the one-pass reservoir learner matches the i.i.d.\n"
+      "oracle learner (reservoirs are without-replacement samples of the\n"
+      "stream's empirical distribution) and beats sketch equi-depth on\n"
+      "piecewise-flat data, while retaining a small fraction of the\n"
+      "stream.\n");
+}
+
+void BM_E11(benchmark::State& state) {
+  for (auto _ : state) RunExperiment();
+}
+BENCHMARK(BM_E11)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace histk
+
+BENCHMARK_MAIN();

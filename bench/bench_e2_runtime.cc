@@ -1,0 +1,126 @@
+// E2 — Theorem 1 vs Theorem 2 running time: full O(n^2) interval
+// enumeration vs sample-endpoint candidates.
+//
+// Shared samples, fixed (k, eps); sweep n. The full enumeration's
+// per-iteration cost grows ~n^2 while the restricted set's cost is governed
+// by the (thinned) sample-endpoint count, independent of n^2 — the paper's
+// O~((k/eps)^2 n^2) -> O~((k/eps)^2 ln n)-style collapse. Quality on shared
+// samples must stay essentially identical (Theorem 2 gives up 3*eps at
+// most; in practice far less).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "benchutil/harness.h"
+#include "core/histk.h"
+#include "util/timer.h"
+
+namespace histk {
+namespace {
+
+constexpr int64_t kK = 4;
+constexpr double kEps = 0.2;
+// A fixed, n-independent sample budget isolates the enumeration cost and
+// keeps the endpoint set sparse relative to large domains.
+constexpr double kScaleAt1024 = 0.25;
+
+struct Prepared {
+  Distribution dist;
+  GreedyParams params;
+  std::unique_ptr<GreedyEstimator> est;
+};
+
+Prepared Prepare(int64_t n) {
+  Rng rng(0xE2 + static_cast<uint64_t>(n));
+  Prepared p{MakeRandomKHistogram(n, kK, rng, 30.0).dist, {}, {}};
+  // Same absolute sample counts for every n (formula at n=1024, fixed).
+  p.params = ComputeGreedyParams(1024, kK, kEps, kScaleAt1024);
+  p.params.r = 9;  // identical for both strategies; shrinks the constant
+  const AliasSampler sampler(p.dist);
+  p.est = std::make_unique<GreedyEstimator>(GreedyEstimator::Draw(sampler, p.params, rng));
+  return p;
+}
+
+LearnOptions Options(CandidateStrategy strategy) {
+  LearnOptions opt;
+  opt.k = kK;
+  opt.eps = kEps;
+  opt.strategy = strategy;
+  opt.max_candidates = 500'000;
+  return opt;
+}
+
+void RunExperiment() {
+  PrintExperimentHeader(
+      "E2: enumeration runtime, all intervals vs sample endpoints (Thm 1 vs 2)",
+      "running time drops from O~((k/eps)^2 n^2) to ~n-independent",
+      "k=4, eps=0.2, shared samples (budget fixed across n); slow strategy "
+      "skipped for n > 2048");
+
+  Table table({"n", "cands(slow)", "cands(fast)", "t_slow(s)", "t_fast(s)", "speedup",
+               "err_slow", "err_fast"});
+
+  for (int64_t n : {256, 1024, 2048, 16384, 65536}) {
+    const Prepared prep = Prepare(n);
+    const bool run_slow = n <= 2048;
+
+    double t_slow = 0.0, err_slow = 0.0;
+    int64_t cand_slow = n * (n + 1) / 2;
+    if (run_slow) {
+      WallTimer timer;
+      const LearnResult rs = LearnHistogramWithEstimator(
+          *prep.est, Options(CandidateStrategy::kAllIntervals), prep.params);
+      t_slow = timer.ElapsedSeconds();
+      err_slow = rs.tiling.L2SquaredErrorTo(prep.dist);
+      cand_slow = rs.candidates_per_iter;
+    }
+
+    WallTimer timer;
+    const LearnResult rf = LearnHistogramWithEstimator(
+        *prep.est, Options(CandidateStrategy::kSampleEndpoints), prep.params);
+    const double t_fast = timer.ElapsedSeconds();
+    const double err_fast = rf.tiling.L2SquaredErrorTo(prep.dist);
+
+    table.AddRow({FmtI(n), run_slow ? FmtI(cand_slow) : "-", FmtI(rf.candidates_per_iter),
+                  run_slow ? FmtF(t_slow, 3) : "-", FmtF(t_fast, 3),
+                  run_slow ? FmtF(t_slow / std::max(t_fast, 1e-9), 1) + "x" : "-",
+                  run_slow ? FmtE(err_slow, 2) : "-", FmtE(err_fast, 2)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nshape check: t_slow grows ~n^2 (4x per doubling of candidates);\n"
+      "t_fast is flat in n once the endpoint set saturates; errors match\n"
+      "on shared samples (Theorem 2's quality cost is negligible here).\n");
+}
+
+// google-benchmark timing of the per-strategy kernel at one mid-size n,
+// for stable-state numbers alongside the table.
+void BM_SlowEnumeration(benchmark::State& state) {
+  static const Prepared prep = Prepare(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LearnHistogramWithEstimator(
+        *prep.est, Options(CandidateStrategy::kAllIntervals), prep.params));
+  }
+}
+BENCHMARK(BM_SlowEnumeration)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_FastEnumeration(benchmark::State& state) {
+  static const Prepared prep = Prepare(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LearnHistogramWithEstimator(
+        *prep.est, Options(CandidateStrategy::kSampleEndpoints), prep.params));
+  }
+}
+BENCHMARK(BM_FastEnumeration)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_E2(benchmark::State& state) {
+  for (auto _ : state) RunExperiment();
+}
+BENCHMARK(BM_E2)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace histk
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// E7 — the Section 1 motivation: classic sampling-based histograms
+// (equi-width, equi-depth, compressed) optimize different objectives and
+// carry no v-optimal guarantee; the paper's learner is the first
+// sample-efficient v-optimal construction.
+//
+// All sample-based methods get the SAME sample budget (the learner's).
+// Oracle rows (DP on the true pmf, greedy-merge on the true pmf) show how
+// much of the remaining gap is estimation vs representation.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "benchutil/harness.h"
+#include "core/histk.h"
+
+namespace histk {
+namespace {
+
+constexpr int64_t kN = 512;
+constexpr int64_t kK = 8;
+constexpr double kEps = 0.15;
+constexpr int64_t kTrials = 3;
+
+struct Workload {
+  const char* name;
+  Distribution dist;
+};
+
+void RunExperiment() {
+  PrintExperimentHeader(
+      "E7: v-optimal error of the learner vs classic sampling histograms",
+      "no prior sample-based method targets the v-optimal (L2^2) objective",
+      "n=512, k=8; all sample-based methods share the learner's budget; "
+      "errors are L2^2 x 1e4 (mean of 3 trials)");
+
+  Rng gen(0xE7);
+  std::vector<Workload> workloads;
+  workloads.push_back({"khist(k=8)", MakeRandomKHistogram(kN, kK, gen, 40.0).dist});
+  workloads.push_back(
+      {"gauss-mix", MakeGaussianMixture(kN, {{0.3, 0.05, 1.5}, {0.72, 0.09, 1.0}}, 0.1)});
+  workloads.push_back({"zipf(1.2)", MakeZipf(kN, 1.2)});
+  workloads.push_back({"noisy-stairs",
+                       MakeNoisy(MakeStaircase(kN, kK).dist, 0.25, gen)});
+
+  LearnOptions opt;
+  opt.k = kK;
+  opt.eps = kEps;
+  const GreedyParams formula = ComputeGreedyParams(kN, kK, kEps, 1.0);
+  opt.sample_scale =
+      std::min(1.0, 8e6 / static_cast<double>(formula.TotalSamples()));
+
+  Table table({"workload", "budget", "greedy(paper)", "greedy->k", "equi-width",
+               "equi-depth", "compressed", "sample+DP", "merge(oracle)",
+               "DP-OPT(oracle)"});
+
+  for (const auto& wl : workloads) {
+    const AliasSampler sampler(wl.dist);
+    Rng rng(0x1E7);
+
+    double g = 0, gk = 0, ew = 0, ed = 0, co = 0, sdp = 0;
+    int64_t budget = 0;
+    for (int64_t t = 0; t < kTrials; ++t) {
+      const LearnResult learned = LearnHistogram(sampler, opt, rng);
+      budget = learned.total_samples;
+      g += learned.tiling.L2SquaredErrorTo(wl.dist);
+      // Strict k-piece version of the learner output (the raw output is a
+      // priority histogram with k ln(1/eps) intervals — bicriteria).
+      gk += ReduceToKPieces(learned.tiling, kK).L2SquaredErrorTo(wl.dist);
+
+      const std::vector<int64_t> draws = sampler.DrawMany(budget, rng);
+      const SampleSet ss = SampleSet::FromDraws(kN, draws);
+      ew += EquiWidthFromSamples(kK, ss).L2SquaredErrorTo(wl.dist);
+      ed += EquiDepthFromSamples(kK, ss).L2SquaredErrorTo(wl.dist);
+      co += CompressedFromSamples(kK, ss).L2SquaredErrorTo(wl.dist);
+      sdp += VOptimalFromSamples(kN, kK, draws).histogram.L2SquaredErrorTo(wl.dist);
+    }
+    const double t = static_cast<double>(kTrials);
+    const double merge = GreedyMergeExact(wl.dist, kK).L2SquaredErrorTo(wl.dist);
+    const double dp = VOptimalSse(wl.dist, kK);
+    auto fmt = [](double v) { return FmtF(v * 1e4, 3); };
+    table.AddRow({wl.name, FmtI(budget), fmt(g / t), fmt(gk / t), fmt(ew / t),
+                  fmt(ed / t), fmt(co / t), fmt(sdp / t), fmt(merge), fmt(dp)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nshape check: greedy(paper) sits near DP-OPT on every workload and\n"
+      "beats equi-width/equi-depth/compressed decisively on piecewise-flat\n"
+      "data (their boundaries are blind to the v-optimal objective).\n"
+      "sample+DP is competitive in error but reads the whole empirical\n"
+      "pmf — O(n^2 k) time on n bins — where the learner's work is\n"
+      "sample-budget-bound (see E2).\n");
+}
+
+void BM_E7(benchmark::State& state) {
+  for (auto _ : state) RunExperiment();
+}
+BENCHMARK(BM_E7)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace histk
+
+BENCHMARK_MAIN();

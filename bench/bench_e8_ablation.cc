@@ -1,0 +1,114 @@
+// E8 — ablations of Algorithm 1's design choices:
+//   (a) median-of-r collision sets (Lemma 1): r = 1 vs 3 vs the formula;
+//   (b) Theorem 2 endpoint set: with vs without the +-1 neighbours, vs the
+//       full O(n^2) enumeration;
+//   (c) iteration count: k vs the paper's k*ln(1/eps) vs 2x that.
+// Each ablation holds everything else at the paper's setting and reports
+// mean L2^2 error on a fixed noisy-histogram workload.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "benchutil/harness.h"
+#include "core/histk.h"
+
+namespace histk {
+namespace {
+
+constexpr int64_t kN = 256;
+constexpr int64_t kK = 4;
+constexpr double kEps = 0.15;
+constexpr int64_t kTrials = 5;
+// Run ablations at a constrained sample budget: at the full formula the
+// estimators are so accurate that every variant looks alike; the design
+// choices earn their keep exactly when samples are scarce.
+constexpr double kScale = 0.02;
+
+void RunExperiment() {
+  PrintExperimentHeader(
+      "E8: ablations of Algorithm 1 design choices",
+      "median-of-r (Lemma 1), the Theorem 2 candidate set, k ln(1/eps) steps",
+      "n=256, k=4, eps=0.15; noisy 4-histogram workload; budget at 0.02x "
+      "the formula (scarce-sample regime); mean L2^2 over 5 trials");
+
+  Rng gen(0xE8);
+  const HistogramSpec spec = MakeRandomKHistogram(kN, kK, gen, 30.0);
+  const Distribution dist = MakeNoisy(spec.dist, 0.3, gen);
+  const double opt_sse = VOptimalSse(dist, kK);
+  const AliasSampler sampler(dist);
+  std::printf("workload OPT (exact DP): %s\n", FmtE(opt_sse, 3).c_str());
+
+  const GreedyParams formula = ComputeGreedyParams(kN, kK, kEps, 1.0);
+
+  auto run = [&](LearnOptions opt, uint64_t seed) {
+    Rng rng(seed);
+    const ScalarStats s = MeasureScalar(kTrials, [&](int64_t) {
+      return LearnHistogram(sampler, opt, rng).tiling.L2SquaredErrorTo(dist);
+    });
+    return s;
+  };
+
+  LearnOptions base;
+  base.k = kK;
+  base.eps = kEps;
+  base.sample_scale = kScale;
+
+  Table table({"ablation", "setting", "err(L2^2)", "sd", "err/OPT"});
+  auto add = [&](const std::string& group, const std::string& setting,
+                 const ScalarStats& s) {
+    table.AddRow({group, setting, FmtE(s.mean, 3), FmtE(s.stddev, 1),
+                  FmtF(s.mean / opt_sse, 2)});
+  };
+
+  // (a) median-of-r.
+  for (int64_t r : {int64_t{1}, int64_t{3}, formula.r}) {
+    LearnOptions opt = base;
+    opt.r_override = r;
+    add("median-of-r", "r=" + std::to_string(r) + (r == formula.r ? " (paper)" : ""),
+        run(opt, 0x8E1));
+  }
+
+  // (b) candidate set.
+  {
+    LearnOptions opt = base;
+    opt.strategy = CandidateStrategy::kAllIntervals;
+    add("candidates", "all O(n^2) (Alg 1)", run(opt, 0x8E2));
+    opt = base;
+    opt.strategy = CandidateStrategy::kSampleEndpoints;
+    add("candidates", "samples+-1 (Thm 2, paper)", run(opt, 0x8E2));
+    opt.include_endpoint_neighbors = false;
+    add("candidates", "samples only (no +-1)", run(opt, 0x8E2));
+  }
+
+  // (c) iteration count.
+  for (int64_t iters : {kK, formula.iterations, 2 * formula.iterations}) {
+    LearnOptions opt = base;
+    opt.iterations_override = iters;
+    const bool paper = iters == formula.iterations;
+    add("iterations",
+        "q=" + std::to_string(iters) + (paper ? " (paper: k ln 1/eps)" : ""),
+        run(opt, 0x8E3));
+  }
+
+  table.Print(std::cout);
+  std::printf(
+      "\nshape check: r=1 is visibly worse than median-of-r (Lemma 1's\n"
+      "amplification); dropping the +-1 neighbours costs little on generic\n"
+      "data (they matter when true boundaries fall between samples). The\n"
+      "iteration sweep shows BOTH terms of the paper's error bound\n"
+      "(1-1/k)^q + q(3 xi + q xi^2) (Eq. 20): too few iterations leave\n"
+      "geometric error, while in this scarce-sample regime (xi inflated\n"
+      "~7x) extra iterations accumulate the q*xi^2 estimation noise and\n"
+      "err grows past the paper's q = k ln(1/eps) sweet spot.\n");
+}
+
+void BM_E8(benchmark::State& state) {
+  for (auto _ : state) RunExperiment();
+}
+BENCHMARK(BM_E8)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace histk
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Quickstart: sample from an unknown distribution, learn a near-optimal
+// k-histogram from the samples alone, and inspect the result.
+//
+//   build/examples/example_quickstart
+#include <cstdio>
+
+#include "core/histk.h"
+#include "util/table.h"
+
+int main() {
+  using namespace histk;
+
+  // An "unknown" distribution over [0, 64): a 4-piece histogram the
+  // algorithm will only ever see through i.i.d. samples.
+  Rng rng(2012);  // PODS 2012
+  const HistogramSpec secret = MakeRandomKHistogram(/*n=*/64, /*k=*/4, rng, 25.0);
+  const AliasSampler oracle(secret.dist);
+
+  // Learn: Algorithm 1 with the Theorem 2 candidate restriction.
+  LearnOptions options;
+  options.k = 4;
+  options.eps = 0.1;
+  const LearnResult result = LearnHistogram(oracle, options, rng);
+
+  std::printf("samples drawn : %s  (l=%s, r=%s sets of m=%s)\n",
+              FmtI(result.total_samples).c_str(), FmtI(result.params.l).c_str(),
+              FmtI(result.params.r).c_str(), FmtI(result.params.m).c_str());
+  std::printf("greedy steps  : %lld, candidate intervals/step: %s\n",
+              static_cast<long long>(result.params.iterations),
+              FmtI(result.candidates_per_iter).c_str());
+
+  // How good is it? Compare against the true pmf and the exact optimum.
+  const double err = result.tiling.L2SquaredErrorTo(secret.dist);
+  const double opt = VOptimalSse(secret.dist, 4);
+  std::printf("||p - H||_2^2 : %.3e   (exact 4-piece optimum: %.3e)\n", err, opt);
+  std::printf("theorem band  : err <= OPT + 8*eps = %.3f  -> holds: %s\n",
+              opt + 8 * options.eps, err <= opt + 8 * options.eps ? "yes" : "NO");
+
+  // The raw output is a priority histogram with k*ln(1/eps) intervals;
+  // reduce it to a strict 4-piece histogram for display.
+  const TilingHistogram compact = ReduceToKPieces(result.tiling, 4);
+  std::printf("\nlearned histogram, reduced to 4 pieces (raw output had %lld):\n",
+              static_cast<long long>(result.tiling.k()));
+  for (int64_t j = 0; j < compact.k(); ++j) {
+    const Interval piece = compact.pieces()[static_cast<size_t>(j)];
+    std::printf("  %-9s density %.5f\n", piece.ToString().c_str(),
+                compact.values()[static_cast<size_t>(j)]);
+  }
+  std::printf("\ntrue boundaries: ");
+  for (int64_t end : secret.right_ends) std::printf("%lld ", static_cast<long long>(end));
+  std::printf("\n");
+
+  std::printf("\ntrue pmf vs learned histogram (ASCII, 16 buckets):\n");
+  std::printf("--- truth ---\n%s", AsciiPlot(secret.dist.pmf(), 16, 40).c_str());
+  std::printf("--- learned ---\n%s", AsciiPlot(compact.ToValues(), 16, 40).c_str());
+  return 0;
+}

@@ -1,0 +1,240 @@
+#include "baseline/classic_histograms.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/common.h"
+
+namespace histk {
+
+namespace {
+
+// Right endpoints of k near-equal-length pieces of [0, n).
+std::vector<int64_t> EqualSplitEnds(int64_t n, int64_t k) {
+  std::vector<int64_t> ends;
+  ends.reserve(static_cast<size_t>(k));
+  for (int64_t j = 1; j <= k; ++j) ends.push_back((n * j) / k - 1);
+  // Tiny domains can produce duplicate ends; dedupe keeps a valid tiling.
+  ends.erase(std::unique(ends.begin(), ends.end()), ends.end());
+  return ends;
+}
+
+// Piece values for a sample-estimated density histogram over given ends.
+TilingHistogram DensityHistogram(const SampleSet& samples,
+                                 const std::vector<int64_t>& right_ends) {
+  const double m = static_cast<double>(std::max<int64_t>(samples.m(), 1));
+  std::vector<double> values;
+  values.reserve(right_ends.size());
+  int64_t lo = 0;
+  for (int64_t end : right_ends) {
+    const Interval piece(lo, end);
+    values.push_back(static_cast<double>(samples.Count(piece)) /
+                     (m * static_cast<double>(piece.length())));
+    lo = end + 1;
+  }
+  return TilingHistogram::FromRightEnds(samples.n(), right_ends, std::move(values));
+}
+
+// Equi-depth right endpoints *within* `range`, splitting its sample mass
+// into `pieces` near-equal parts. Always returns `<= pieces` ends covering
+// range exactly (the last end is range.hi).
+std::vector<int64_t> EquiDepthEndsInRange(const SampleSet& samples, Interval range,
+                                          int64_t pieces) {
+  HISTK_CHECK(!range.empty() && pieces >= 1);
+  pieces = std::min(pieces, range.length());
+  const int64_t total = samples.Count(range);
+  std::vector<int64_t> ends;
+  if (total == 0 || pieces == 1) {
+    ends.push_back(range.hi);
+    return ends;
+  }
+  int64_t cut_index = 1;
+  int64_t cum = 0;
+  for (int64_t v = range.lo; v <= range.hi && cut_index < pieces; ++v) {
+    cum += samples.Count(Interval(v, v));
+    // Cut as soon as this piece holds its share of the mass.
+    if (cum * pieces >= total * cut_index) {
+      ends.push_back(v);
+      ++cut_index;
+    }
+  }
+  if (ends.empty() || ends.back() != range.hi) ends.push_back(range.hi);
+  return ends;
+}
+
+}  // namespace
+
+TilingHistogram EquiWidthFromSamples(int64_t k, const SampleSet& samples) {
+  HISTK_CHECK(k >= 1);
+  return DensityHistogram(samples, EqualSplitEnds(samples.n(), std::min(k, samples.n())));
+}
+
+TilingHistogram EquiWidthExact(const Distribution& p, int64_t k) {
+  HISTK_CHECK(k >= 1);
+  const auto ends = EqualSplitEnds(p.n(), std::min(k, p.n()));
+  std::vector<double> values;
+  values.reserve(ends.size());
+  int64_t lo = 0;
+  for (int64_t end : ends) {
+    values.push_back(p.IntervalMean(Interval(lo, end)));
+    lo = end + 1;
+  }
+  return TilingHistogram::FromRightEnds(p.n(), ends, std::move(values));
+}
+
+TilingHistogram EquiDepthFromSamples(int64_t k, const SampleSet& samples) {
+  HISTK_CHECK(k >= 1);
+  const auto ends =
+      EquiDepthEndsInRange(samples, Interval::Full(samples.n()), std::min(k, samples.n()));
+  return DensityHistogram(samples, ends);
+}
+
+TilingHistogram CompressedFromSamples(int64_t k, const SampleSet& samples) {
+  HISTK_CHECK(k >= 1);
+  const int64_t n = samples.n();
+  k = std::min(k, n);
+  const int64_t m = samples.m();
+  const int64_t threshold = m / std::max<int64_t>(k, 1);
+
+  // Heavy singletons: count > m/k, heaviest first, at most (k-1)/2 so each
+  // surrounding gap can still afford a piece.
+  struct Heavy {
+    int64_t value;
+    int64_t count;
+  };
+  std::vector<Heavy> heavy;
+  for (int64_t v : samples.distinct_values()) {
+    const int64_t c = samples.Count(Interval(v, v));
+    if (c > threshold) heavy.push_back({v, c});
+  }
+  std::sort(heavy.begin(), heavy.end(),
+            [](const Heavy& a, const Heavy& b) { return a.count > b.count; });
+  const int64_t max_heavy = std::max<int64_t>(0, (k - 1) / 2);
+  if (static_cast<int64_t>(heavy.size()) > max_heavy) {
+    heavy.resize(static_cast<size_t>(max_heavy));
+  }
+  if (heavy.empty()) return EquiDepthFromSamples(k, samples);
+
+  std::vector<int64_t> heavy_pos;
+  heavy_pos.reserve(heavy.size());
+  for (const auto& h : heavy) heavy_pos.push_back(h.value);
+  std::sort(heavy_pos.begin(), heavy_pos.end());
+
+  // Non-empty gaps between heavy singletons (and the domain edges).
+  std::vector<Interval> gaps;
+  int64_t lo = 0;
+  for (int64_t pos : heavy_pos) {
+    if (pos > lo) gaps.emplace_back(lo, pos - 1);
+    lo = pos + 1;
+  }
+  if (lo <= n - 1) gaps.emplace_back(lo, n - 1);
+
+  // Budget: 1 piece per gap guaranteed; extras proportional to gap mass.
+  const int64_t base_budget = static_cast<int64_t>(heavy_pos.size() + gaps.size());
+  HISTK_CHECK(base_budget <= k);
+  int64_t extra = k - base_budget;
+  int64_t gap_mass = 0;
+  for (const auto& g : gaps) gap_mass += samples.Count(g);
+  std::vector<int64_t> gap_pieces(gaps.size(), 1);
+  if (extra > 0 && gap_mass > 0) {
+    for (size_t g = 0; g < gaps.size(); ++g) {
+      const int64_t share = extra * samples.Count(gaps[g]) / gap_mass;
+      gap_pieces[g] += share;
+    }
+  }
+
+  // Assemble the tiling: equi-depth ends inside each gap + heavy singletons.
+  std::vector<int64_t> ends;
+  size_t gap_idx = 0;
+  lo = 0;
+  for (int64_t pos : heavy_pos) {
+    if (pos > lo) {
+      const auto sub = EquiDepthEndsInRange(samples, Interval(lo, pos - 1),
+                                            gap_pieces[gap_idx]);
+      ends.insert(ends.end(), sub.begin(), sub.end());
+      ++gap_idx;
+    }
+    ends.push_back(pos);
+    lo = pos + 1;
+  }
+  if (lo <= n - 1) {
+    const auto sub = EquiDepthEndsInRange(samples, Interval(lo, n - 1),
+                                          gap_pieces[gap_idx]);
+    ends.insert(ends.end(), sub.begin(), sub.end());
+  }
+  return DensityHistogram(samples, ends);
+}
+
+TilingHistogram GreedyMergeExact(const Distribution& p, int64_t k) {
+  HISTK_CHECK(k >= 1);
+  const int64_t n = p.n();
+  k = std::min(k, n);
+
+  // Doubly linked list of live pieces + lazy-deletion heap of merge costs.
+  // Stale heap entries are detected by liveness flags and version stamps.
+  std::vector<int64_t> left(static_cast<size_t>(n)), right(static_cast<size_t>(n));
+  std::vector<int64_t> piece_hi(static_cast<size_t>(n));  // piece = [i, piece_hi[i]]
+  std::vector<int64_t> version(static_cast<size_t>(n), 0);
+  std::vector<char> alive(static_cast<size_t>(n), 1);
+  for (int64_t i = 0; i < n; ++i) {
+    left[static_cast<size_t>(i)] = i - 1;
+    right[static_cast<size_t>(i)] = i + 1;
+    piece_hi[static_cast<size_t>(i)] = i;
+  }
+
+  struct Cand {
+    double cost;
+    int64_t lo;        // left piece id (its start index)
+    int64_t lo_ver;    // version stamps to detect recomputed extents
+    int64_t next_ver;
+    int64_t next;      // right piece id
+    bool operator>(const Cand& other) const { return cost > other.cost; }
+  };
+  std::priority_queue<Cand, std::vector<Cand>, std::greater<Cand>> heap;
+
+  auto merge_cost = [&](int64_t a, int64_t b) {
+    const Interval ia(a, piece_hi[static_cast<size_t>(a)]);
+    const Interval ib(b, piece_hi[static_cast<size_t>(b)]);
+    return p.IntervalSse(Interval(ia.lo, ib.hi)) - p.IntervalSse(ia) - p.IntervalSse(ib);
+  };
+  for (int64_t i = 0; i + 1 < n; ++i) heap.push({merge_cost(i, i + 1), i, 0, 0, i + 1});
+
+  int64_t live = n;
+  while (live > k && !heap.empty()) {
+    const Cand c = heap.top();
+    heap.pop();
+    const auto lo = static_cast<size_t>(c.lo);
+    const auto nx = static_cast<size_t>(c.next);
+    if (!alive[lo] || !alive[nx]) continue;               // merged away
+    if (version[lo] != c.lo_ver || version[nx] != c.next_ver) continue;  // stale cost
+    HISTK_DCHECK(right[lo] == c.next);
+
+    // Merge c.next into c.lo.
+    piece_hi[lo] = piece_hi[nx];
+    right[lo] = right[nx];
+    if (right[lo] < n) left[static_cast<size_t>(right[lo])] = c.lo;
+    alive[nx] = 0;
+    ++version[lo];
+    --live;
+    if (left[lo] >= 0) {
+      const auto lf = static_cast<size_t>(left[lo]);
+      heap.push({merge_cost(left[lo], c.lo), left[lo], version[lf], version[lo], c.lo});
+    }
+    if (right[lo] < n) {
+      const auto rt = static_cast<size_t>(right[lo]);
+      heap.push({merge_cost(c.lo, right[lo]), c.lo, version[lo], version[rt], right[lo]});
+    }
+  }
+  HISTK_CHECK_MSG(live == std::min(k, n), "greedy merge terminated early");
+
+  std::vector<int64_t> ends;
+  std::vector<double> values;
+  for (int64_t i = 0; i >= 0 && i < n; i = right[static_cast<size_t>(i)]) {
+    const Interval piece(i, piece_hi[static_cast<size_t>(i)]);
+    ends.push_back(piece.hi);
+    values.push_back(p.IntervalMean(piece));
+  }
+  return TilingHistogram::FromRightEnds(n, ends, std::move(values));
+}
+
+}  // namespace histk

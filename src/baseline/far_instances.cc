@@ -1,0 +1,58 @@
+#include "baseline/far_instances.h"
+
+#include <cmath>
+
+#include "baseline/voptimal_dp.h"
+#include "dist/generators.h"
+#include "util/common.h"
+
+namespace histk {
+
+namespace {
+
+constexpr double kMargin = 1.05;
+
+std::optional<FarInstance> CertifyL2(Distribution dist, int64_t k, double eps,
+                                     const std::string& family) {
+  const double certified = std::sqrt(VOptimalSse(dist, k));
+  if (certified < eps * kMargin) return std::nullopt;
+  return FarInstance{std::move(dist), certified, Norm::kL2, family};
+}
+
+}  // namespace
+
+std::optional<FarInstance> MakeL2FarSpikes(int64_t n, int64_t k, double eps) {
+  HISTK_CHECK(n >= 2 && k >= 1 && eps > 0.0);
+  // Fewer spikes -> larger per-spike weight -> larger residual; but with
+  // s <= k the DP isolates them all. Scan upward from just-above-k.
+  const int64_t max_spikes = (n + 1) / 2;
+  for (double factor : {1.25, 1.5, 2.0, 3.0, 4.0}) {
+    const int64_t s = std::min<int64_t>(
+        max_spikes, std::max<int64_t>(k + 1, static_cast<int64_t>(
+                                                 std::ceil(factor * static_cast<double>(k)) +
+                                                 1)));
+    auto inst = CertifyL2(MakeSpikes(n, s), k, eps,
+                          "spikes(s=" + std::to_string(s) + ")");
+    if (inst) return inst;
+  }
+  return std::nullopt;
+}
+
+std::optional<FarInstance> MakeL2FarZipf(int64_t n, int64_t k, double eps) {
+  HISTK_CHECK(n >= 2 && k >= 1 && eps > 0.0);
+  for (double skew : {1.5, 2.0, 2.5, 3.0}) {
+    auto inst = CertifyL2(MakeZipf(n, skew), k, eps, "zipf(s=" + std::to_string(skew) + ")");
+    if (inst) return inst;
+  }
+  return std::nullopt;
+}
+
+FarInstance MakeL1FarZigzag(int64_t n, int64_t k, double eps) {
+  const double a = ZigzagAmplitude(n, k, eps, kMargin);
+  Distribution dist = MakeZigzagL1Far(n, k, eps, kMargin);
+  const double certified = static_cast<double>(n - k) / static_cast<double>(n) * a;
+  HISTK_CHECK(certified >= eps);
+  return FarInstance{std::move(dist), certified, Norm::kL1, "zigzag"};
+}
+
+}  // namespace histk

@@ -1,0 +1,46 @@
+// Certified eps-far instances: distributions provably eps-far from every
+// tiling k-histogram, used as NO inputs for the testers (E4/E5) and for
+// soundness tests. "Certified" means the distance is established by an
+// explicit computation, not assumed:
+//   * L2 families are certified by the exact v-optimal DP — the DP minimum
+//     over all k-piece FUNCTIONS lower-bounds the distance to k-histogram
+//     distributions.
+//   * The L1 zigzag carries the analytic bound (n-k)/n * amplitude (any
+//     piece of length L contributes >= (L-1) * amplitude/n).
+#ifndef HISTK_BASELINE_FAR_INSTANCES_H_
+#define HISTK_BASELINE_FAR_INSTANCES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "dist/distribution.h"
+
+namespace histk {
+
+/// A distribution together with a certified lower bound on its distance
+/// (in `norm`) to the class of tiling k-histograms.
+struct FarInstance {
+  Distribution dist;
+  double certified_distance = 0.0;
+  Norm norm = Norm::kL1;
+  std::string family;
+};
+
+/// Spike family, certified via DP: s isolated unit spikes, s searched over
+/// a grid until the certified L2 distance exceeds eps (with 5% margin).
+/// Empty if no s makes the family eps-far at this (n, k) — L2-far
+/// distributions require ||p||_2 >= eps, which bounds k <~ 1/(4 eps^2).
+std::optional<FarInstance> MakeL2FarSpikes(int64_t n, int64_t k, double eps);
+
+/// Zipf(s) head-heavy family, certified via DP; tries increasing skews.
+std::optional<FarInstance> MakeL2FarZipf(int64_t n, int64_t k, double eps);
+
+/// Alternating zigzag, analytically certified eps-far in L1 (requires even
+/// n and an implied amplitude <= 1; aborts otherwise — check with
+/// ZigzagAmplitude first).
+FarInstance MakeL1FarZigzag(int64_t n, int64_t k, double eps);
+
+}  // namespace histk
+
+#endif  // HISTK_BASELINE_FAR_INSTANCES_H_

@@ -1,0 +1,143 @@
+#include "baseline/l1_optimal.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "util/common.h"
+
+namespace histk {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Streaming median-deviation accumulator: maintains a multiset split into
+// low/high halves with running sums, so extending an interval by one
+// element updates sum |x - median| in O(log n).
+class MedianDeviation {
+ public:
+  void Add(double x) {
+    if (low_.empty() || x <= *low_.rbegin()) {
+      low_.insert(x);
+      low_sum_ += x;
+    } else {
+      high_.insert(x);
+      high_sum_ += x;
+    }
+    Rebalance();
+  }
+
+  // sum over elements of |x - median| with median = max(low half).
+  double Cost() const {
+    if (low_.empty()) return 0.0;
+    const double med = *low_.rbegin();
+    const double n_low = static_cast<double>(low_.size());
+    const double n_high = static_cast<double>(high_.size());
+    return (med * n_low - low_sum_) + (high_sum_ - med * n_high);
+  }
+
+  double Median() const {
+    HISTK_CHECK(!low_.empty());
+    return *low_.rbegin();
+  }
+
+ private:
+  void Rebalance() {
+    // Invariant: |low| == |high| or |low| == |high| + 1.
+    while (low_.size() > high_.size() + 1) {
+      const auto it = std::prev(low_.end());
+      high_.insert(*it);
+      high_sum_ += *it;
+      low_sum_ -= *it;
+      low_.erase(it);
+    }
+    while (high_.size() > low_.size()) {
+      const auto it = high_.begin();
+      low_.insert(*it);
+      low_sum_ += *it;
+      high_sum_ -= *it;
+      high_.erase(it);
+    }
+  }
+
+  std::multiset<double> low_, high_;
+  double low_sum_ = 0.0, high_sum_ = 0.0;
+};
+
+}  // namespace
+
+L1OptimalResult L1OptimalHistogram(const Distribution& p, int64_t k) {
+  HISTK_CHECK(k >= 1);
+  const int64_t n = p.n();
+  k = std::min(k, n);
+
+  // cost[s][i] (flattened) = min_c sum_{t in [s,i]} |p_t - c|, and the
+  // minimizing c (a median). Built per left endpoint with the incremental
+  // accumulator: O(n^2 log n) total.
+  std::vector<double> cost(static_cast<size_t>(n) * static_cast<size_t>(n), 0.0);
+  std::vector<double> med(static_cast<size_t>(n) * static_cast<size_t>(n), 0.0);
+  for (int64_t s = 0; s < n; ++s) {
+    MedianDeviation acc;
+    for (int64_t i = s; i < n; ++i) {
+      acc.Add(p.p(i));
+      cost[static_cast<size_t>(s * n + i)] = acc.Cost();
+      med[static_cast<size_t>(s * n + i)] = acc.Median();
+    }
+  }
+
+  std::vector<double> prev(static_cast<size_t>(n)), cur(static_cast<size_t>(n));
+  std::vector<std::vector<int32_t>> parent(
+      static_cast<size_t>(k), std::vector<int32_t>(static_cast<size_t>(n), 0));
+  for (int64_t i = 0; i < n; ++i) {
+    prev[static_cast<size_t>(i)] = cost[static_cast<size_t>(i)];  // s = 0 row
+    parent[0][static_cast<size_t>(i)] = 0;
+  }
+  for (int64_t j = 1; j < k; ++j) {
+    auto& par = parent[static_cast<size_t>(j)];
+    for (int64_t i = 0; i < n; ++i) {
+      if (i < j) {
+        cur[static_cast<size_t>(i)] = 0.0;
+        par[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+        continue;
+      }
+      double best = kInf;
+      int32_t best_s = static_cast<int32_t>(j);
+      for (int64_t s = j; s <= i; ++s) {
+        const double cand =
+            prev[static_cast<size_t>(s - 1)] + cost[static_cast<size_t>(s * n + i)];
+        if (cand < best) {
+          best = cand;
+          best_s = static_cast<int32_t>(s);
+        }
+      }
+      cur[static_cast<size_t>(i)] = best;
+      par[static_cast<size_t>(i)] = best_s;
+    }
+    std::swap(prev, cur);
+  }
+
+  // Reconstruct.
+  std::vector<int64_t> right_ends;
+  std::vector<double> values;
+  int64_t i = n - 1, j = k - 1;
+  while (i >= 0) {
+    HISTK_CHECK(j >= 0);
+    const int64_t start = parent[static_cast<size_t>(j)][static_cast<size_t>(i)];
+    right_ends.push_back(i);
+    values.push_back(med[static_cast<size_t>(start * n + i)]);
+    i = start - 1;
+    --j;
+  }
+  std::reverse(right_ends.begin(), right_ends.end());
+  std::reverse(values.begin(), values.end());
+  return {TilingHistogram::FromRightEnds(n, right_ends, std::move(values)),
+          std::max(0.0, prev[static_cast<size_t>(n - 1)])};
+}
+
+double L1OptimalError(const Distribution& p, int64_t k) {
+  return L1OptimalHistogram(p, k).error;
+}
+
+}  // namespace histk

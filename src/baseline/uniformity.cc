@@ -1,0 +1,35 @@
+#include "baseline/uniformity.h"
+
+#include <cmath>
+
+#include "util/common.h"
+#include "util/math_util.h"
+
+namespace histk {
+
+UniformityResult TestUniformityOnSamples(const SampleSet& samples, double eps,
+                                         Norm norm) {
+  HISTK_CHECK(eps > 0.0 && eps < 1.0);
+  HISTK_CHECK_MSG(samples.m() >= 2, "uniformity test needs >= 2 samples");
+  const double n = static_cast<double>(samples.n());
+  UniformityResult res;
+  res.samples_used = samples.m();
+  res.collision_rate = samples.SumSquaresEstimate(Interval::Full(samples.n()));
+  res.threshold = (norm == Norm::kL2) ? 1.0 / n + eps * eps / 2.0
+                                      : (1.0 + eps * eps / 4.0) / n;
+  res.accepted = res.collision_rate <= res.threshold;
+  return res;
+}
+
+UniformityResult TestUniformity(const Sampler& sampler, double eps, Norm norm, Rng& rng,
+                                double scale) {
+  HISTK_CHECK(eps > 0.0 && eps < 1.0 && scale > 0.0);
+  const double n = static_cast<double>(sampler.n());
+  const double base = (norm == Norm::kL2) ? 16.0 / (eps * eps)
+                                          : 16.0 * std::sqrt(n) / (eps * eps);
+  const int64_t m = CeilToInt64(scale * base, 2);
+  const SampleSet samples = SampleSet::Draw(sampler, m, rng);
+  return TestUniformityOnSamples(samples, eps, norm);
+}
+
+}  // namespace histk

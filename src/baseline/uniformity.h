@@ -1,0 +1,40 @@
+// Collision-based uniformity testing (Goldreich–Ron / Batu et al.).
+//
+// The paper's Related Work ties tiling-1-histogram testing to uniformity
+// testing: a uniform distribution is exactly a tiling 1-histogram. This
+// module implements the classic collision tester both as a baseline and as
+// a cross-check for the k = 1 case of Algorithm 2.
+#ifndef HISTK_BASELINE_UNIFORMITY_H_
+#define HISTK_BASELINE_UNIFORMITY_H_
+
+#include <cstdint>
+
+#include "dist/distribution.h"
+#include "dist/sampler.h"
+#include "sample/sample_set.h"
+#include "util/rng.h"
+
+namespace histk {
+
+/// Decision + evidence from one uniformity test run.
+struct UniformityResult {
+  bool accepted = false;
+  double collision_rate = 0.0;  ///< coll(S)/C(m,2), estimates ||p||_2^2
+  double threshold = 0.0;       ///< acceptance cutoff on the collision rate
+  int64_t samples_used = 0;
+};
+
+/// GR00-style uniformity tester in the given norm.
+///   L2: m = scale * 16/eps^2 samples, accept iff rate <= 1/n + eps^2/2
+///       (||p - u||_2^2 = ||p||_2^2 - 1/n, so the cutoff is eps^2/2-tight).
+///   L1: m = scale * 16*sqrt(n)/eps^2, accept iff rate <= (1 + eps^2/4)/n
+///       (Cauchy–Schwarz: ||p - u||_1 > eps implies ||p||_2^2 > (1+eps^2)/n).
+UniformityResult TestUniformity(const Sampler& sampler, double eps, Norm norm, Rng& rng,
+                                double scale = 1.0);
+
+/// The same decision computed from an existing sample set.
+UniformityResult TestUniformityOnSamples(const SampleSet& samples, double eps, Norm norm);
+
+}  // namespace histk
+
+#endif  // HISTK_BASELINE_UNIFORMITY_H_

@@ -1,0 +1,55 @@
+#include "benchutil/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/common.h"
+
+namespace histk {
+
+AcceptRate MeasureRate(int64_t trials, const std::function<bool(int64_t)>& trial) {
+  HISTK_CHECK(trials > 0);
+  int64_t hits = 0;
+  for (int64_t t = 0; t < trials; ++t) {
+    if (trial(t)) ++hits;
+  }
+  const WilsonInterval ci = WilsonScore(hits, trials);
+  return {static_cast<double>(hits) / static_cast<double>(trials), ci.lower, ci.upper,
+          trials};
+}
+
+std::string FmtRate(const AcceptRate& r) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%.2f [%.2f,%.2f]", r.rate, r.ci_low, r.ci_high);
+  return buf;
+}
+
+ScalarStats MeasureScalar(int64_t trials, const std::function<double(int64_t)>& trial) {
+  HISTK_CHECK(trials > 0);
+  std::vector<double> vals(static_cast<size_t>(trials));
+  for (int64_t t = 0; t < trials; ++t) vals[static_cast<size_t>(t)] = trial(t);
+  ScalarStats s;
+  s.mean = Mean(vals);
+  s.stddev = StdDev(vals);
+  s.min = *std::min_element(vals.begin(), vals.end());
+  s.max = *std::max_element(vals.begin(), vals.end());
+  s.trials = trials;
+  return s;
+}
+
+std::string FmtScalar(const ScalarStats& s) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%.3e (sd %.1e)", s.mean, s.stddev);
+  return buf;
+}
+
+void PrintExperimentHeader(const std::string& id, const std::string& claim,
+                           const std::string& setup) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("claim: %s\n", claim.c_str());
+  std::printf("setup: %s\n", setup.c_str());
+  std::printf("==================================================================\n");
+}
+
+}  // namespace histk

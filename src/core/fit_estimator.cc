@@ -1,0 +1,53 @@
+#include "core/fit_estimator.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace histk {
+
+FitEstimate EstimateL2SquaredFitOnGroup(const SampleSetGroup& group,
+                                        const TilingHistogram& h) {
+  HISTK_CHECK(group.n() == h.n());
+  FitEstimate est;
+  est.samples_used = group.TotalSamples();
+
+  // ||p||^2: median over sets of the full-domain collision rate.
+  est.p_norm_sq = group.MedianSumSquaresEstimate(Interval::Full(group.n()));
+
+  // <p,H> = sum_i p_i H(i): for each piece (I, v), the contribution is
+  // v * p(I); p(I) estimated by pooled sample counts.
+  long double cross = 0.0L;
+  long double total_m = 0.0L;
+  for (int64_t s = 0; s < group.r(); ++s) total_m += group.set(s).m();
+  for (int64_t j = 0; j < h.k(); ++j) {
+    const Interval piece = h.pieces()[static_cast<size_t>(j)];
+    int64_t count = 0;
+    for (int64_t s = 0; s < group.r(); ++s) count += group.set(s).Count(piece);
+    cross += static_cast<long double>(h.values()[static_cast<size_t>(j)]) *
+             (static_cast<long double>(count) / total_m);
+  }
+  est.cross_term = static_cast<double>(cross);
+
+  // ||H||^2 exactly.
+  long double hsq = 0.0L;
+  for (int64_t j = 0; j < h.k(); ++j) {
+    const long double v = h.values()[static_cast<size_t>(j)];
+    hsq += v * v * static_cast<long double>(
+                       h.pieces()[static_cast<size_t>(j)].length());
+  }
+  est.h_norm_sq = static_cast<double>(hsq);
+
+  est.l2_squared =
+      std::max(0.0, est.p_norm_sq - 2.0 * est.cross_term + est.h_norm_sq);
+  return est;
+}
+
+FitEstimate EstimateL2SquaredFit(const Sampler& sampler, const TilingHistogram& h,
+                                 int64_t m, Rng& rng, int64_t r) {
+  HISTK_CHECK(r >= 1 && m >= 2 * r);
+  const SampleSetGroup group = SampleSetGroup::Draw(sampler, r, m / r, rng);
+  return EstimateL2SquaredFitOnGroup(group, h);
+}
+
+}  // namespace histk

@@ -1,0 +1,44 @@
+// Sample-based goodness-of-fit estimation for a FIXED histogram.
+//
+// Given samples of p and an explicit tiling histogram H, estimate
+//   ||p - H||_2^2 = ||p||_2^2 - 2<p,H> + ||H||_2^2
+// sub-linearly: ||p||_2^2 from pairwise collisions (the paper's Lemma 1
+// machinery with I = [n]), <p,H> = E_{i~p}[H(i)] as a sample mean, and
+// ||H||_2^2 exactly from H's pieces. This is the natural companion to the
+// learner: it lets a deployment re-validate a stored histogram against
+// fresh data without reading the domain — identity-testing flavour
+// ([BFF+01] in the paper's related work), built purely from this paper's
+// estimators.
+#ifndef HISTK_CORE_FIT_ESTIMATOR_H_
+#define HISTK_CORE_FIT_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "dist/sampler.h"
+#include "histogram/tiling.h"
+#include "sample/sample_set.h"
+#include "util/rng.h"
+
+namespace histk {
+
+/// The decomposition of the estimate (exposed for diagnostics/tests).
+struct FitEstimate {
+  double l2_squared = 0.0;     ///< estimated ||p - H||_2^2 (clamped at 0)
+  double p_norm_sq = 0.0;      ///< collision estimate of ||p||_2^2
+  double cross_term = 0.0;     ///< sample mean of H(i), estimates <p,H>
+  double h_norm_sq = 0.0;      ///< exact ||H||_2^2
+  int64_t samples_used = 0;
+};
+
+/// Estimates ||p - H||_2^2 from `m` fresh draws (split evenly across `r`
+/// collision sets, median-combined; the cross term uses all draws).
+FitEstimate EstimateL2SquaredFit(const Sampler& sampler, const TilingHistogram& h,
+                                 int64_t m, Rng& rng, int64_t r = 5);
+
+/// The same computation on pre-drawn sample sets (deterministic part).
+FitEstimate EstimateL2SquaredFitOnGroup(const SampleSetGroup& group,
+                                        const TilingHistogram& h);
+
+}  // namespace histk
+
+#endif  // HISTK_CORE_FIT_ESTIMATOR_H_

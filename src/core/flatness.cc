@@ -1,0 +1,60 @@
+#include "core/flatness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace histk {
+
+FlatnessDecision TestFlatnessL2(const SampleSetGroup& group, Interval I, double eps) {
+  HISTK_CHECK(!I.empty());
+  HISTK_CHECK(eps > 0.0 && eps < 1.0);
+  FlatnessDecision d;
+
+  double min_phat = std::numeric_limits<double>::infinity();
+  for (int64_t i = 0; i < group.r(); ++i) {
+    const SampleSet& s = group.set(i);
+    const double frac =
+        static_cast<double>(s.Count(I)) / static_cast<double>(s.m());
+    if (frac < eps * eps / 2.0) {
+      d.accept = true;
+      d.light = true;
+      return d;
+    }
+    min_phat = std::min(min_phat, 2.0 * frac);
+  }
+
+  d.z = group.MedianCondCollisionRate(I);
+  d.threshold =
+      1.0 / static_cast<double>(I.length()) + eps * eps / (2.0 * min_phat);
+  d.accept = d.z <= d.threshold;
+  return d;
+}
+
+FlatnessDecision TestFlatnessL1(const SampleSetGroup& group, Interval I, double eps,
+                                int64_t k) {
+  HISTK_CHECK(!I.empty());
+  HISTK_CHECK(eps > 0.0 && eps < 1.0 && k >= 1);
+  FlatnessDecision d;
+
+  const double n = static_cast<double>(group.n());
+  const double rel_light =
+      (eps / 2.0) *
+      std::sqrt(static_cast<double>(I.length()) / (static_cast<double>(k) * n));
+  for (int64_t i = 0; i < group.r(); ++i) {
+    const SampleSet& s = group.set(i);
+    if (static_cast<double>(s.Count(I)) < rel_light * static_cast<double>(s.m())) {
+      d.accept = true;
+      d.light = true;
+      return d;
+    }
+  }
+
+  d.z = group.MedianCondCollisionRate(I);
+  d.threshold = (1.0 + eps * eps / 4.0) / static_cast<double>(I.length());
+  d.accept = d.z <= d.threshold;
+  return d;
+}
+
+}  // namespace histk

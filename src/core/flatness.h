@@ -1,0 +1,50 @@
+// testFlatness-L2 (Algorithm 3) and testFlatness-L1 (Algorithm 4).
+//
+// Both decide whether an interval I looks "flat" (conditional distribution
+// uniform, or negligible weight) from the r sample sets:
+//   * light shortcut — if any replicate sees too few samples in I, the
+//     interval's weight is provably small (Fact 1) and it is accepted;
+//   * collision test — otherwise the median conditional collision rate z_I
+//     estimates ||p_I||_2^2, which equals 1/|I| exactly when p_I is
+//     uniform; accept iff z_I is within the slack of 1/|I|.
+//
+// Note on the listings: Algorithms 3/4 print the normalization C(|S^1|,2),
+// but the proofs of Theorems 3/4 (Eqs. 28–29 and 35–36) use the
+// conditional C(|S^i_I|,2); we follow the proofs.
+//
+// Scaled budgets: the L1 light threshold 16^3 sqrt(|I|)/eps^4 is an
+// absolute count tied to the paper's m = 2^13 sqrt(kn)/eps^5; expressed
+// relative to m it is m * (eps/2) * sqrt(|I|/(kn)), which stays meaningful
+// when experiments run at a fraction of the formula budget. We implement
+// the relative form (identical to the paper's at scale 1).
+#ifndef HISTK_CORE_FLATNESS_H_
+#define HISTK_CORE_FLATNESS_H_
+
+#include <cstdint>
+
+#include "sample/sample_set.h"
+#include "util/interval.h"
+
+namespace histk {
+
+/// Decision plus the evidence it was based on (exposed for tests/benches).
+struct FlatnessDecision {
+  bool accept = false;
+  bool light = false;      ///< accepted via the light-interval shortcut
+  double z = 0.0;          ///< median conditional collision rate (if computed)
+  double threshold = 0.0;  ///< acceptance cutoff on z (if computed)
+};
+
+/// Algorithm 3. Accepts if some replicate has |S^i_I|/m < eps^2/2, else
+/// accepts iff z_I <= 1/|I| + eps^2 / (2 min_i phat_i), phat_i = 2|S^i_I|/m.
+FlatnessDecision TestFlatnessL2(const SampleSetGroup& group, Interval I, double eps);
+
+/// Algorithm 4 (needs k and n for the relative light threshold). Accepts if
+/// some replicate has |S^i_I| < m*(eps/2)*sqrt(|I|/(kn)), else accepts iff
+/// z_I <= (1 + eps^2/4)/|I|.
+FlatnessDecision TestFlatnessL1(const SampleSetGroup& group, Interval I, double eps,
+                                int64_t k);
+
+}  // namespace histk
+
+#endif  // HISTK_CORE_FLATNESS_H_

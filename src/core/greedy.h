@@ -1,0 +1,85 @@
+// Algorithm 1: greedy construction of a near-optimal priority k-histogram,
+// plus the Theorem 2 variant that restricts candidate intervals to
+// endpoints adjacent to observed samples.
+//
+// Guarantee (Theorems 1/2): against the best tiling k-histogram H*,
+//   ||p - H||_2^2 <= ||p - H*||_2^2 + 5*eps   (full candidate enumeration)
+//   ||p - H||_2^2 <= ||p - H*||_2^2 + 8*eps   (sample-endpoint candidates)
+// using l + r*m = O~((k/eps)^2 ln n) samples.
+//
+// The algorithm maintains the flattening of its priority histogram as a
+// tiling whose pieces carry the estimated cost z_I - y_I^2/|I| (the
+// estimated SSE of bucketing I at its estimated mean). Each iteration adds
+// the interval J minimizing the total estimated cost of the new tiling;
+// the three paper entries (J, y_J), (I_L, y_IL), (I_R, y_IR) are recorded
+// in the output priority histogram.
+#ifndef HISTK_CORE_GREEDY_H_
+#define HISTK_CORE_GREEDY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/sampler.h"
+#include "histogram/priority.h"
+#include "histogram/tiling.h"
+#include "stats/bounds.h"
+#include "stats/estimators.h"
+#include "util/rng.h"
+
+namespace histk {
+
+/// How candidate intervals J are enumerated each greedy step.
+enum class CandidateStrategy {
+  /// Algorithm 1: all O(n^2) intervals. Exact but time Omega(n^2).
+  kAllIntervals,
+  /// Theorem 2: only intervals whose endpoints are samples or sample
+  /// neighbours (T' = {s-1, s, s+1}); time independent of n^2.
+  kSampleEndpoints,
+};
+
+const char* CandidateStrategyName(CandidateStrategy s);
+
+/// Learner configuration.
+struct LearnOptions {
+  int64_t k = 1;
+  double eps = 0.1;
+  CandidateStrategy strategy = CandidateStrategy::kSampleEndpoints;
+  /// Multiplies the paper's sample-count formulas (l and m); 1.0 = paper
+  /// constants. Experiments document the scale they run at.
+  double sample_scale = 1.0;
+  /// Safety cap on candidate-set size for kSampleEndpoints (the endpoint
+  /// list is thinned evenly if (|T'| choose 2) would exceed this). 0 = off.
+  int64_t max_candidates = 2'000'000;
+  /// Theorem 2 includes the +-1 neighbours of each sample in the endpoint
+  /// set T'. Setting this false drops them (ablation E8 measures the cost).
+  bool include_endpoint_neighbors = true;
+  /// Override the number of greedy iterations (0 = paper's k*ln(1/eps)).
+  int64_t iterations_override = 0;
+  /// Override the number of collision sample sets r (0 = paper formula).
+  int64_t r_override = 0;
+};
+
+/// Output of the learner.
+struct LearnResult {
+  PriorityHistogram priority;      ///< the paper's output representation
+  TilingHistogram tiling;          ///< its flattening (what evaluations use)
+  GreedyParams params;             ///< sample sizes actually used
+  int64_t total_samples = 0;       ///< samples drawn
+  int64_t candidates_per_iter = 0; ///< candidate intervals enumerated
+  double estimated_cost = 0.0;     ///< final estimated SSE (c of the tiling)
+};
+
+/// Runs Algorithm 1 end to end: derives parameters from (n, k, eps), draws
+/// samples from the oracle, and greedily builds the histogram.
+LearnResult LearnHistogram(const Sampler& sampler, const LearnOptions& options,
+                           Rng& rng);
+
+/// The deterministic part of Algorithm 1 on pre-drawn samples: used by
+/// tests and by experiments that share samples across strategies.
+LearnResult LearnHistogramWithEstimator(const GreedyEstimator& estimator,
+                                        const LearnOptions& options,
+                                        const GreedyParams& params);
+
+}  // namespace histk
+
+#endif  // HISTK_CORE_GREEDY_H_

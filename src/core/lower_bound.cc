@@ -1,0 +1,56 @@
+#include "core/lower_bound.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/common.h"
+
+namespace histk {
+
+LowerBoundPair MakeLowerBoundPair(int64_t n, int64_t k, Rng& rng) {
+  HISTK_CHECK(k >= 1 && n >= 2 * k);
+
+  // k near-equal intervals; even-indexed ones are heavy.
+  std::vector<Interval> intervals;
+  intervals.reserve(static_cast<size_t>(k));
+  for (int64_t j = 0; j < k; ++j) {
+    intervals.emplace_back((n * j) / k, (n * (j + 1)) / k - 1);
+  }
+  std::vector<int64_t> heavy_idx;
+  for (int64_t j = 0; j < k; j += 2) heavy_idx.push_back(j);
+  const int64_t num_heavy = static_cast<int64_t>(heavy_idx.size());
+  const double heavy_weight = 1.0 / static_cast<double>(num_heavy);
+
+  std::vector<double> yes(static_cast<size_t>(n), 0.0);
+  for (int64_t j : heavy_idx) {
+    const Interval& I = intervals[static_cast<size_t>(j)];
+    const double per_elem = heavy_weight / static_cast<double>(I.length());
+    for (int64_t i = I.lo; i <= I.hi; ++i) yes[static_cast<size_t>(i)] = per_elem;
+  }
+
+  // NO: pick a heavy interval, zero a uniformly random half of its
+  // elements, double the others (odd lengths: zero floor(len/2), scale the
+  // rest to preserve the interval weight).
+  const Interval chosen =
+      intervals[static_cast<size_t>(heavy_idx[static_cast<size_t>(
+          rng.UniformInt(static_cast<uint64_t>(num_heavy)))])];
+  std::vector<int64_t> elems;
+  elems.reserve(static_cast<size_t>(chosen.length()));
+  for (int64_t i = chosen.lo; i <= chosen.hi; ++i) elems.push_back(i);
+  rng.Shuffle(elems);
+  const int64_t zeroed = chosen.length() / 2;
+
+  std::vector<double> no = yes;
+  const double survivor_per_elem =
+      heavy_weight / static_cast<double>(chosen.length() - zeroed);
+  for (int64_t idx = 0; idx < chosen.length(); ++idx) {
+    no[static_cast<size_t>(elems[static_cast<size_t>(idx)])] =
+        idx < zeroed ? 0.0 : survivor_per_elem;
+  }
+
+  LowerBoundPair pair{Distribution::FromPmf(std::move(yes)),
+                      Distribution::FromPmf(std::move(no)), chosen, num_heavy};
+  return pair;
+}
+
+}  // namespace histk

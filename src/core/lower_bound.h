@@ -1,0 +1,37 @@
+// Theorem 5's lower-bound construction: a YES/NO instance pair that no
+// tester can distinguish with o(sqrt(kn)) samples.
+//
+// YES: split [0, n) into k near-equal intervals whose weights alternate
+// 0, 2/ceil(k/2)... (uniform inside) — an exact tiling k-histogram.
+// NO:  identical, except one randomly chosen heavy interval has a random
+// half of its elements zeroed and the rest doubled — Theta(1/k)-far in L1
+// from every tiling k-histogram, yet indistinguishable from YES below the
+// sample threshold.
+#ifndef HISTK_CORE_LOWER_BOUND_H_
+#define HISTK_CORE_LOWER_BOUND_H_
+
+#include <cstdint>
+
+#include "dist/distribution.h"
+#include "util/interval.h"
+#include "util/rng.h"
+
+namespace histk {
+
+/// One sampled YES/NO pair.
+struct LowerBoundPair {
+  Distribution yes;
+  Distribution no;
+  /// The heavy interval whose interior was re-randomized in `no`.
+  Interval perturbed;
+  /// Number of heavy (non-zero) intervals; each has weight 1/num_heavy.
+  int64_t num_heavy = 0;
+};
+
+/// Builds the Theorem 5 pair. Requires n >= 2k and k >= 1 (each interval
+/// needs >= 2 elements so "half the elements" is meaningful).
+LowerBoundPair MakeLowerBoundPair(int64_t n, int64_t k, Rng& rng);
+
+}  // namespace histk
+
+#endif  // HISTK_CORE_LOWER_BOUND_H_

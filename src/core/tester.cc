@@ -1,0 +1,64 @@
+#include "core/tester.h"
+
+#include "util/common.h"
+
+namespace histk {
+
+TestOutcome TestKHistogramOnGroup(const SampleSetGroup& group, const TestConfig& config) {
+  HISTK_CHECK(config.k >= 1);
+  HISTK_CHECK(config.eps > 0.0 && config.eps < 1.0);
+  const int64_t n = group.n();
+
+  TestOutcome out;
+  out.total_samples = group.TotalSamples();
+
+  auto flat = [&](Interval I) {
+    const FlatnessDecision d =
+        config.norm == Norm::kL2
+            ? TestFlatnessL2(group, I, config.eps)
+            : TestFlatnessL1(group, I, config.eps, config.k);
+    return d.accept;
+  };
+
+  // Paper's loop, 0-based: previous/low/high index elements of [0, n).
+  int64_t previous = 0;
+  int64_t low = 0;
+  int64_t high = n - 1;
+  for (int64_t i = 0; i < config.k && previous <= n - 1; ++i) {
+    while (high >= low) {
+      const int64_t mid = low + (high - low) / 2;
+      if (flat(Interval(previous, mid))) {
+        low = mid + 1;
+      } else {
+        high = mid - 1;
+      }
+    }
+    // low-1 is the farthest endpoint that still tested flat. A singleton
+    // always tests flat (z = 1 = 1/|I|), so low > previous: progress.
+    HISTK_CHECK_MSG(low > previous, "flatness binary search made no progress");
+    out.flat_partition.emplace_back(previous, low - 1);
+    previous = low;
+    high = n - 1;
+  }
+  // Accept iff the flat pieces cover the whole domain. (The paper's step 12
+  // writes "previous = n", an off-by-one: after a search ending at n the
+  // loop leaves previous = n+1 in 1-based terms. Coverage is the intended
+  // condition in both proofs' directions.)
+  out.accepted = previous > n - 1;
+  return out;
+}
+
+TestOutcome TestKHistogram(const Sampler& sampler, const TestConfig& config, Rng& rng) {
+  TesterParams params =
+      config.norm == Norm::kL2
+          ? ComputeL2TesterParams(sampler.n(), config.eps, config.sample_scale)
+          : ComputeL1TesterParams(sampler.n(), config.k, config.eps,
+                                  config.sample_scale);
+  if (config.r_override > 0) params.r = config.r_override;
+  const SampleSetGroup group = SampleSetGroup::Draw(sampler, params.r, params.m, rng);
+  TestOutcome out = TestKHistogramOnGroup(group, config);
+  out.params = params;
+  return out;
+}
+
+}  // namespace histk

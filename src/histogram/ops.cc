@@ -1,0 +1,150 @@
+#include "histogram/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/common.h"
+
+namespace histk {
+
+TilingHistogram ProjectToBoundaries(const Distribution& p,
+                                    const std::vector<int64_t>& right_ends) {
+  HISTK_CHECK(!right_ends.empty() && right_ends.back() == p.n() - 1);
+  std::vector<double> values;
+  values.reserve(right_ends.size());
+  int64_t lo = 0;
+  for (int64_t end : right_ends) {
+    values.push_back(p.IntervalMean(Interval(lo, end)));
+    lo = end + 1;
+  }
+  return TilingHistogram::FromRightEnds(p.n(), right_ends, std::move(values));
+}
+
+double BoundariesSse(const Distribution& p, const std::vector<int64_t>& right_ends) {
+  HISTK_CHECK(!right_ends.empty() && right_ends.back() == p.n() - 1);
+  long double acc = 0.0L;
+  int64_t lo = 0;
+  for (int64_t end : right_ends) {
+    acc += p.IntervalSse(Interval(lo, end));
+    lo = end + 1;
+  }
+  return static_cast<double>(acc);
+}
+
+int64_t MinimalPieceCount(const Distribution& p, double tol) {
+  int64_t pieces = 1;
+  for (int64_t i = 1; i < p.n(); ++i) {
+    if (std::fabs(p.p(i) - p.p(i - 1)) > tol) ++pieces;
+  }
+  return pieces;
+}
+
+bool IsTilingKHistogram(const Distribution& p, int64_t k, double tol) {
+  HISTK_CHECK(k >= 1);
+  return MinimalPieceCount(p, tol) <= k;
+}
+
+TilingHistogram MergeTilings(const TilingHistogram& a, const TilingHistogram& b,
+                             double wa, double wb) {
+  HISTK_CHECK(a.n() == b.n());
+  HISTK_CHECK(std::isfinite(wa) && std::isfinite(wb));
+  // Union refinement: walk both piece lists in lockstep.
+  std::vector<Interval> pieces;
+  std::vector<double> values;
+  size_t ia = 0, ib = 0;
+  int64_t lo = 0;
+  while (lo < a.n()) {
+    const int64_t hi =
+        std::min(a.pieces()[ia].hi, b.pieces()[ib].hi);
+    pieces.emplace_back(lo, hi);
+    values.push_back(wa * a.values()[ia] + wb * b.values()[ib]);
+    if (a.pieces()[ia].hi == hi) ++ia;
+    if (b.pieces()[ib].hi == hi) ++ib;
+    lo = hi + 1;
+  }
+  return TilingHistogram(a.n(), std::move(pieces), std::move(values)).Condensed();
+}
+
+TilingHistogram ReduceToKPieces(const TilingHistogram& h, int64_t k) {
+  HISTK_CHECK(k >= 1);
+  const int64_t P = h.k();
+  if (P <= k) return h;
+
+  // Prefix sums over h's pieces of length, length*value, length*value^2:
+  // merging pieces [a, b] at the weighted mean costs
+  //   sum(L v^2) - (sum(L v))^2 / sum(L).
+  const auto& pieces = h.pieces();
+  const auto& values = h.values();
+  std::vector<long double> len(static_cast<size_t>(P) + 1, 0.0L);
+  std::vector<long double> lv(static_cast<size_t>(P) + 1, 0.0L);
+  std::vector<long double> lv2(static_cast<size_t>(P) + 1, 0.0L);
+  for (int64_t j = 0; j < P; ++j) {
+    const long double L = pieces[static_cast<size_t>(j)].length();
+    const long double v = values[static_cast<size_t>(j)];
+    len[static_cast<size_t>(j) + 1] = len[static_cast<size_t>(j)] + L;
+    lv[static_cast<size_t>(j) + 1] = lv[static_cast<size_t>(j)] + L * v;
+    lv2[static_cast<size_t>(j) + 1] = lv2[static_cast<size_t>(j)] + L * v * v;
+  }
+  auto merge_cost = [&](int64_t a, int64_t b) {  // pieces a..b inclusive
+    const long double L = len[static_cast<size_t>(b) + 1] - len[static_cast<size_t>(a)];
+    const long double s = lv[static_cast<size_t>(b) + 1] - lv[static_cast<size_t>(a)];
+    const long double s2 =
+        lv2[static_cast<size_t>(b) + 1] - lv2[static_cast<size_t>(a)];
+    return static_cast<double>(s2 - s * s / L);
+  };
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(static_cast<size_t>(P)), cur(static_cast<size_t>(P));
+  std::vector<std::vector<int32_t>> parent(
+      static_cast<size_t>(k), std::vector<int32_t>(static_cast<size_t>(P), 0));
+  for (int64_t i = 0; i < P; ++i) prev[static_cast<size_t>(i)] = merge_cost(0, i);
+  for (int64_t j = 1; j < k; ++j) {
+    for (int64_t i = 0; i < P; ++i) {
+      if (i < j) {
+        cur[static_cast<size_t>(i)] = 0.0;
+        parent[static_cast<size_t>(j)][static_cast<size_t>(i)] = static_cast<int32_t>(i);
+        continue;
+      }
+      double best = kInf;
+      int32_t best_s = static_cast<int32_t>(j);
+      for (int64_t s = j; s <= i; ++s) {
+        const double cand = prev[static_cast<size_t>(s - 1)] + merge_cost(s, i);
+        if (cand < best) {
+          best = cand;
+          best_s = static_cast<int32_t>(s);
+        }
+      }
+      cur[static_cast<size_t>(i)] = best;
+      parent[static_cast<size_t>(j)][static_cast<size_t>(i)] = best_s;
+    }
+    std::swap(prev, cur);
+  }
+
+  // Reconstruct groups of pieces, then emit the merged tiling.
+  std::vector<int64_t> ends;   // piece-index group ends
+  int64_t i = P - 1, j = k - 1;
+  while (i >= 0) {
+    HISTK_CHECK(j >= 0);
+    const int64_t start = parent[static_cast<size_t>(j)][static_cast<size_t>(i)];
+    ends.push_back(i);
+    i = start - 1;
+    --j;
+  }
+  std::reverse(ends.begin(), ends.end());
+  std::vector<int64_t> right_ends;
+  std::vector<double> out_values;
+  int64_t group_start = 0;
+  for (int64_t group_end : ends) {
+    right_ends.push_back(pieces[static_cast<size_t>(group_end)].hi);
+    const long double L = len[static_cast<size_t>(group_end) + 1] -
+                          len[static_cast<size_t>(group_start)];
+    const long double s = lv[static_cast<size_t>(group_end) + 1] -
+                          lv[static_cast<size_t>(group_start)];
+    out_values.push_back(static_cast<double>(s / L));
+    group_start = group_end + 1;
+  }
+  return TilingHistogram::FromRightEnds(h.n(), right_ends, std::move(out_values));
+}
+
+}  // namespace histk

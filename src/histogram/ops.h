@@ -1,0 +1,50 @@
+// Histogram/distribution operations shared by the learner and baselines.
+#ifndef HISTK_HISTOGRAM_OPS_H_
+#define HISTK_HISTOGRAM_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "histogram/tiling.h"
+#include "util/interval.h"
+
+namespace histk {
+
+/// Best piecewise-constant fit of `p` for FIXED piece boundaries: each piece
+/// takes its interval mean p(I)/|I|. This is the L2-optimal projection onto
+/// the tilings with these boundaries (the paper uses x = p(I)/|I| minimizes
+/// sum (p_i - x)^2 throughout).
+TilingHistogram ProjectToBoundaries(const Distribution& p,
+                                    const std::vector<int64_t>& right_ends);
+
+/// The L2^2 error of ProjectToBoundaries, i.e. the sum of interval SSEs —
+/// computed directly from prefix sums without materializing the histogram.
+double BoundariesSse(const Distribution& p, const std::vector<int64_t>& right_ends);
+
+/// True iff `p` is exactly (within tol per element) a tiling k-histogram
+/// with at most k pieces. Decided greedily: scan maximal flat runs.
+bool IsTilingKHistogram(const Distribution& p, int64_t k, double tol = 1e-12);
+
+/// The minimum number of pieces of any exact tiling representation of `p`
+/// (number of maximal flat runs).
+int64_t MinimalPieceCount(const Distribution& p, double tol = 1e-12);
+
+/// Optimally merges the pieces of `h` down to at most k pieces, minimizing
+/// the L2^2 distance to h itself (exact DP over h's pieces as weighted
+/// super-elements, O(P^2 k) for P = h.k()). Useful to turn the learner's
+/// bicriteria priority-histogram output (k ln(1/eps) intervals) into a
+/// strict k-piece histogram for apples-to-apples comparisons.
+TilingHistogram ReduceToKPieces(const TilingHistogram& h, int64_t k);
+
+/// Pointwise convex combination of two tilings over the same domain:
+/// result(i) = wa*a(i) + wb*b(i), with pieces = the union refinement of
+/// both boundary sets (at most a.k()+b.k()-1 pieces, then condensed).
+/// Distributed use case: combine histograms learned on disjoint shards,
+/// weighting by shard sizes.
+TilingHistogram MergeTilings(const TilingHistogram& a, const TilingHistogram& b,
+                             double wa, double wb);
+
+}  // namespace histk
+
+#endif  // HISTK_HISTOGRAM_OPS_H_

@@ -1,0 +1,74 @@
+#include "histogram/priority.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/common.h"
+
+namespace histk {
+
+PriorityHistogram::PriorityHistogram(int64_t n) : n_(n) { HISTK_CHECK(n >= 1); }
+
+void PriorityHistogram::Add(Interval interval, double value) {
+  AddWithRank(interval, value, max_rank_ + 1);
+}
+
+void PriorityHistogram::AddWithRank(Interval interval, double value, int64_t rank) {
+  HISTK_CHECK_MSG(!interval.empty(), "priority entry needs a non-empty interval");
+  HISTK_CHECK_MSG(Interval::Full(n_).Contains(interval), "entry outside domain");
+  HISTK_CHECK_MSG(std::isfinite(value), "entry value must be finite");
+  entries_.push_back({interval, value, rank});
+  max_rank_ = std::max(max_rank_, rank);
+}
+
+double PriorityHistogram::Value(int64_t i) const {
+  HISTK_CHECK(i >= 0 && i < n_);
+  double best_value = 0.0;
+  int64_t best_rank = INT64_MIN;
+  for (const auto& e : entries_) {
+    if (e.interval.Contains(i) && e.rank > best_rank) {
+      best_rank = e.rank;
+      best_value = e.value;
+    }
+  }
+  return best_value;
+}
+
+TilingHistogram PriorityHistogram::Flatten() const {
+  // Sweep: at each breakpoint the winning entry can change. Collect all
+  // entry endpoints as segment starts, resolve the winner on each segment.
+  std::vector<int64_t> starts;
+  starts.push_back(0);
+  for (const auto& e : entries_) {
+    starts.push_back(e.interval.lo);
+    if (e.interval.hi + 1 < n_) starts.push_back(e.interval.hi + 1);
+  }
+  std::sort(starts.begin(), starts.end());
+  starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+
+  std::vector<Interval> pieces;
+  std::vector<double> values;
+  for (size_t s = 0; s < starts.size(); ++s) {
+    const int64_t lo = starts[s];
+    const int64_t hi = (s + 1 < starts.size()) ? starts[s + 1] - 1 : n_ - 1;
+    // Winner is constant on [lo, hi] because no entry boundary lies inside.
+    double v = 0.0;
+    int64_t best_rank = INT64_MIN;
+    for (const auto& e : entries_) {
+      if (e.interval.Contains(lo) && e.rank > best_rank) {
+        best_rank = e.rank;
+        v = e.value;
+      }
+    }
+    if (!pieces.empty() && values.back() == v) {
+      pieces.back().hi = hi;  // merge equal-valued neighbours as we go
+    } else {
+      pieces.emplace_back(lo, hi);
+      values.push_back(v);
+    }
+  }
+  return TilingHistogram(n_, std::move(pieces), std::move(values));
+}
+
+}  // namespace histk

@@ -1,0 +1,62 @@
+// Priority histograms (paper Section 1.1, class 2).
+//
+// A priority k-histogram is a list of (interval, value, rank) triples where
+// intervals may overlap; H(i) is the value of the highest-rank interval
+// covering i, or 0 if none does. Algorithm 1 emits this representation; the
+// paper notes a priority k-histogram always flattens into a tiling
+// (2k)-histogram — Flatten() realizes that conversion.
+#ifndef HISTK_HISTOGRAM_PRIORITY_H_
+#define HISTK_HISTOGRAM_PRIORITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "histogram/tiling.h"
+#include "util/interval.h"
+
+namespace histk {
+
+/// One (I_j, v_j, r_j) entry of a priority histogram.
+struct PriorityEntry {
+  Interval interval;
+  double value;
+  int64_t rank;
+};
+
+/// Mutable priority histogram over {0,...,n-1}.
+class PriorityHistogram {
+ public:
+  explicit PriorityHistogram(int64_t n);
+
+  int64_t n() const { return n_; }
+
+  /// Adds an entry with rank = (current max rank) + 1, exactly the
+  /// "r = rmax + 1" step of Algorithm 1.
+  void Add(Interval interval, double value);
+
+  /// Adds an entry with an explicit rank.
+  void AddWithRank(Interval interval, double value, int64_t rank);
+
+  /// Number of entries.
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+
+  const std::vector<PriorityEntry>& entries() const { return entries_; }
+
+  /// H(i): value of the highest-rank entry covering i; 0 if uncovered.
+  /// O(#entries) — fine for the k·ln(1/eps)-entry histograms Algorithm 1
+  /// produces; use Flatten() for bulk evaluation.
+  double Value(int64_t i) const;
+
+  /// The equivalent tiling histogram (uncovered stretches become pieces of
+  /// value 0). At most 2·size()+1 pieces, matching the paper's 2k bound.
+  TilingHistogram Flatten() const;
+
+ private:
+  int64_t n_;
+  int64_t max_rank_ = 0;
+  std::vector<PriorityEntry> entries_;
+};
+
+}  // namespace histk
+
+#endif  // HISTK_HISTOGRAM_PRIORITY_H_

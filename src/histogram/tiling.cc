@@ -1,0 +1,133 @@
+#include "histogram/tiling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace histk {
+
+TilingHistogram::TilingHistogram(int64_t n, std::vector<Interval> pieces,
+                                 std::vector<double> values)
+    : n_(n), pieces_(std::move(pieces)), values_(std::move(values)) {
+  HISTK_CHECK(n_ >= 1);
+  HISTK_CHECK_MSG(!pieces_.empty(), "tiling needs at least one piece");
+  HISTK_CHECK_MSG(pieces_.size() == values_.size(), "pieces/values arity mismatch");
+  int64_t expect = 0;
+  for (const Interval& piece : pieces_) {
+    HISTK_CHECK_MSG(!piece.empty(), "tiling piece must be non-empty");
+    HISTK_CHECK_MSG(piece.lo == expect, "tiling pieces must be contiguous");
+    expect = piece.hi + 1;
+  }
+  HISTK_CHECK_MSG(expect == n_, "tiling pieces must cover [0, n)");
+  for (double v : values_) HISTK_CHECK_MSG(std::isfinite(v), "piece value must be finite");
+}
+
+TilingHistogram TilingHistogram::Flat(int64_t n, double value) {
+  return TilingHistogram(n, {Interval::Full(n)}, {value});
+}
+
+TilingHistogram TilingHistogram::FromRightEnds(int64_t n,
+                                               const std::vector<int64_t>& right_ends,
+                                               std::vector<double> values) {
+  HISTK_CHECK(!right_ends.empty() && right_ends.back() == n - 1);
+  std::vector<Interval> pieces;
+  pieces.reserve(right_ends.size());
+  int64_t lo = 0;
+  for (int64_t end : right_ends) {
+    pieces.emplace_back(lo, end);
+    lo = end + 1;
+  }
+  return TilingHistogram(n, std::move(pieces), std::move(values));
+}
+
+double TilingHistogram::Value(int64_t i) const {
+  HISTK_CHECK(i >= 0 && i < n_);
+  // Find the piece whose hi >= i; pieces are sorted by lo.
+  const auto it = std::lower_bound(
+      pieces_.begin(), pieces_.end(), i,
+      [](const Interval& piece, int64_t x) { return piece.hi < x; });
+  HISTK_DCHECK(it != pieces_.end() && it->Contains(i));
+  return values_[static_cast<size_t>(it - pieces_.begin())];
+}
+
+double TilingHistogram::Mass(Interval I) const {
+  I = I.Intersect(Interval::Full(n_));
+  if (I.empty()) return 0.0;
+  const auto first = std::lower_bound(
+      pieces_.begin(), pieces_.end(), I.lo,
+      [](const Interval& piece, int64_t x) { return piece.hi < x; });
+  double total = 0.0;
+  for (auto it = first; it != pieces_.end() && it->lo <= I.hi; ++it) {
+    const Interval overlap = it->Intersect(I);
+    total += values_[static_cast<size_t>(it - pieces_.begin())] *
+             static_cast<double>(overlap.length());
+  }
+  return total;
+}
+
+std::vector<double> TilingHistogram::ToValues() const {
+  std::vector<double> out(static_cast<size_t>(n_));
+  for (size_t j = 0; j < pieces_.size(); ++j) {
+    for (int64_t i = pieces_[j].lo; i <= pieces_[j].hi; ++i) {
+      out[static_cast<size_t>(i)] = values_[j];
+    }
+  }
+  return out;
+}
+
+double TilingHistogram::L2SquaredErrorTo(const Distribution& p) const {
+  HISTK_CHECK(p.n() == n_);
+  // sum_i (p_i - v)^2 over a piece = sum p_i^2 - 2 v p(I) + v^2 |I|.
+  long double acc = 0.0L;
+  for (size_t j = 0; j < pieces_.size(); ++j) {
+    const Interval& I = pieces_[j];
+    const long double v = values_[j];
+    acc += static_cast<long double>(p.SumSquares(I)) -
+           2.0L * v * static_cast<long double>(p.Weight(I)) +
+           v * v * static_cast<long double>(I.length());
+  }
+  return std::max<double>(0.0, static_cast<double>(acc));
+}
+
+double TilingHistogram::L1ErrorTo(const Distribution& p) const {
+  HISTK_CHECK(p.n() == n_);
+  long double acc = 0.0L;
+  for (size_t j = 0; j < pieces_.size(); ++j) {
+    for (int64_t i = pieces_[j].lo; i <= pieces_[j].hi; ++i) {
+      acc += std::fabs(p.p(i) - values_[j]);
+    }
+  }
+  return static_cast<double>(acc);
+}
+
+Distribution TilingHistogram::ToDistribution() const {
+  std::vector<double> w = ToValues();
+  for (double& v : w) v = std::max(v, 0.0);
+  return Distribution::FromWeights(std::move(w));
+}
+
+TilingHistogram TilingHistogram::Condensed(double value_tol) const {
+  std::vector<Interval> pieces;
+  std::vector<double> values;
+  for (size_t j = 0; j < pieces_.size(); ++j) {
+    if (!pieces.empty() && std::fabs(values.back() - values_[j]) <= value_tol) {
+      pieces.back().hi = pieces_[j].hi;
+    } else {
+      pieces.push_back(pieces_[j]);
+      values.push_back(values_[j]);
+    }
+  }
+  return TilingHistogram(n_, std::move(pieces), std::move(values));
+}
+
+std::string TilingHistogram::ToString() const {
+  std::string out = "{";
+  for (size_t j = 0; j < pieces_.size(); ++j) {
+    if (j > 0) out += ", ";
+    out += pieces_[j].ToString() + ":" + std::to_string(values_[j]);
+  }
+  return out + "}";
+}
+
+}  // namespace histk

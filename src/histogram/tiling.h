@@ -1,0 +1,75 @@
+// Tiling histograms (paper Section 1.1, class 1).
+//
+// A tiling k-histogram is a piecewise-constant function over {0,...,n-1}
+// given by k disjoint intervals covering the domain and one value per
+// interval. Values are *densities*: H(i) = value of the piece containing i.
+#ifndef HISTK_HISTOGRAM_TILING_H_
+#define HISTK_HISTOGRAM_TILING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "util/interval.h"
+
+namespace histk {
+
+/// Immutable piecewise-constant function defined by a tiling of [0, n).
+class TilingHistogram {
+ public:
+  /// `pieces` must be sorted, disjoint, and cover [0, n) exactly; one value
+  /// per piece. Aborts on malformed input.
+  TilingHistogram(int64_t n, std::vector<Interval> pieces, std::vector<double> values);
+
+  /// Single flat piece at the given value.
+  static TilingHistogram Flat(int64_t n, double value);
+
+  /// From inclusive right endpoints of consecutive pieces
+  /// (right_ends.back() must be n-1) and per-piece values.
+  static TilingHistogram FromRightEnds(int64_t n, const std::vector<int64_t>& right_ends,
+                                       std::vector<double> values);
+
+  int64_t n() const { return n_; }
+
+  /// Number of pieces k.
+  int64_t k() const { return static_cast<int64_t>(pieces_.size()); }
+
+  /// H(i): value of the piece containing i. O(log k).
+  double Value(int64_t i) const;
+
+  /// Sum of H(i) over an interval (range "selectivity" of the histogram).
+  /// O(log k + pieces overlapped).
+  double Mass(Interval I) const;
+
+  /// Per-element values H(0..n-1) as a vector.
+  std::vector<double> ToValues() const;
+
+  /// ||p - H||_2^2 computed piecewise in O(k) from p's prefix sums.
+  double L2SquaredErrorTo(const Distribution& p) const;
+
+  /// ||p - H||_1 (O(n): needs per-element comparison).
+  double L1ErrorTo(const Distribution& p) const;
+
+  /// Clamps negatives to 0 and renormalizes into a proper Distribution.
+  /// Total clamped mass must be positive.
+  Distribution ToDistribution() const;
+
+  /// Merges adjacent pieces with (almost) equal values; never changes the
+  /// represented function.
+  TilingHistogram Condensed(double value_tol = 0.0) const;
+
+  const std::vector<Interval>& pieces() const { return pieces_; }
+  const std::vector<double>& values() const { return values_; }
+
+  std::string ToString() const;
+
+ private:
+  int64_t n_;
+  std::vector<Interval> pieces_;
+  std::vector<double> values_;
+};
+
+}  // namespace histk
+
+#endif  // HISTK_HISTOGRAM_TILING_H_

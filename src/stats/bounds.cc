@@ -1,0 +1,64 @@
+#include "stats/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+#include "util/math_util.h"
+
+namespace histk {
+
+namespace {
+
+void CheckCommon(int64_t n, double eps, double scale) {
+  HISTK_CHECK_MSG(n >= 2, "need n >= 2");
+  HISTK_CHECK_MSG(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+  HISTK_CHECK_MSG(scale > 0.0, "scale must be positive");
+}
+
+}  // namespace
+
+GreedyParams ComputeGreedyParams(int64_t n, int64_t k, double eps, double scale) {
+  CheckCommon(n, eps, scale);
+  HISTK_CHECK(k >= 1);
+  GreedyParams gp;
+  const double nd = static_cast<double>(n);
+  // q = k ln(1/eps), at least 1 step (eps close to 1 makes ln(1/eps) tiny).
+  const double q = static_cast<double>(k) * std::log(1.0 / eps);
+  gp.iterations = CeilToInt64(q, 1);
+  gp.xi = eps / std::max(static_cast<double>(k) * std::log(1.0 / eps), 1e-12);
+  // Keep xi <= eps so the union-bound algebra stays meaningful for eps
+  // near 1 (where ln(1/eps) < 1 would make xi > eps).
+  gp.xi = std::min(gp.xi, eps);
+  gp.l = CeilToInt64(scale * std::log(12.0 * nd * nd) / (2.0 * gp.xi * gp.xi), 2);
+  gp.r = CeilToInt64(std::log(6.0 * nd * nd), 1);
+  gp.m = CeilToInt64(scale * 24.0 / (gp.xi * gp.xi), 2);
+  return gp;
+}
+
+TesterParams ComputeL2TesterParams(int64_t n, double eps, double scale) {
+  CheckCommon(n, eps, scale);
+  TesterParams tp;
+  const double nd = static_cast<double>(n);
+  tp.r = CeilToInt64(16.0 * std::log(6.0 * nd * nd), 1);
+  tp.m = CeilToInt64(scale * 64.0 * std::log(nd) / std::pow(eps, 4.0), 2);
+  return tp;
+}
+
+TesterParams ComputeL1TesterParams(int64_t n, int64_t k, double eps, double scale) {
+  CheckCommon(n, eps, scale);
+  HISTK_CHECK(k >= 1);
+  TesterParams tp;
+  const double nd = static_cast<double>(n);
+  tp.r = CeilToInt64(16.0 * std::log(6.0 * nd * nd), 1);
+  tp.m = CeilToInt64(
+      scale * 8192.0 * std::sqrt(static_cast<double>(k) * nd) / std::pow(eps, 5.0), 2);
+  return tp;
+}
+
+double LowerBoundBudget(int64_t n, int64_t k) {
+  HISTK_CHECK(n >= 1 && k >= 1);
+  return std::sqrt(static_cast<double>(k) * static_cast<double>(n));
+}
+
+}  // namespace histk

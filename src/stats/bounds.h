@@ -1,0 +1,50 @@
+// Sample-size formulas from the paper, as runnable parameter calculators.
+//
+// The paper's constants are worst-case (union bounds over all n^2 intervals
+// with Chebyshev + Chernoff slack); they are faithful here, and every
+// calculator also accepts a `scale` multiplier so experiments can run the
+// same algorithm at a fraction of the formula budget. Benches report both
+// the formula value and the budget actually used (see EXPERIMENTS.md).
+#ifndef HISTK_STATS_BOUNDS_H_
+#define HISTK_STATS_BOUNDS_H_
+
+#include <cstdint>
+
+namespace histk {
+
+/// Parameters of Algorithm 1 (and its Theorem 2 variant).
+struct GreedyParams {
+  double xi = 0.0;        ///< xi = eps / (k ln(1/eps))
+  int64_t l = 0;          ///< main sample count: ln(12 n^2) / (2 xi^2)
+  int64_t r = 0;          ///< number of collision sample sets: ln(6 n^2)
+  int64_t m = 0;          ///< per-set size: 24 / xi^2
+  int64_t iterations = 0; ///< greedy steps: ceil(k ln(1/eps))
+  /// Total samples the algorithm draws: l + r * m.
+  int64_t TotalSamples() const { return l + r * m; }
+};
+
+/// Computes Algorithm 1's parameters for (n, k, eps). `scale` multiplies the
+/// sample counts l and m (not r or the iteration count). eps must be in
+/// (0, 1); k >= 1; n >= 2.
+GreedyParams ComputeGreedyParams(int64_t n, int64_t k, double eps, double scale = 1.0);
+
+/// Parameters of the Algorithm 2 testers.
+struct TesterParams {
+  int64_t r = 0;  ///< number of sample sets: 16 ln(6 n^2)
+  int64_t m = 0;  ///< per-set size (norm-dependent, see below)
+  int64_t TotalSamples() const { return r * m; }
+};
+
+/// Theorem 3 (L2): m = 64 ln(n) / eps^4.
+TesterParams ComputeL2TesterParams(int64_t n, double eps, double scale = 1.0);
+
+/// Theorem 4 (L1): m = 2^13 sqrt(k n) / eps^5.
+TesterParams ComputeL1TesterParams(int64_t n, int64_t k, double eps, double scale = 1.0);
+
+/// Theorem 5's lower-bound budget sqrt(k n) (the quantity the E6 sweep is
+/// expressed in units of).
+double LowerBoundBudget(int64_t n, int64_t k);
+
+}  // namespace histk
+
+#endif  // HISTK_STATS_BOUNDS_H_

@@ -1,0 +1,34 @@
+#include "stats/estimators.h"
+
+#include "util/common.h"
+
+namespace histk {
+
+GreedyEstimator::GreedyEstimator(SampleSet main, SampleSetGroup group)
+    : main_(std::move(main)), group_(std::move(group)) {
+  HISTK_CHECK_MSG(main_.n() == group_.n(), "main set / group domain mismatch");
+  HISTK_CHECK_MSG(main_.m() >= 1, "main sample set is empty");
+}
+
+GreedyEstimator GreedyEstimator::Draw(const Sampler& sampler, const GreedyParams& params,
+                                      Rng& rng) {
+  SampleSet main = SampleSet::Draw(sampler, params.l, rng);
+  SampleSetGroup group = SampleSetGroup::Draw(sampler, params.r, params.m, rng);
+  return GreedyEstimator(std::move(main), std::move(group));
+}
+
+double GreedyEstimator::WeightEstimate(Interval I) const {
+  return static_cast<double>(main_.Count(I)) / static_cast<double>(main_.m());
+}
+
+double GreedyEstimator::SumSquaresEstimate(Interval I) const {
+  return group_.MedianSumSquaresEstimate(I);
+}
+
+double GreedyEstimator::PieceCost(Interval I) const {
+  if (I.empty()) return 0.0;
+  const double y = WeightEstimate(I);
+  return SumSquaresEstimate(I) - y * y / static_cast<double>(I.length());
+}
+
+}  // namespace histk

@@ -1,0 +1,51 @@
+// The y_I / z_I estimators Algorithm 1 is built on.
+#ifndef HISTK_STATS_ESTIMATORS_H_
+#define HISTK_STATS_ESTIMATORS_H_
+
+#include <cstdint>
+
+#include "dist/sampler.h"
+#include "sample/sample_set.h"
+#include "stats/bounds.h"
+#include "util/interval.h"
+#include "util/rng.h"
+
+namespace histk {
+
+/// Bundles the main sample set S (for y_I = |S_I|/l) and the r collision
+/// sets S^1..S^r (for z_I = median_j coll(S^j_I)/C(|S^j|,2)), exposing the
+/// per-interval quantities Algorithm 1's cost function needs.
+class GreedyEstimator {
+ public:
+  GreedyEstimator(SampleSet main, SampleSetGroup group);
+
+  /// Draws l main samples and r sets of m samples per `params`.
+  static GreedyEstimator Draw(const Sampler& sampler, const GreedyParams& params,
+                              Rng& rng);
+
+  int64_t n() const { return main_.n(); }
+
+  /// y_I: estimate of the interval weight p(I) (Eq. 7).
+  double WeightEstimate(Interval I) const;
+
+  /// z_I: estimate of sum_{i in I} p_i^2 (Eq. 8 / Lemma 1).
+  double SumSquaresEstimate(Interval I) const;
+
+  /// The per-piece cost z_I - y_I^2/|I| from Algorithm 1's c_J: an estimate
+  /// of the SSE of making I one bucket at its best constant. 0 for empty I.
+  double PieceCost(Interval I) const;
+
+  const SampleSet& main() const { return main_; }
+  const SampleSetGroup& group() const { return group_; }
+
+  /// Samples consumed (l + r*m).
+  int64_t TotalSamples() const { return main_.m() + group_.TotalSamples(); }
+
+ private:
+  SampleSet main_;
+  SampleSetGroup group_;
+};
+
+}  // namespace histk
+
+#endif  // HISTK_STATS_ESTIMATORS_H_

@@ -1,0 +1,137 @@
+#include "stream/dyadic_count_min.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/common.h"
+#include "util/math_util.h"
+
+namespace histk {
+
+namespace {
+
+// 64-bit mix used as the per-row hash: h(key, id) spread through splitmix.
+inline uint64_t HashId(uint64_t key, uint64_t id) {
+  uint64_t x = key ^ (id + 0x9e3779b97f4a7c15ULL + (key << 6) + (key >> 2));
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+CountMin::CountMin(int64_t width, int64_t depth, uint64_t seed)
+    : width_(width), depth_(depth) {
+  HISTK_CHECK(width >= 1 && depth >= 1);
+  uint64_t state = seed;
+  hash_keys_.resize(static_cast<size_t>(depth));
+  for (auto& k : hash_keys_) k = SplitMix64(state);
+  counters_.assign(static_cast<size_t>(width * depth), 0);
+}
+
+void CountMin::Update(uint64_t id, int64_t delta) {
+  for (int64_t row = 0; row < depth_; ++row) {
+    const uint64_t h = HashId(hash_keys_[static_cast<size_t>(row)], id) %
+                       static_cast<uint64_t>(width_);
+    counters_[static_cast<size_t>(row * width_ + static_cast<int64_t>(h))] += delta;
+  }
+}
+
+int64_t CountMin::Estimate(uint64_t id) const {
+  int64_t best = std::numeric_limits<int64_t>::max();
+  for (int64_t row = 0; row < depth_; ++row) {
+    const uint64_t h = HashId(hash_keys_[static_cast<size_t>(row)], id) %
+                       static_cast<uint64_t>(width_);
+    best = std::min(best,
+                    counters_[static_cast<size_t>(row * width_ + static_cast<int64_t>(h))]);
+  }
+  return best;
+}
+
+DyadicCountMin::DyadicCountMin(int64_t n, double eps_cm, double delta_cm,
+                               uint64_t seed)
+    : n_(n) {
+  HISTK_CHECK(n >= 1);
+  HISTK_CHECK(eps_cm > 0.0 && eps_cm < 1.0);
+  HISTK_CHECK(delta_cm > 0.0 && delta_cm < 1.0);
+  padded_ = 1;
+  while (padded_ < n) padded_ <<= 1;
+  levels_ = 1;
+  for (int64_t size = padded_; size > 1; size >>= 1) ++levels_;
+
+  const int64_t width = CeilToInt64(M_E / eps_cm, 2);
+  const int64_t depth = CeilToInt64(std::log(1.0 / delta_cm), 1);
+  uint64_t state = seed;
+  sketches_.reserve(static_cast<size_t>(levels_));
+  for (int64_t lvl = 0; lvl < levels_; ++lvl) {
+    sketches_.emplace_back(width, depth, SplitMix64(state));
+  }
+}
+
+void DyadicCountMin::Update(int64_t i, int64_t delta) {
+  HISTK_CHECK(i >= 0 && i < n_);
+  total_ += delta;
+  uint64_t node = static_cast<uint64_t>(i);
+  for (int64_t lvl = 0; lvl < levels_; ++lvl) {
+    sketches_[static_cast<size_t>(lvl)].Update(node, delta);
+    node >>= 1;
+  }
+}
+
+int64_t DyadicCountMin::RangeCount(Interval I) const {
+  I = I.Intersect(Interval::Full(n_));
+  if (I.empty()) return 0;
+  // Standard dyadic cover: walk [lo, hi] inward, taking a node whenever it
+  // is aligned and fully inside.
+  int64_t lo = I.lo, hi = I.hi;
+  int64_t lvl = 0;
+  int64_t acc = 0;
+  while (lo <= hi) {
+    // Take the leaf-aligned block at the current level when possible.
+    if ((lo & 1) == 1) {
+      acc += sketches_[static_cast<size_t>(lvl)].Estimate(static_cast<uint64_t>(lo));
+      ++lo;
+    }
+    if ((hi & 1) == 0) {
+      acc += sketches_[static_cast<size_t>(lvl)].Estimate(static_cast<uint64_t>(hi));
+      --hi;
+    }
+    if (lo > hi) break;
+    lo >>= 1;
+    hi >>= 1;
+    ++lvl;
+    HISTK_CHECK(lvl < levels_);
+  }
+  return std::min(acc, total_);
+}
+
+int64_t DyadicCountMin::Quantile(double q) const {
+  HISTK_CHECK(q >= 0.0 && q <= 1.0);
+  const auto target = static_cast<int64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  int64_t lo = 0, hi = n_ - 1;
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (RangeCount(Interval(0, mid)) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+std::vector<int64_t> DyadicCountMin::EquiDepthEnds(int64_t k) const {
+  HISTK_CHECK(k >= 1);
+  std::vector<int64_t> ends;
+  for (int64_t j = 1; j < k; ++j) {
+    const int64_t e =
+        Quantile(static_cast<double>(j) / static_cast<double>(k));
+    if (ends.empty() || e > ends.back()) ends.push_back(e);
+  }
+  if (ends.empty() || ends.back() != n_ - 1) ends.push_back(n_ - 1);
+  return ends;
+}
+
+}  // namespace histk

@@ -1,0 +1,79 @@
+// Dyadic Count-Min sketch: approximate range counts over an update stream.
+//
+// One Count-Min sketch per dyadic level of [0, n); a range decomposes into
+// at most 2 log2(n) dyadic nodes, so RangeCount(I) sums that many
+// counter-minimums. Supports the [TGIK02]-style setting where the data is
+// an update stream (i, delta) rather than a sample oracle: it supplies the
+// interval-weight estimates (the y_I of Algorithm 1) without storing
+// samples, and drives the equi-depth-from-stream baseline.
+//
+// Guarantees (standard): each point estimate overshoots its true count by
+// at most eps_cm * (total count) with probability >= 1 - delta_cm, using
+// width ceil(e/eps_cm) and depth ceil(ln(1/delta_cm)).
+#ifndef HISTK_STREAM_DYADIC_COUNT_MIN_H_
+#define HISTK_STREAM_DYADIC_COUNT_MIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/interval.h"
+#include "util/rng.h"
+
+namespace histk {
+
+/// A single Count-Min sketch over a universe of ids.
+class CountMin {
+ public:
+  CountMin(int64_t width, int64_t depth, uint64_t seed);
+
+  void Update(uint64_t id, int64_t delta);
+
+  /// Min over rows of the hashed counters (classic CM point query; an
+  /// overestimate in expectation for non-negative streams).
+  int64_t Estimate(uint64_t id) const;
+
+  int64_t width() const { return width_; }
+  int64_t depth() const { return depth_; }
+
+ private:
+  int64_t width_;
+  int64_t depth_;
+  std::vector<uint64_t> hash_keys_;   // one per row
+  std::vector<int64_t> counters_;     // depth x width
+};
+
+/// Dyadic stack of Count-Min sketches for range queries over [0, n).
+class DyadicCountMin {
+ public:
+  /// eps_cm/delta_cm size every level's sketch; n is rounded up to a power
+  /// of two internally.
+  DyadicCountMin(int64_t n, double eps_cm, double delta_cm, uint64_t seed);
+
+  /// Stream update: item i gains `delta` occurrences. i must be in [0, n).
+  void Update(int64_t i, int64_t delta = 1);
+
+  /// Approximate number of stream items in I (clipped to [0, n)).
+  int64_t RangeCount(Interval I) const;
+
+  /// Total updates (exact).
+  int64_t total() const { return total_; }
+
+  int64_t n() const { return n_; }
+
+  /// Approximate q-quantile: smallest x with RangeCount([0, x]) >= q*total.
+  int64_t Quantile(double q) const;
+
+  /// Right endpoints of k approximately-equal-count pieces.
+  std::vector<int64_t> EquiDepthEnds(int64_t k) const;
+
+ private:
+  int64_t n_;         // original domain size
+  int64_t padded_;    // power of two
+  int64_t levels_;    // log2(padded_) + 1
+  int64_t total_ = 0;
+  std::vector<CountMin> sketches_;  // one per level; level 0 = leaves
+};
+
+}  // namespace histk
+
+#endif  // HISTK_STREAM_DYADIC_COUNT_MIN_H_

@@ -1,0 +1,41 @@
+#include "stream/reservoir.h"
+
+namespace histk {
+
+Reservoir::Reservoir(int64_t capacity, uint64_t seed) : capacity_(capacity), rng_(seed) {
+  HISTK_CHECK(capacity >= 1);
+  sample_.reserve(static_cast<size_t>(capacity));
+}
+
+void Reservoir::Add(int64_t item) {
+  ++seen_;
+  if (static_cast<int64_t>(sample_.size()) < capacity_) {
+    sample_.push_back(item);
+    return;
+  }
+  // Replace a random slot with probability capacity/seen (Algorithm R).
+  const uint64_t j = rng_.UniformInt(static_cast<uint64_t>(seen_));
+  if (j < static_cast<uint64_t>(capacity_)) {
+    sample_[static_cast<size_t>(j)] = item;
+  }
+}
+
+ReservoirBank::ReservoirBank(const std::vector<int64_t>& capacities, uint64_t seed) {
+  HISTK_CHECK(!capacities.empty());
+  uint64_t state = seed;
+  reservoirs_.reserve(capacities.size());
+  for (int64_t cap : capacities) {
+    reservoirs_.emplace_back(cap, SplitMix64(state));
+  }
+}
+
+void ReservoirBank::Add(int64_t item) {
+  for (auto& r : reservoirs_) r.Add(item);
+}
+
+const Reservoir& ReservoirBank::reservoir(int64_t i) const {
+  HISTK_CHECK(i >= 0 && i < size());
+  return reservoirs_[static_cast<size_t>(i)];
+}
+
+}  // namespace histk

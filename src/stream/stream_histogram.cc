@@ -1,0 +1,66 @@
+#include "stream/stream_histogram.h"
+
+#include <vector>
+
+#include "sample/sample_set.h"
+#include "stats/estimators.h"
+#include "util/common.h"
+
+namespace histk {
+
+StreamHistogramBuilder::StreamHistogramBuilder(int64_t n,
+                                               const StreamHistogramOptions& options)
+    : n_(n),
+      options_(options),
+      params_(ComputeGreedyParams(n, options.k, options.eps, options.sample_scale)),
+      sketch_(n, options.cm_eps, options.cm_delta, options.seed ^ 0xC0FFEE) {
+  std::vector<int64_t> capacities;
+  capacities.push_back(params_.l);
+  for (int64_t i = 0; i < params_.r; ++i) capacities.push_back(params_.m);
+  bank_ = std::make_unique<ReservoirBank>(capacities, options.seed);
+}
+
+void StreamHistogramBuilder::Add(int64_t item) {
+  HISTK_CHECK(item >= 0 && item < n_);
+  bank_->Add(item);
+  sketch_.Update(item, 1);
+}
+
+int64_t StreamHistogramBuilder::stream_size() const {
+  return bank_->reservoir(0).stream_size();
+}
+
+LearnResult StreamHistogramBuilder::Finalize() const {
+  HISTK_CHECK_MSG(stream_size() > 0, "empty stream");
+  SampleSet main = SampleSet::FromDraws(n_, bank_->reservoir(0).sample());
+  std::vector<SampleSet> sets;
+  sets.reserve(static_cast<size_t>(params_.r));
+  for (int64_t i = 1; i <= params_.r; ++i) {
+    sets.push_back(SampleSet::FromDraws(n_, bank_->reservoir(i).sample()));
+  }
+  const GreedyEstimator estimator(std::move(main), SampleSetGroup(std::move(sets)));
+
+  LearnOptions lopt;
+  lopt.k = options_.k;
+  lopt.eps = options_.eps;
+  lopt.strategy = CandidateStrategy::kSampleEndpoints;
+  return LearnHistogramWithEstimator(estimator, lopt, params_);
+}
+
+TilingHistogram StreamHistogramBuilder::FinalizeEquiDepth() const {
+  HISTK_CHECK_MSG(stream_size() > 0, "empty stream");
+  const std::vector<int64_t> ends = sketch_.EquiDepthEnds(options_.k);
+  std::vector<double> values;
+  values.reserve(ends.size());
+  const double total = static_cast<double>(sketch_.total());
+  int64_t lo = 0;
+  for (int64_t end : ends) {
+    const Interval piece(lo, end);
+    values.push_back(static_cast<double>(sketch_.RangeCount(piece)) /
+                     (total * static_cast<double>(piece.length())));
+    lo = end + 1;
+  }
+  return TilingHistogram::FromRightEnds(n_, ends, std::move(values));
+}
+
+}  // namespace histk

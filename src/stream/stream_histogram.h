@@ -1,0 +1,72 @@
+// One-pass histogram construction from an item stream — the massive-data
+// deployment of the paper's learner ([TGIK02]/[GGI+02] setting).
+//
+// StreamHistogramBuilder ingests items in a single pass while maintaining:
+//   * r+1 independent reservoirs, which after the pass stand in for the
+//     learner's main sample set and its r collision sets (a uniform
+//     reservoir is a without-replacement sample of the empirical
+//     distribution; for reservoirs << stream length the collision
+//     statistics match the i.i.d. analysis), and
+//   * a dyadic Count-Min sketch for range counts (equi-depth baseline and
+//     diagnostics).
+// Finalize() runs Algorithm 1 (Theorem 2 candidates) on the reservoirs.
+#ifndef HISTK_STREAM_STREAM_HISTOGRAM_H_
+#define HISTK_STREAM_STREAM_HISTOGRAM_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/greedy.h"
+#include "stream/dyadic_count_min.h"
+#include "stream/reservoir.h"
+
+namespace histk {
+
+/// Configuration for the one-pass builder.
+struct StreamHistogramOptions {
+  int64_t k = 8;
+  double eps = 0.15;
+  /// Scales the reservoir capacities derived from the paper's l and m
+  /// formulas (reservoirs must stay well below the stream length for the
+  /// sampling analysis to apply).
+  double sample_scale = 1.0;
+  /// Count-Min accuracy for the sketch side.
+  double cm_eps = 0.01;
+  double cm_delta = 0.01;
+  uint64_t seed = 1;
+};
+
+/// One-pass stream consumer producing a near-v-optimal histogram.
+class StreamHistogramBuilder {
+ public:
+  StreamHistogramBuilder(int64_t n, const StreamHistogramOptions& options);
+
+  /// Ingests one item (a value in [0, n)).
+  void Add(int64_t item);
+
+  /// Items ingested so far.
+  int64_t stream_size() const;
+
+  /// The paper's learner run on the reservoir samples. Requires at least
+  /// one ingested item.
+  LearnResult Finalize() const;
+
+  /// Equi-depth histogram straight from the Count-Min sketch (baseline).
+  TilingHistogram FinalizeEquiDepth() const;
+
+  /// Range-count estimate from the sketch (diagnostics / query answering).
+  int64_t RangeCount(Interval I) const { return sketch_.RangeCount(I); }
+
+  const GreedyParams& params() const { return params_; }
+
+ private:
+  int64_t n_;
+  StreamHistogramOptions options_;
+  GreedyParams params_;
+  std::unique_ptr<ReservoirBank> bank_;  // [0] = main, [1..r] = collision sets
+  DyadicCountMin sketch_;
+};
+
+}  // namespace histk
+
+#endif  // HISTK_STREAM_STREAM_HISTOGRAM_H_

@@ -1,0 +1,48 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/common.h"
+
+namespace histk {
+
+std::string AsciiPlot(const std::vector<double>& values, int64_t buckets,
+                      int64_t width) {
+  HISTK_CHECK(!values.empty() && buckets >= 1 && width >= 1);
+  const int64_t n = static_cast<int64_t>(values.size());
+  buckets = std::min(buckets, n);
+
+  std::vector<double> bucket_mean(static_cast<size_t>(buckets), 0.0);
+  std::vector<int64_t> lo(static_cast<size_t>(buckets)), hi(static_cast<size_t>(buckets));
+  for (int64_t b = 0; b < buckets; ++b) {
+    lo[static_cast<size_t>(b)] = n * b / buckets;
+    hi[static_cast<size_t>(b)] = n * (b + 1) / buckets - 1;
+    double acc = 0.0;
+    for (int64_t i = lo[static_cast<size_t>(b)]; i <= hi[static_cast<size_t>(b)]; ++i) {
+      acc += values[static_cast<size_t>(i)];
+    }
+    bucket_mean[static_cast<size_t>(b)] =
+        acc / static_cast<double>(hi[static_cast<size_t>(b)] -
+                                  lo[static_cast<size_t>(b)] + 1);
+  }
+  const double peak = *std::max_element(bucket_mean.begin(), bucket_mean.end());
+
+  std::string out;
+  char head[64];
+  for (int64_t b = 0; b < buckets; ++b) {
+    const double v = bucket_mean[static_cast<size_t>(b)];
+    const int64_t bar =
+        peak > 0.0 ? static_cast<int64_t>(v / peak * static_cast<double>(width) + 0.5)
+                   : 0;
+    std::snprintf(head, sizeof(head), "[%5lld,%5lld] %9.6f |",
+                  static_cast<long long>(lo[static_cast<size_t>(b)]),
+                  static_cast<long long>(hi[static_cast<size_t>(b)]), v);
+    out += head;
+    out.append(static_cast<size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace histk

@@ -1,0 +1,21 @@
+// ASCII bar rendering of distributions and histograms — the paper's first
+// listed histogram use case is data visualization; this keeps the examples
+// and CLI self-contained.
+#ifndef HISTK_UTIL_ASCII_PLOT_H_
+#define HISTK_UTIL_ASCII_PLOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace histk {
+
+/// Renders `values` as a horizontal bar chart: one row per bucket of
+/// `buckets` equal slices of the index range, bar length proportional to
+/// the bucket's mean value. `width` is the maximum bar width.
+std::string AsciiPlot(const std::vector<double>& values, int64_t buckets = 16,
+                      int64_t width = 50);
+
+}  // namespace histk
+
+#endif  // HISTK_UTIL_ASCII_PLOT_H_

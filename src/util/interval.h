@@ -1,0 +1,72 @@
+// Closed integer intervals over the domain [0, n).
+//
+// The paper works over [n] = {1, ..., n}; histk uses the C++-natural 0-based
+// domain {0, ..., n-1}. An Interval represents the inclusive range
+// [lo, hi]; the empty interval is canonically {lo=0, hi=-1}.
+#ifndef HISTK_UTIL_INTERVAL_H_
+#define HISTK_UTIL_INTERVAL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "util/common.h"
+
+namespace histk {
+
+/// Inclusive integer interval [lo, hi]. Empty iff lo > hi.
+struct Interval {
+  int64_t lo = 0;
+  int64_t hi = -1;
+
+  constexpr Interval() = default;
+  constexpr Interval(int64_t lo_in, int64_t hi_in) : lo(lo_in), hi(hi_in) {}
+
+  /// The canonical empty interval.
+  static constexpr Interval Empty() { return Interval(0, -1); }
+
+  /// The full domain [0, n).
+  static constexpr Interval Full(int64_t n) { return Interval(0, n - 1); }
+
+  constexpr bool empty() const { return lo > hi; }
+
+  /// Number of integers in the interval (0 if empty).
+  constexpr int64_t length() const { return empty() ? 0 : hi - lo + 1; }
+
+  constexpr bool Contains(int64_t i) const { return lo <= i && i <= hi; }
+
+  constexpr bool Contains(const Interval& other) const {
+    return other.empty() || (lo <= other.lo && other.hi <= hi);
+  }
+
+  constexpr bool Intersects(const Interval& other) const {
+    return !empty() && !other.empty() && lo <= other.hi && other.lo <= hi;
+  }
+
+  /// Intersection (empty interval if disjoint).
+  constexpr Interval Intersect(const Interval& other) const {
+    Interval r(std::max(lo, other.lo), std::min(hi, other.hi));
+    return r.empty() ? Empty() : r;
+  }
+
+  constexpr bool operator==(const Interval& other) const {
+    return (empty() && other.empty()) || (lo == other.lo && hi == other.hi);
+  }
+  constexpr bool operator!=(const Interval& other) const { return !(*this == other); }
+
+  std::string ToString() const {
+    if (empty()) return "[]";
+    return "[" + std::to_string(lo) + "," + std::to_string(hi) + "]";
+  }
+};
+
+/// Strict ordering by (lo, hi); empty intervals sort first.
+inline bool operator<(const Interval& a, const Interval& b) {
+  if (a.empty() != b.empty()) return a.empty();
+  if (a.lo != b.lo) return a.lo < b.lo;
+  return a.hi < b.hi;
+}
+
+}  // namespace histk
+
+#endif  // HISTK_UTIL_INTERVAL_H_

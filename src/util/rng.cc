@@ -1,0 +1,101 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace histk {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+  // All-zero state is the one invalid state for xoshiro; splitmix64 cannot
+  // produce four zero outputs in a row, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  HISTK_CHECK(bound > 0);
+  // Lemire's method: multiply-shift with rejection of the biased low range.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInRange(int64_t lo, int64_t hi) {
+  HISTK_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::Normal() {
+  // Box–Muller; guard against log(0).
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork() { return Rng(NextU64() ^ 0xd1b54a32d192ed03ULL); }
+
+std::vector<int64_t> Rng::SampleDistinct(int64_t n, int64_t count) {
+  HISTK_CHECK(count >= 0 && count <= n);
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(count));
+  if (count > n / 2) {
+    // Partial Fisher–Yates over the whole domain.
+    std::vector<int64_t> all(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+    Shuffle(all);
+    out.assign(all.begin(), all.begin() + count);
+  } else {
+    // Floyd's algorithm: count iterations, each O(log) in the result set.
+    std::set<int64_t> chosen;
+    for (int64_t j = n - count; j < n; ++j) {
+      int64_t t = UniformInRange(0, j);
+      if (!chosen.insert(t).second) chosen.insert(j);
+    }
+    out.assign(chosen.begin(), chosen.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace histk

@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation.
+//
+// xoshiro256** seeded via splitmix64 — fast, high-quality, and reproducible
+// across platforms (unlike std::mt19937 + std::uniform_*_distribution whose
+// outputs are implementation-defined). All randomized algorithms in histk
+// take an explicit Rng&, so every experiment is replayable from a seed.
+#ifndef HISTK_UTIL_RNG_H_
+#define HISTK_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace histk {
+
+/// xoshiro256** generator. Not thread-safe; fork independent streams with
+/// Fork() for parallel or nested use.
+class Rng {
+ public:
+  /// Seeds the 256-bit state from a 64-bit seed via splitmix64.
+  explicit Rng(uint64_t seed);
+
+  /// Uniform on [0, 2^64).
+  uint64_t NextU64();
+
+  /// Uniform on [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Uniform on {0, ..., bound-1}; bound must be positive. Unbiased
+  /// (Lemire's nearly-divisionless rejection method).
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform on {lo, ..., hi} inclusive.
+  int64_t UniformInRange(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state replayable
+  /// regardless of call pattern).
+  double Normal();
+
+  /// Bernoulli(p).
+  bool Bernoulli(double p);
+
+  /// A new generator with state derived from (but independent of) this one.
+  Rng Fork();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples `count` distinct elements of {0,...,n-1} (Floyd's algorithm
+  /// for count << n; partial shuffle otherwise). Result is sorted.
+  std::vector<int64_t> SampleDistinct(int64_t n, int64_t count);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// The splitmix64 step, exposed for seeding tables and hash mixing.
+uint64_t SplitMix64(uint64_t& state);
+
+}  // namespace histk
+
+#endif  // HISTK_UTIL_RNG_H_

@@ -1,0 +1,47 @@
+// Console table / CSV rendering for the experiment harnesses.
+//
+// Every bench binary regenerates one experiment table (see EXPERIMENTS.md);
+// Table keeps their output format uniform and machine-extractable.
+#ifndef HISTK_UTIL_TABLE_H_
+#define HISTK_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace histk {
+
+/// A simple right-aligned console table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with aligned columns and a rule under the header.
+  void Print(std::ostream& os) const;
+
+  /// Renders as CSV (no quoting: cells must not contain commas).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places.
+std::string FmtF(double v, int digits = 4);
+
+/// Formats a double in scientific notation with `digits` places.
+std::string FmtE(double v, int digits = 2);
+
+/// Formats an integer with thousands separators (1_234_567).
+std::string FmtI(int64_t v);
+
+}  // namespace histk
+
+#endif  // HISTK_UTIL_TABLE_H_

@@ -1,0 +1,30 @@
+// Wall-clock timer for benches and experiment harnesses.
+#ifndef HISTK_UTIL_TIMER_H_
+#define HISTK_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace histk {
+
+/// Monotonic wall-clock stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace histk
+
+#endif  // HISTK_UTIL_TIMER_H_

@@ -1,0 +1,39 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace histk {
+namespace {
+
+TEST(AsciiPlotTest, OneRowPerBucket) {
+  const std::string plot = AsciiPlot(std::vector<double>(64, 1.0), 8, 20);
+  EXPECT_EQ(std::count(plot.begin(), plot.end(), '\n'), 8);
+}
+
+TEST(AsciiPlotTest, PeakGetsFullWidth) {
+  std::vector<double> v(16, 0.0);
+  for (int i = 0; i < 4; ++i) v[static_cast<size_t>(i)] = 2.0;  // first bucket peak
+  const std::string plot = AsciiPlot(v, 4, 10);
+  const size_t first_line_end = plot.find('\n');
+  const std::string first = plot.substr(0, first_line_end);
+  EXPECT_EQ(std::count(first.begin(), first.end(), '#'), 10);
+  // Zero buckets get no bar.
+  const std::string rest = plot.substr(first_line_end + 1);
+  EXPECT_EQ(std::count(rest.begin(), rest.end(), '#'), 0);
+}
+
+TEST(AsciiPlotTest, BucketsClampToDomain) {
+  // More buckets than elements: one bucket per element.
+  const std::string plot = AsciiPlot({1.0, 2.0}, 10, 5);
+  EXPECT_EQ(std::count(plot.begin(), plot.end(), '\n'), 2);
+}
+
+TEST(AsciiPlotTest, AllZerosRendersWithoutBars) {
+  const std::string plot = AsciiPlot(std::vector<double>(8, 0.0), 4, 10);
+  EXPECT_EQ(std::count(plot.begin(), plot.end(), '#'), 0);
+}
+
+}  // namespace
+}  // namespace histk

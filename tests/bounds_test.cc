@@ -1,0 +1,95 @@
+#include "stats/bounds.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace histk {
+namespace {
+
+TEST(BoundsTest, GreedyParamsMatchFormulas) {
+  const int64_t n = 1024, k = 4;
+  const double eps = 0.1;
+  const GreedyParams gp = ComputeGreedyParams(n, k, eps);
+  const double xi = eps / (k * std::log(1.0 / eps));
+  EXPECT_NEAR(gp.xi, xi, 1e-12);
+  EXPECT_EQ(gp.l, static_cast<int64_t>(
+                      std::ceil(std::log(12.0 * n * n) / (2 * xi * xi))));
+  EXPECT_EQ(gp.r, static_cast<int64_t>(std::ceil(std::log(6.0 * n * n))));
+  EXPECT_EQ(gp.m, static_cast<int64_t>(std::ceil(24.0 / (xi * xi))));
+  EXPECT_EQ(gp.iterations, static_cast<int64_t>(std::ceil(k * std::log(1.0 / eps))));
+  EXPECT_EQ(gp.TotalSamples(), gp.l + gp.r * gp.m);
+}
+
+TEST(BoundsTest, GreedyScaleShrinksSamplesOnly) {
+  const GreedyParams full = ComputeGreedyParams(512, 8, 0.2);
+  const GreedyParams half = ComputeGreedyParams(512, 8, 0.2, 0.5);
+  EXPECT_NEAR(static_cast<double>(half.l) / static_cast<double>(full.l), 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(half.m) / static_cast<double>(full.m), 0.5, 0.01);
+  EXPECT_EQ(half.r, full.r);
+  EXPECT_EQ(half.iterations, full.iterations);
+}
+
+TEST(BoundsTest, GreedySamplesGrowLogarithmicallyInN) {
+  const GreedyParams a = ComputeGreedyParams(1 << 10, 4, 0.1);
+  const GreedyParams b = ComputeGreedyParams(1 << 20, 4, 0.1);
+  // l ~ ln(12 n^2): exact predicted ratio.
+  const double predicted = std::log(12.0 * std::pow(2.0, 40)) /
+                           std::log(12.0 * std::pow(2.0, 20));
+  EXPECT_NEAR(static_cast<double>(b.l) / static_cast<double>(a.l), predicted, 0.01);
+}
+
+TEST(BoundsTest, GreedySamplesGrowQuadraticallyInKOverEps) {
+  const GreedyParams base = ComputeGreedyParams(1024, 2, 0.2);
+  const GreedyParams kx2 = ComputeGreedyParams(1024, 4, 0.2);
+  // xi halves -> l roughly quadruples.
+  EXPECT_NEAR(static_cast<double>(kx2.l) / static_cast<double>(base.l), 4.0, 0.2);
+}
+
+TEST(BoundsTest, L2TesterParamsMatchFormulas) {
+  const int64_t n = 4096;
+  const double eps = 0.25;
+  const TesterParams tp = ComputeL2TesterParams(n, eps);
+  EXPECT_EQ(tp.r, static_cast<int64_t>(std::ceil(16.0 * std::log(6.0 * n * n))));
+  EXPECT_EQ(tp.m, static_cast<int64_t>(
+                      std::ceil(64.0 * std::log(static_cast<double>(n)) /
+                                std::pow(eps, 4.0))));
+}
+
+TEST(BoundsTest, L1TesterParamsMatchFormulas) {
+  const int64_t n = 4096, k = 4;
+  const double eps = 0.25;
+  const TesterParams tp = ComputeL1TesterParams(n, k, eps);
+  EXPECT_EQ(tp.m,
+            static_cast<int64_t>(std::ceil(
+                8192.0 * std::sqrt(static_cast<double>(k * n)) / std::pow(eps, 5.0))));
+}
+
+TEST(BoundsTest, L1TesterScalesWithSqrtKn) {
+  const TesterParams a = ComputeL1TesterParams(1 << 10, 2, 0.3);
+  const TesterParams b = ComputeL1TesterParams(1 << 14, 2, 0.3);
+  // n grew 16x -> m grows 4x.
+  EXPECT_NEAR(static_cast<double>(b.m) / static_cast<double>(a.m), 4.0, 0.05);
+  const TesterParams c = ComputeL1TesterParams(1 << 10, 8, 0.3);
+  EXPECT_NEAR(static_cast<double>(c.m) / static_cast<double>(a.m), 2.0, 0.05);
+}
+
+TEST(BoundsTest, L2TesterIndependentOfK) {
+  // Theorem 3's sample count does not involve k at all.
+  EXPECT_EQ(ComputeL2TesterParams(2048, 0.2).m, ComputeL2TesterParams(2048, 0.2).m);
+}
+
+TEST(BoundsTest, LowerBoundBudget) {
+  EXPECT_DOUBLE_EQ(LowerBoundBudget(100, 4), 20.0);
+  EXPECT_DOUBLE_EQ(LowerBoundBudget(1, 1), 1.0);
+}
+
+TEST(BoundsDeathTest, RejectsBadArguments) {
+  EXPECT_DEATH(ComputeGreedyParams(1024, 4, 0.0), "eps");
+  EXPECT_DEATH(ComputeGreedyParams(1024, 4, 1.0), "eps");
+  EXPECT_DEATH(ComputeGreedyParams(1024, 4, 0.5, -1.0), "scale");
+  EXPECT_DEATH(ComputeL1TesterParams(1024, 0, 0.5), "k >= 1");
+}
+
+}  // namespace
+}  // namespace histk

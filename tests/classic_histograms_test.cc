@@ -1,0 +1,148 @@
+#include "baseline/classic_histograms.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/voptimal_dp.h"
+#include "dist/generators.h"
+#include "dist/sampler.h"
+#include "util/rng.h"
+
+namespace histk {
+namespace {
+
+SampleSet DrawFrom(const Distribution& d, int64_t m, uint64_t seed) {
+  const AliasSampler sampler(d);
+  Rng rng(seed);
+  return SampleSet::Draw(sampler, m, rng);
+}
+
+TEST(EquiWidthTest, PiecesHaveEqualLength) {
+  const SampleSet s = DrawFrom(Distribution::Uniform(100), 10000, 1);
+  const TilingHistogram h = EquiWidthFromSamples(5, s);
+  ASSERT_EQ(h.k(), 5);
+  for (const Interval& piece : h.pieces()) EXPECT_EQ(piece.length(), 20);
+}
+
+TEST(EquiWidthTest, TotalMassNearOne) {
+  const SampleSet s = DrawFrom(MakeZipf(64, 1.2), 50000, 2);
+  const TilingHistogram h = EquiWidthFromSamples(8, s);
+  EXPECT_NEAR(h.Mass(Interval::Full(64)), 1.0, 1e-9);
+}
+
+TEST(EquiWidthTest, ExactMatchesSampledInTheLimit) {
+  const Distribution d = MakeZipf(50, 1.0);
+  const TilingHistogram exact = EquiWidthExact(d, 5);
+  const TilingHistogram sampled = EquiWidthFromSamples(5, DrawFrom(d, 400000, 3));
+  for (int64_t i = 0; i < 50; ++i) {
+    EXPECT_NEAR(sampled.Value(i), exact.Value(i), 0.01);
+  }
+}
+
+TEST(EquiWidthTest, SmallDomainClampsK) {
+  const SampleSet s = DrawFrom(Distribution::Uniform(3), 100, 4);
+  EXPECT_LE(EquiWidthFromSamples(10, s).k(), 3);
+}
+
+TEST(EquiDepthTest, PiecesBalanceSampleMass) {
+  const SampleSet s = DrawFrom(MakeZipf(256, 1.5), 100000, 5);
+  const TilingHistogram h = EquiDepthFromSamples(8, s);
+  EXPECT_LE(h.k(), 8);
+  // Every piece except possibly heavy singleton-ish ones should hold
+  // roughly m/k samples; check no piece exceeds ~2 shares unless it is a
+  // single element (unsplittable).
+  const int64_t share = s.m() / 8;
+  for (const Interval& piece : h.pieces()) {
+    if (piece.length() > 1) {
+      EXPECT_LE(s.Count(piece), 3 * share) << piece.ToString();
+    }
+  }
+}
+
+TEST(EquiDepthTest, UniformDataGivesNearEqualWidths) {
+  const SampleSet s = DrawFrom(Distribution::Uniform(100), 100000, 6);
+  const TilingHistogram h = EquiDepthFromSamples(5, s);
+  ASSERT_EQ(h.k(), 5);
+  for (const Interval& piece : h.pieces()) {
+    EXPECT_NEAR(static_cast<double>(piece.length()), 20.0, 6.0);
+  }
+}
+
+TEST(EquiDepthTest, HandlesPointMass) {
+  const SampleSet s = DrawFrom(Distribution::PointMass(64, 10), 1000, 7);
+  const TilingHistogram h = EquiDepthFromSamples(4, s);
+  EXPECT_GE(h.k(), 1);
+  EXPECT_NEAR(h.Mass(Interval::Full(64)), 1.0, 1e-9);
+}
+
+TEST(CompressedTest, HeavyElementsBecomeSingletons) {
+  // Two heavy atoms on a uniform floor.
+  std::vector<double> w(50, 1.0);
+  w[10] = 200.0;
+  w[30] = 150.0;
+  const Distribution d = Distribution::FromWeights(w);
+  const SampleSet s = DrawFrom(d, 50000, 8);
+  const TilingHistogram h = CompressedFromSamples(8, s);
+  bool found10 = false, found30 = false;
+  for (const Interval& piece : h.pieces()) {
+    if (piece == Interval(10, 10)) found10 = true;
+    if (piece == Interval(30, 30)) found30 = true;
+  }
+  EXPECT_TRUE(found10);
+  EXPECT_TRUE(found30);
+  EXPECT_LE(h.k(), 8);
+}
+
+TEST(CompressedTest, NoHeavyFallsBackToEquiDepth) {
+  const SampleSet s = DrawFrom(Distribution::Uniform(64), 10000, 9);
+  const TilingHistogram h = CompressedFromSamples(4, s);
+  EXPECT_LE(h.k(), 4);
+  EXPECT_NEAR(h.Mass(Interval::Full(64)), 1.0, 1e-9);
+}
+
+TEST(CompressedTest, BeatsEquiDepthOnSpikyData) {
+  // Spiky data is the design case for compressed histograms.
+  std::vector<double> w(128, 1.0);
+  w[5] = 500;
+  w[64] = 400;
+  w[100] = 300;
+  const Distribution d = Distribution::FromWeights(w);
+  const SampleSet s = DrawFrom(d, 200000, 10);
+  const double comp_err = CompressedFromSamples(8, s).L2SquaredErrorTo(d);
+  const double depth_err = EquiDepthFromSamples(8, s).L2SquaredErrorTo(d);
+  EXPECT_LT(comp_err, depth_err);
+}
+
+TEST(GreedyMergeTest, ReachesExactlyKPieces) {
+  Rng rng(11);
+  const Distribution d = MakeNoisy(Distribution::Uniform(64), 0.9, rng);
+  for (int64_t k : {1, 4, 16}) {
+    EXPECT_EQ(GreedyMergeExact(d, k).k(), k);
+  }
+}
+
+TEST(GreedyMergeTest, ZeroErrorOnExactHistograms) {
+  Rng rng(12);
+  const HistogramSpec spec = MakeRandomKHistogram(96, 6, rng);
+  const TilingHistogram h = GreedyMergeExact(spec.dist, 6);
+  EXPECT_NEAR(h.L2SquaredErrorTo(spec.dist), 0.0, 1e-12);
+}
+
+TEST(GreedyMergeTest, NearOptimalButNeverBetterThanDp) {
+  Rng rng(13);
+  const Distribution d = MakeNoisy(MakeZipf(80, 1.0), 0.6, rng);
+  for (int64_t k : {2, 5, 10}) {
+    const double merge_err = GreedyMergeExact(d, k).L2SquaredErrorTo(d);
+    const double opt = VOptimalSse(d, k);
+    EXPECT_GE(merge_err, opt - 1e-12);
+    EXPECT_LT(merge_err, 5.0 * opt + 1e-6);  // heuristic quality sanity band
+  }
+}
+
+TEST(GreedyMergeTest, SinglePieceEqualsGlobalMean) {
+  const Distribution d = MakeZipf(32, 0.8);
+  const TilingHistogram h = GreedyMergeExact(d, 1);
+  EXPECT_NEAR(h.Value(0), d.IntervalMean(Interval::Full(32)), 1e-12);
+}
+
+}  // namespace
+}  // namespace histk

@@ -1,0 +1,184 @@
+// Theory-conformance suite: empirical verification of the paper's
+// probabilistic building blocks. Each test estimates a failure probability
+// by Monte Carlo and checks it is within the bound the paper derives (with
+// slack for Monte Carlo noise). These are the claims every theorem's "with
+// high probability" rests on.
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "core/histk.h"
+#include "util/math_util.h"
+
+namespace histk {
+namespace {
+
+// Fraction of trials where pred fails.
+double FailureRate(int trials, const std::function<bool(Rng&)>& pred, uint64_t seed) {
+  Rng rng(seed);
+  int failures = 0;
+  for (int t = 0; t < trials; ++t) {
+    Rng trial_rng = rng.Fork();
+    if (!pred(trial_rng)) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(trials);
+}
+
+// ---------------------------------------------------------------- Eq. (2)
+// Pr[ |coll(S_I)/C(|S_I|,2) - ||p_I||^2| > eps ] < (1/eps)^2 / |S_I|.
+TEST(ConcentrationTest, Eq2CondCollisionRateDeviation) {
+  const Distribution p = MakeZipf(64, 0.8);
+  const Interval I = Interval::Full(64);
+  const double truth = p.Restrict(I).L2NormSquared();
+  const AliasSampler sampler(p);
+  const double eps = 0.02;
+  const int64_t m = 4000;  // bound: (1/eps)^2 / m = 2500/4000 = 0.625
+  const double bound = (1.0 / (eps * eps)) / static_cast<double>(m);
+  const double rate = FailureRate(
+      400,
+      [&](Rng& rng) {
+        const SampleSet s = SampleSet::Draw(sampler, m, rng);
+        const auto z = s.CondCollisionRate(I);
+        return z.has_value() && std::fabs(*z - truth) <= eps;
+      },
+      2001);
+  // Chebyshev is loose; observed failure rate must sit below the bound.
+  EXPECT_LT(rate, bound);
+}
+
+// ---------------------------------------------------------------- Lemma 1
+// m >= 24/eps^2 samples => Pr[|coll(S_I)/C(m,2) - sum_I p^2| <= eps*p(I)]
+// > 3/4.
+TEST(ConcentrationTest, Lemma1SumSquaresEstimate) {
+  const Distribution p = MakeZipf(64, 1.2);
+  const double eps = 0.1;
+  const int64_t m = CeilToInt64(24.0 / (eps * eps), 2);  // 2400
+  const AliasSampler sampler(p);
+  for (const Interval I : {Interval(0, 7), Interval(8, 63), Interval::Full(64)}) {
+    const double truth = p.SumSquares(I);
+    const double slack = eps * p.Weight(I);
+    const double rate = FailureRate(
+        300,
+        [&](Rng& rng) {
+          const SampleSet s = SampleSet::Draw(sampler, m, rng);
+          return std::fabs(s.SumSquaresEstimate(I) - truth) <= slack;
+        },
+        2002);
+    EXPECT_LT(rate, 0.25) << I.ToString();  // Lemma 1: failure < 1/4
+  }
+}
+
+// ---------------------------------------------------------------- Eq. (7)
+// l = ln(12 n^2)/(2 xi^2) samples give |y_I - p(I)| <= xi for ALL intervals
+// simultaneously w.h.p. (union bound over n^2 intervals).
+TEST(ConcentrationTest, Eq7SimultaneousWeightEstimates) {
+  const int64_t n = 32;
+  const Distribution p = MakeZipf(n, 1.0);
+  const double xi = 0.05;
+  const int64_t l =
+      CeilToInt64(std::log(12.0 * static_cast<double>(n) * static_cast<double>(n)) /
+                  (2.0 * xi * xi));
+  const AliasSampler sampler(p);
+  const double rate = FailureRate(
+      60,
+      [&](Rng& rng) {
+        const SampleSet s = SampleSet::Draw(sampler, l, rng);
+        for (int64_t a = 0; a < n; ++a) {
+          for (int64_t b = a; b < n; ++b) {
+            const Interval I(a, b);
+            const double y =
+                static_cast<double>(s.Count(I)) / static_cast<double>(l);
+            if (std::fabs(y - p.Weight(I)) > xi) return false;
+          }
+        }
+        return true;
+      },
+      2003);
+  EXPECT_LT(rate, 1.0 / 6.0);  // paper: "with high constant probability"
+}
+
+// ---------------------------------------------------------------- Fact 1
+TEST(ConcentrationTest, Fact1WeightCountRelations) {
+  const int64_t n = 64;
+  const double eps = 0.25;
+  Rng gen(2004);
+  const Distribution p = MakeNoisy(MakeZipf(n, 0.7), 0.3, gen);
+  // m >= 48 ln(2 n^2 gamma) / eps^2 with gamma = 6.
+  const int64_t m = CeilToInt64(
+      48.0 * std::log(2.0 * static_cast<double>(n * n) * 6.0) / (eps * eps));
+  const AliasSampler sampler(p);
+
+  const double rate = FailureRate(
+      120,
+      [&](Rng& rng) {
+        const SampleSet s = SampleSet::Draw(sampler, m, rng);
+        for (int64_t a = 0; a < n; a += 3) {
+          for (int64_t b = a; b < n; b += 5) {
+            const Interval I(a, b);
+            const double w = p.Weight(I);
+            const double frac =
+                static_cast<double>(s.Count(I)) / static_cast<double>(m);
+            // Item 1: heavy intervals concentrate within [w/2, 3w/2].
+            if (w >= eps * eps / 4.0 && (frac < w / 2.0 || frac > 1.5 * w)) {
+              return false;
+            }
+            // Item 2: seeing many samples certifies weight.
+            if (frac >= eps * eps / 2.0 && w <= eps * eps / 4.0) return false;
+            // Item 3: seeing few samples certifies lightness.
+            if (frac < eps * eps / 2.0 && w >= eps * eps) return false;
+          }
+        }
+        return true;
+      },
+      2005);
+  EXPECT_LT(rate, 1.0 / 6.0);  // Fact 1: failure < 1/gamma = 1/6
+}
+
+// ------------------------------------------------------- median-of-r boost
+// Chernoff on the median: if each replicate succeeds w.p. >= 3/4, the
+// median of r replicates fails exponentially rarely. Verified end to end
+// through SampleSetGroup.
+TEST(ConcentrationTest, MedianOfRSharpensLemma1) {
+  const Distribution p = MakeZipf(64, 1.2);
+  const Interval I(0, 15);
+  const double truth = p.SumSquares(I);
+  const double eps = 0.1;
+  const int64_t m = CeilToInt64(24.0 / (eps * eps), 2);
+  const double slack = eps * p.Weight(I);
+  const AliasSampler sampler(p);
+
+  auto rate_for_r = [&](int64_t r, uint64_t seed) {
+    return FailureRate(
+        200,
+        [&](Rng& rng) {
+          const SampleSetGroup g = SampleSetGroup::Draw(sampler, r, m, rng);
+          return std::fabs(g.MedianSumSquaresEstimate(I) - truth) <= slack;
+        },
+        seed);
+  };
+  const double r1 = rate_for_r(1, 2006);
+  const double r9 = rate_for_r(9, 2007);
+  EXPECT_LT(r9, 0.05);             // exponentially boosted
+  EXPECT_LE(r9, r1 + 0.02);        // never worse than a single replicate
+}
+
+// ---------------------------------------------------- uniform flat interval
+// For an exactly flat interval, the tester's z statistic concentrates at
+// 1/|I| — the identity the completeness proofs of Theorems 3/4 rest on.
+TEST(ConcentrationTest, FlatIntervalCollisionRateCentersAtInverseLength) {
+  const Distribution u = Distribution::Uniform(128);
+  const AliasSampler sampler(u);
+  Rng rng(2008);
+  const Interval I(16, 79);  // |I| = 64
+  std::vector<double> zs;
+  for (int t = 0; t < 50; ++t) {
+    const SampleSet s = SampleSet::Draw(sampler, 30000, rng);
+    zs.push_back(s.CondCollisionRate(I).value_or(0.0));
+  }
+  EXPECT_NEAR(Mean(zs), 1.0 / 64.0, 0.0005);
+  EXPECT_LT(StdDev(zs), 0.001);
+}
+
+}  // namespace
+}  // namespace histk

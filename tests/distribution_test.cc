@@ -1,0 +1,181 @@
+#include "dist/distribution.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace histk {
+namespace {
+
+Distribution MakeTestDist() {
+  // Hand-picked weights with zeros and repeats.
+  return Distribution::FromWeights({1, 0, 3, 3, 0, 2, 1, 0, 0, 4});
+}
+
+TEST(DistributionTest, FromWeightsNormalizes) {
+  const Distribution d = MakeTestDist();
+  double total = 0.0;
+  for (int64_t i = 0; i < d.n(); ++i) total += d.p(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(d.p(0), 1.0 / 14.0, 1e-12);
+  EXPECT_NEAR(d.p(9), 4.0 / 14.0, 1e-12);
+}
+
+TEST(DistributionTest, FromPmfAcceptsExact) {
+  const Distribution d = Distribution::FromPmf({0.25, 0.25, 0.5});
+  EXPECT_EQ(d.n(), 3);
+  EXPECT_DOUBLE_EQ(d.p(2), 0.5);
+}
+
+TEST(DistributionDeathTest, FromPmfRejectsNonNormalized) {
+  EXPECT_DEATH(Distribution::FromPmf({0.3, 0.3}), "sum to 1");
+}
+
+TEST(DistributionDeathTest, FromWeightsRejectsNegative) {
+  EXPECT_DEATH(Distribution::FromWeights({0.5, -0.1}), "finite and >= 0");
+}
+
+TEST(DistributionDeathTest, FromWeightsRejectsAllZero) {
+  EXPECT_DEATH(Distribution::FromWeights({0.0, 0.0}), "positive");
+}
+
+TEST(DistributionTest, UniformHasEqualMass) {
+  const Distribution u = Distribution::Uniform(8);
+  for (int64_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(u.p(i), 0.125);
+  EXPECT_NEAR(u.L2NormSquared(), 1.0 / 8.0, 1e-15);
+}
+
+TEST(DistributionTest, PointMassConcentrates) {
+  const Distribution d = Distribution::PointMass(5, 3);
+  EXPECT_DOUBLE_EQ(d.p(3), 1.0);
+  EXPECT_DOUBLE_EQ(d.Weight(Interval(0, 2)), 0.0);
+  EXPECT_DOUBLE_EQ(d.L2NormSquared(), 1.0);
+}
+
+TEST(DistributionTest, WeightMatchesBruteForce) {
+  const Distribution d = MakeTestDist();
+  for (int64_t lo = 0; lo < d.n(); ++lo) {
+    for (int64_t hi = lo; hi < d.n(); ++hi) {
+      double expect = 0.0;
+      for (int64_t i = lo; i <= hi; ++i) expect += d.p(i);
+      EXPECT_NEAR(d.Weight(Interval(lo, hi)), expect, 1e-12)
+          << "I=[" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST(DistributionTest, SumSquaresMatchesBruteForce) {
+  const Distribution d = MakeTestDist();
+  for (int64_t lo = 0; lo < d.n(); ++lo) {
+    for (int64_t hi = lo; hi < d.n(); ++hi) {
+      double expect = 0.0;
+      for (int64_t i = lo; i <= hi; ++i) expect += d.p(i) * d.p(i);
+      EXPECT_NEAR(d.SumSquares(Interval(lo, hi)), expect, 1e-12);
+    }
+  }
+}
+
+TEST(DistributionTest, WeightOfEmptyAndClippedIntervals) {
+  const Distribution d = MakeTestDist();
+  EXPECT_DOUBLE_EQ(d.Weight(Interval::Empty()), 0.0);
+  // Clipping: interval extending past the domain counts only the inside.
+  EXPECT_NEAR(d.Weight(Interval(8, 100)), d.Weight(Interval(8, 9)), 1e-15);
+  EXPECT_NEAR(d.Weight(Interval(-5, 2)), d.Weight(Interval(0, 2)), 1e-15);
+}
+
+TEST(DistributionTest, IntervalSseIsMinOverConstants) {
+  const Distribution d = MakeTestDist();
+  const Interval I(2, 6);
+  const double mean = d.IntervalMean(I);
+  auto sse_at = [&](double c) {
+    double acc = 0.0;
+    for (int64_t i = I.lo; i <= I.hi; ++i) acc += (d.p(i) - c) * (d.p(i) - c);
+    return acc;
+  };
+  EXPECT_NEAR(d.IntervalSse(I), sse_at(mean), 1e-12);
+  // Any other constant does worse.
+  EXPECT_GT(sse_at(mean + 0.01), d.IntervalSse(I));
+  EXPECT_GT(sse_at(mean - 0.01), d.IntervalSse(I));
+}
+
+TEST(DistributionTest, IntervalSseZeroOnFlatRuns) {
+  const Distribution d = MakeTestDist();
+  EXPECT_NEAR(d.IntervalSse(Interval(2, 3)), 0.0, 1e-15);  // two equal weights
+  EXPECT_NEAR(d.IntervalSse(Interval(7, 8)), 0.0, 1e-15);  // two zeros
+  EXPECT_NEAR(d.IntervalSse(Interval(5, 5)), 0.0, 1e-15);  // singleton
+}
+
+TEST(DistributionTest, RestrictIsConditional) {
+  const Distribution d = MakeTestDist();
+  const Interval I(2, 5);
+  const Distribution r = d.Restrict(I);
+  EXPECT_EQ(r.n(), 4);
+  const double w = d.Weight(I);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_NEAR(r.p(i), d.p(I.lo + i) / w, 1e-12);
+}
+
+TEST(DistributionDeathTest, RestrictZeroWeightAborts) {
+  const Distribution d = MakeTestDist();
+  EXPECT_DEATH(d.Restrict(Interval(7, 8)), "zero-weight");
+}
+
+TEST(DistributionTest, IsFlatOnUniformAndZeroIntervals) {
+  const Distribution d = MakeTestDist();
+  EXPECT_TRUE(d.IsFlat(Interval(2, 3)));   // equal masses
+  EXPECT_TRUE(d.IsFlat(Interval(7, 8)));   // zero weight
+  EXPECT_TRUE(d.IsFlat(Interval(0, 0)));   // singleton
+  EXPECT_FALSE(d.IsFlat(Interval(0, 2)));  // mixed
+  EXPECT_TRUE(Distribution::Uniform(16).IsFlat(Interval::Full(16)));
+}
+
+TEST(DistributionTest, L1DistanceBasics) {
+  const Distribution a = Distribution::FromPmf({0.5, 0.5, 0.0});
+  const Distribution b = Distribution::FromPmf({0.0, 0.5, 0.5});
+  EXPECT_NEAR(a.L1DistanceTo(b), 1.0, 1e-12);
+  EXPECT_NEAR(a.L1DistanceTo(a), 0.0, 1e-15);
+  // Symmetry.
+  EXPECT_NEAR(a.L1DistanceTo(b), b.L1DistanceTo(a), 1e-15);
+}
+
+TEST(DistributionTest, L2DistanceBasics) {
+  const Distribution a = Distribution::FromPmf({1.0, 0.0});
+  const Distribution b = Distribution::FromPmf({0.0, 1.0});
+  EXPECT_NEAR(a.L2DistanceTo(b), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(a.DistanceTo(b, Norm::kL2), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(a.DistanceTo(b, Norm::kL1), 2.0, 1e-12);
+}
+
+TEST(DistributionTest, L1LeqSqrtNTimesL2) {
+  // Cauchy–Schwarz sanity on random pairs.
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> wa(32), wb(32);
+    for (auto& w : wa) w = rng.NextDouble();
+    for (auto& w : wb) w = rng.NextDouble();
+    const Distribution a = Distribution::FromWeights(wa);
+    const Distribution b = Distribution::FromWeights(wb);
+    EXPECT_LE(a.L1DistanceTo(b), std::sqrt(32.0) * a.L2DistanceTo(b) + 1e-12);
+    EXPECT_LE(a.L2DistanceTo(b), a.L1DistanceTo(b) + 1e-12);
+  }
+}
+
+TEST(DistributionTest, DistanceToValuesMatchesDistribution) {
+  const Distribution a = MakeTestDist();
+  const Distribution b = Distribution::Uniform(10);
+  std::vector<double> vals(b.pmf());
+  EXPECT_NEAR(a.L1DistanceToValues(vals), a.L1DistanceTo(b), 1e-12);
+  EXPECT_NEAR(a.L2SquaredDistanceToValues(vals),
+              a.L2DistanceTo(b) * a.L2DistanceTo(b), 1e-12);
+}
+
+TEST(DistributionTest, NormNames) {
+  EXPECT_STREQ(NormName(Norm::kL1), "L1");
+  EXPECT_STREQ(NormName(Norm::kL2), "L2");
+}
+
+}  // namespace
+}  // namespace histk

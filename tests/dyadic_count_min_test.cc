@@ -1,0 +1,104 @@
+#include "stream/dyadic_count_min.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/generators.h"
+#include "dist/sampler.h"
+
+namespace histk {
+namespace {
+
+TEST(CountMinTest, ExactForFewDistinctIds) {
+  // With far fewer ids than the width, collisions are unlikely in every
+  // row; the min is exact.
+  CountMin cm(512, 5, 901);
+  cm.Update(3, 10);
+  cm.Update(100, 4);
+  cm.Update(3, 1);
+  EXPECT_EQ(cm.Estimate(3), 11);
+  EXPECT_EQ(cm.Estimate(100), 4);
+  EXPECT_EQ(cm.Estimate(7), 0);
+}
+
+TEST(CountMinTest, NeverUnderestimatesNonNegativeStreams) {
+  CountMin cm(16, 4, 902);  // narrow: force collisions
+  std::vector<int64_t> truth(300, 0);
+  Rng rng(903);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t id = static_cast<int64_t>(rng.UniformInt(300));
+    cm.Update(static_cast<uint64_t>(id), 1);
+    ++truth[static_cast<size_t>(id)];
+  }
+  for (int64_t id = 0; id < 300; ++id) {
+    EXPECT_GE(cm.Estimate(static_cast<uint64_t>(id)), truth[static_cast<size_t>(id)]);
+  }
+}
+
+TEST(DyadicCountMinTest, RangeCountsMatchTruthOnModestStream) {
+  const int64_t n = 1000;  // exercises the non-power-of-two padding
+  DyadicCountMin sketch(n, 0.005, 0.01, 904);
+  const Distribution d = MakeZipf(n, 1.1);
+  const AliasSampler sampler(d);
+  Rng rng(905);
+  std::vector<int64_t> truth(static_cast<size_t>(n), 0);
+  const int64_t stream = 50000;
+  for (int64_t i = 0; i < stream; ++i) {
+    const int64_t v = sampler.Draw(rng);
+    sketch.Update(v);
+    ++truth[static_cast<size_t>(v)];
+  }
+  EXPECT_EQ(sketch.total(), stream);
+
+  Rng qrng(906);
+  for (int q = 0; q < 40; ++q) {
+    const int64_t lo = qrng.UniformInRange(0, n - 1);
+    const int64_t hi = qrng.UniformInRange(lo, n - 1);
+    int64_t expect = 0;
+    for (int64_t i = lo; i <= hi; ++i) expect += truth[static_cast<size_t>(i)];
+    const int64_t got = sketch.RangeCount(Interval(lo, hi));
+    // CM overestimates by <= eps_cm * total per dyadic node; 2 log n nodes.
+    EXPECT_GE(got, expect);
+    EXPECT_LE(got - expect, static_cast<int64_t>(0.005 * 2 * 11 * stream))
+        << "[" << lo << "," << hi << "]";
+  }
+}
+
+TEST(DyadicCountMinTest, FullRangeIsTotal) {
+  DyadicCountMin sketch(64, 0.01, 0.01, 907);
+  for (int64_t i = 0; i < 64; ++i) sketch.Update(i, i + 1);
+  EXPECT_EQ(sketch.RangeCount(Interval::Full(64)), sketch.total());
+  EXPECT_EQ(sketch.RangeCount(Interval::Empty()), 0);
+}
+
+TEST(DyadicCountMinTest, QuantilesTrackTruth) {
+  const int64_t n = 512;
+  DyadicCountMin sketch(n, 0.002, 0.01, 908);
+  const AliasSampler sampler(Distribution::Uniform(n));
+  Rng rng(909);
+  for (int64_t i = 0; i < 100000; ++i) sketch.Update(sampler.Draw(rng));
+  // Uniform: q-quantile ~ q*n.
+  for (double q : {0.25, 0.5, 0.75}) {
+    EXPECT_NEAR(static_cast<double>(sketch.Quantile(q)), q * static_cast<double>(n),
+                0.05 * static_cast<double>(n));
+  }
+}
+
+TEST(DyadicCountMinTest, EquiDepthEndsBalanced) {
+  const int64_t n = 256;
+  DyadicCountMin sketch(n, 0.002, 0.01, 910);
+  const AliasSampler sampler(MakeZipf(n, 1.0));
+  Rng rng(911);
+  for (int64_t i = 0; i < 100000; ++i) sketch.Update(sampler.Draw(rng));
+  const auto ends = sketch.EquiDepthEnds(8);
+  EXPECT_LE(ends.size(), 8u);
+  EXPECT_EQ(ends.back(), n - 1);
+  for (size_t j = 1; j < ends.size(); ++j) EXPECT_GT(ends[j], ends[j - 1]);
+}
+
+TEST(DyadicCountMinDeathTest, RejectsOutOfDomain) {
+  DyadicCountMin sketch(16, 0.1, 0.1, 912);
+  EXPECT_DEATH(sketch.Update(16), "i >= 0");
+}
+
+}  // namespace
+}  // namespace histk

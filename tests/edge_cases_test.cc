@@ -1,0 +1,184 @@
+// Edge cases and failure injection across the public API: degenerate
+// domains, extreme parameters, and malformed inputs.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/histk.h"
+#include "util/math_util.h"
+
+namespace histk {
+namespace {
+
+// -------------------------------------------------------------- domains
+
+TEST(EdgeCaseTest, SingleElementDomain) {
+  const Distribution d = Distribution::Uniform(1);
+  EXPECT_DOUBLE_EQ(d.p(0), 1.0);
+  EXPECT_TRUE(d.IsFlat(Interval::Full(1)));
+  EXPECT_EQ(MinimalPieceCount(d), 1);
+  EXPECT_NEAR(VOptimalSse(d, 1), 0.0, 1e-15);
+  const TilingHistogram h = TilingHistogram::Flat(1, 1.0);
+  EXPECT_NEAR(h.L2SquaredErrorTo(d), 0.0, 1e-15);
+}
+
+TEST(EdgeCaseTest, TwoElementLearning) {
+  const Distribution d = Distribution::FromPmf({0.8, 0.2});
+  const AliasSampler sampler(d);
+  Rng rng(1101);
+  LearnOptions opt;
+  opt.k = 2;
+  opt.eps = 0.3;
+  const LearnResult res = LearnHistogram(sampler, opt, rng);
+  EXPECT_LT(res.tiling.L2SquaredErrorTo(d), 0.01);
+}
+
+TEST(EdgeCaseTest, TesterOnTwoElements) {
+  const Distribution d = Distribution::FromPmf({0.7, 0.3});
+  const AliasSampler sampler(d);
+  Rng rng(1102);
+  TestConfig cfg;
+  cfg.k = 2;  // any 2-element distribution is a tiling 2-histogram
+  cfg.eps = 0.4;
+  cfg.norm = Norm::kL2;
+  cfg.r_override = 5;
+  EXPECT_TRUE(TestKHistogram(sampler, cfg, rng).accepted);
+}
+
+// -------------------------------------------------------------- parameters
+
+TEST(EdgeCaseTest, KEqualsNEverythingIsAHistogram) {
+  Rng rng(1103);
+  const Distribution d = MakeNoisy(Distribution::Uniform(16), 0.9, rng);
+  EXPECT_TRUE(IsTilingKHistogram(d, 16));
+  EXPECT_NEAR(VOptimalSse(d, 16), 0.0, 1e-15);
+  // Tester with k = n accepts anything.
+  const AliasSampler sampler(d);
+  TestConfig cfg;
+  cfg.k = 16;
+  cfg.eps = 0.3;
+  cfg.norm = Norm::kL2;
+  cfg.r_override = 5;
+  EXPECT_TRUE(TestKHistogram(sampler, cfg, rng).accepted);
+}
+
+TEST(EdgeCaseTest, EpsCloseToOne) {
+  // ln(1/eps) < 1 regime: iteration count floors at 1, xi capped at eps.
+  const GreedyParams gp = ComputeGreedyParams(64, 4, 0.9);
+  EXPECT_GE(gp.iterations, 1);
+  EXPECT_LE(gp.xi, 0.9);
+  EXPECT_GE(gp.l, 2);
+  const AliasSampler sampler(Distribution::Uniform(64));
+  Rng rng(1104);
+  LearnOptions opt;
+  opt.k = 4;
+  opt.eps = 0.9;
+  const LearnResult res = LearnHistogram(sampler, opt, rng);  // must not crash
+  EXPECT_GE(res.tiling.k(), 1);
+}
+
+TEST(EdgeCaseTest, TinyEpsStillComputesParams) {
+  const GreedyParams gp = ComputeGreedyParams(1 << 20, 32, 0.01);
+  EXPECT_GT(gp.l, 0);
+  EXPECT_GT(gp.m, 0);
+  // No overflow: total fits comfortably in int64.
+  EXPECT_GT(gp.TotalSamples(), 0);
+}
+
+// -------------------------------------------------------------- degenerate mass
+
+TEST(EdgeCaseTest, LearnerOnAllMassOneElementWithZeroTail) {
+  // Point mass at the last element: boundary case for interval clipping.
+  const Distribution d = Distribution::PointMass(32, 31);
+  const AliasSampler sampler(d);
+  Rng rng(1105);
+  LearnOptions opt;
+  opt.k = 2;
+  opt.eps = 0.2;
+  const LearnResult res = LearnHistogram(sampler, opt, rng);
+  EXPECT_GT(res.tiling.Value(31), 0.5);
+}
+
+TEST(EdgeCaseTest, TesterOnZeroWeightRegions) {
+  // Mass only in the middle third; zero elsewhere. Still a 3-histogram.
+  std::vector<double> w(96, 0.0);
+  for (int i = 32; i < 64; ++i) w[static_cast<size_t>(i)] = 1.0;
+  const Distribution d = Distribution::FromWeights(w);
+  const AliasSampler sampler(d);
+  Rng rng(1106);
+  TestConfig cfg;
+  cfg.k = 3;
+  cfg.eps = 0.3;
+  cfg.norm = Norm::kL2;
+  cfg.r_override = 7;
+  int accepts = 0;
+  for (int t = 0; t < 5; ++t) accepts += TestKHistogram(sampler, cfg, rng).accepted;
+  EXPECT_GE(accepts, 4);
+}
+
+TEST(EdgeCaseTest, FlatnessOnIntervalWithNoSamples) {
+  const AliasSampler sampler(Distribution::PointMass(64, 0));
+  Rng rng(1107);
+  const SampleSetGroup group = SampleSetGroup::Draw(sampler, 5, 200, rng);
+  // Far-away interval: zero samples -> light-accepted in both norms.
+  EXPECT_TRUE(TestFlatnessL2(group, Interval(32, 63), 0.3).accept);
+  EXPECT_TRUE(TestFlatnessL1(group, Interval(32, 63), 0.3, 2).accept);
+}
+
+// -------------------------------------------------------------- misuse
+
+TEST(EdgeCaseDeathTest, LearnerRejectsBadOptions) {
+  const AliasSampler sampler(Distribution::Uniform(8));
+  Rng rng(1108);
+  LearnOptions opt;
+  opt.k = 0;
+  EXPECT_DEATH(LearnHistogram(sampler, opt, rng), "k >= 1");
+  opt.k = 2;
+  opt.eps = 1.5;
+  EXPECT_DEATH(LearnHistogram(sampler, opt, rng), "eps");
+}
+
+TEST(EdgeCaseDeathTest, SumSquaresEstimateNeedsTwoSamples) {
+  const SampleSet s = SampleSet::FromDraws(8, {3});
+  EXPECT_DEATH(s.SumSquaresEstimate(Interval::Full(8)), "2 samples");
+}
+
+TEST(EdgeCaseDeathTest, DistributionBoundsChecked) {
+  const Distribution d = Distribution::Uniform(4);
+  EXPECT_DEATH(Distribution::PointMass(4, 4), "at < n");
+  EXPECT_DEATH(d.IntervalMean(Interval::Empty()), "empty");
+}
+
+TEST(EdgeCaseTest, IntervalClippingNeverCrashes) {
+  const Distribution d = Distribution::Uniform(8);
+  EXPECT_DOUBLE_EQ(d.Weight(Interval(-100, 100)), 1.0);
+  EXPECT_DOUBLE_EQ(d.SumSquares(Interval(7, 700)), d.p(7) * d.p(7));
+  EXPECT_DOUBLE_EQ(d.IntervalSse(Interval(100, 200)), 0.0);
+  const SampleSet s = SampleSet::FromDraws(8, {0, 1, 2});
+  EXPECT_EQ(s.Count(Interval(-5, 50)), 3);
+}
+
+// -------------------------------------------------------------- numeric extremes
+
+TEST(EdgeCaseTest, VerySkewedValuesStayFinite) {
+  std::vector<double> w(32, 1e-12);
+  w[5] = 1.0;
+  const Distribution d = Distribution::FromWeights(w);
+  EXPECT_TRUE(std::isfinite(d.L2NormSquared()));
+  EXPECT_TRUE(std::isfinite(VOptimalSse(d, 4)));
+  const auto res = VOptimalHistogram(d, 4);
+  for (double v : res.histogram.values()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(EdgeCaseTest, LargeDomainSparseBackend) {
+  // Beyond the dense limit: sparse SampleSet path end to end.
+  const int64_t n = SampleSet::kDenseDomainLimit * 2;
+  std::vector<int64_t> draws{0, 5, n - 1, n - 1, n / 2, 5, 5};
+  const SampleSet s = SampleSet::FromDraws(n, draws);
+  EXPECT_EQ(s.Count(Interval(0, n / 2)), 5);
+  EXPECT_EQ(s.Collisions(Interval::Full(n)), PairCount(3) + PairCount(2));
+  EXPECT_EQ(s.distinct_values().size(), 4u);
+}
+
+}  // namespace
+}  // namespace histk

@@ -1,0 +1,40 @@
+#include "dist/empirical.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/sampler.h"
+#include "util/rng.h"
+
+namespace histk {
+namespace {
+
+TEST(EmpiricalTest, CountOccurrencesExact) {
+  const auto counts = CountOccurrences(5, {0, 0, 3, 3, 3, 4});
+  EXPECT_EQ(counts, (std::vector<int64_t>{2, 0, 0, 3, 1}));
+}
+
+TEST(EmpiricalTest, EmpiricalDistributionFrequencies) {
+  const Distribution d = EmpiricalDistribution(4, {0, 1, 1, 2, 2, 2, 2, 3});
+  EXPECT_DOUBLE_EQ(d.p(0), 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(d.p(1), 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(d.p(2), 4.0 / 8.0);
+  EXPECT_DOUBLE_EQ(d.p(3), 1.0 / 8.0);
+}
+
+TEST(EmpiricalTest, ConvergesToTruthInL1) {
+  const Distribution truth = Distribution::FromWeights({5, 1, 1, 1, 2, 10});
+  const AliasSampler sampler(truth);
+  Rng rng(81);
+  const Distribution small = EmpiricalDistribution(6, sampler.DrawMany(100, rng));
+  const Distribution large = EmpiricalDistribution(6, sampler.DrawMany(100000, rng));
+  EXPECT_LT(truth.L1DistanceTo(large), truth.L1DistanceTo(small));
+  EXPECT_LT(truth.L1DistanceTo(large), 0.02);
+}
+
+TEST(EmpiricalDeathTest, RejectsOutOfDomainAndEmpty) {
+  EXPECT_DEATH(CountOccurrences(3, {0, 3}), "out of domain");
+  EXPECT_DEATH(EmpiricalDistribution(3, {}), "needs samples");
+}
+
+}  // namespace
+}  // namespace histk

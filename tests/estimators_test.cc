@@ -1,0 +1,76 @@
+#include "stats/estimators.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/generators.h"
+
+namespace histk {
+namespace {
+
+GreedyEstimator MakeEstimator(const Distribution& d, int64_t l, int64_t r, int64_t m,
+                              uint64_t seed) {
+  const AliasSampler sampler(d);
+  Rng rng(seed);
+  SampleSet main = SampleSet::Draw(sampler, l, rng);
+  SampleSetGroup group = SampleSetGroup::Draw(sampler, r, m, rng);
+  return GreedyEstimator(std::move(main), std::move(group));
+}
+
+TEST(EstimatorsTest, WeightEstimateTracksTrueWeight) {
+  const Distribution d = MakeZipf(64, 1.0);
+  const GreedyEstimator est = MakeEstimator(d, 100000, 5, 1000, 101);
+  for (const Interval I : {Interval(0, 3), Interval(10, 40), Interval::Full(64)}) {
+    EXPECT_NEAR(est.WeightEstimate(I), d.Weight(I), 0.01) << I.ToString();
+  }
+}
+
+TEST(EstimatorsTest, SumSquaresEstimateTracksTruth) {
+  const Distribution d = MakeZipf(64, 1.2);
+  const GreedyEstimator est = MakeEstimator(d, 1000, 9, 50000, 102);
+  for (const Interval I : {Interval(0, 3), Interval(5, 30), Interval::Full(64)}) {
+    EXPECT_NEAR(est.SumSquaresEstimate(I), d.SumSquares(I), 0.01) << I.ToString();
+  }
+}
+
+TEST(EstimatorsTest, PieceCostApproximatesIntervalSse) {
+  Rng gen_rng(103);
+  const HistogramSpec spec = MakeRandomKHistogram(48, 4, gen_rng, 20.0);
+  const Distribution noisy = MakeNoisy(spec.dist, 0.5, gen_rng);
+  const GreedyEstimator est = MakeEstimator(noisy, 200000, 9, 100000, 104);
+  for (const Interval I :
+       {Interval(0, 10), Interval(12, 30), Interval(31, 47), Interval::Full(48)}) {
+    EXPECT_NEAR(est.PieceCost(I), noisy.IntervalSse(I), 0.01) << I.ToString();
+  }
+}
+
+TEST(EstimatorsTest, PieceCostZeroForEmptyInterval) {
+  const GreedyEstimator est = MakeEstimator(Distribution::Uniform(16), 100, 3, 100, 105);
+  EXPECT_DOUBLE_EQ(est.PieceCost(Interval::Empty()), 0.0);
+}
+
+TEST(EstimatorsTest, DrawRespectsParams) {
+  const AliasSampler sampler(Distribution::Uniform(32));
+  Rng rng(106);
+  GreedyParams params;
+  params.l = 500;
+  params.r = 7;
+  params.m = 300;
+  params.iterations = 3;
+  const GreedyEstimator est = GreedyEstimator::Draw(sampler, params, rng);
+  EXPECT_EQ(est.main().m(), 500);
+  EXPECT_EQ(est.group().r(), 7);
+  EXPECT_EQ(est.group().set(0).m(), 300);
+  EXPECT_EQ(est.TotalSamples(), 500 + 7 * 300);
+}
+
+TEST(EstimatorsDeathTest, DomainMismatchAborts) {
+  const AliasSampler s16(Distribution::Uniform(16));
+  const AliasSampler s32(Distribution::Uniform(32));
+  Rng rng(107);
+  SampleSet main = SampleSet::Draw(s16, 100, rng);
+  SampleSetGroup group = SampleSetGroup::Draw(s32, 3, 100, rng);
+  EXPECT_DEATH(GreedyEstimator(std::move(main), std::move(group)), "mismatch");
+}
+
+}  // namespace
+}  // namespace histk

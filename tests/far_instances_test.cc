@@ -1,0 +1,67 @@
+#include "baseline/far_instances.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baseline/classic_histograms.h"
+#include "baseline/voptimal_dp.h"
+#include "dist/generators.h"
+#include "histogram/ops.h"
+
+namespace histk {
+namespace {
+
+TEST(FarInstancesTest, SpikesAreCertifiedL2Far) {
+  const auto inst = MakeL2FarSpikes(256, 2, 0.1);
+  ASSERT_TRUE(inst.has_value());
+  EXPECT_GE(inst->certified_distance, 0.1 * 1.05 - 1e-12);
+  EXPECT_EQ(inst->norm, Norm::kL2);
+  // Re-verify the certificate independently.
+  EXPECT_NEAR(std::sqrt(VOptimalSse(inst->dist, 2)), inst->certified_distance, 1e-9);
+}
+
+TEST(FarInstancesTest, SpikesInfeasibleForHugeK) {
+  // L2 distance from a k-histogram class is at most ~1/(2 sqrt(k)); for
+  // k large relative to 1/eps^2 no spike family works.
+  const auto inst = MakeL2FarSpikes(256, 100, 0.4);
+  EXPECT_FALSE(inst.has_value());
+}
+
+TEST(FarInstancesTest, ZipfCertifiedWhenHeadHeavy) {
+  const auto inst = MakeL2FarZipf(512, 2, 0.1);
+  ASSERT_TRUE(inst.has_value());
+  EXPECT_GE(inst->certified_distance, 0.1);
+  EXPECT_NEAR(std::sqrt(VOptimalSse(inst->dist, 2)), inst->certified_distance, 1e-9);
+}
+
+TEST(FarInstancesTest, ZigzagCertificateIsValidLowerBound) {
+  const FarInstance inst = MakeL1FarZigzag(128, 4, 0.2);
+  EXPECT_GE(inst.certified_distance, 0.2);
+  // The certificate must lower-bound the distance to ANY 4-histogram;
+  // check against a few explicit candidates.
+  const auto opt = VOptimalHistogram(inst.dist, 4);
+  EXPECT_GE(opt.histogram.L1ErrorTo(inst.dist), inst.certified_distance - 1e-9);
+  EXPECT_GE(EquiWidthExact(inst.dist, 4).L1ErrorTo(inst.dist),
+            inst.certified_distance - 1e-9);
+}
+
+TEST(FarInstancesTest, ZigzagIsNotAKHistogram) {
+  const FarInstance inst = MakeL1FarZigzag(64, 4, 0.2);
+  EXPECT_GT(MinimalPieceCount(inst.dist), 4);
+}
+
+TEST(FarInstancesTest, FarInstancesAreValidDistributions) {
+  for (const auto& inst :
+       {MakeL1FarZigzag(64, 2, 0.15), MakeL1FarZigzag(256, 8, 0.3)}) {
+    double total = 0.0;
+    for (int64_t i = 0; i < inst.dist.n(); ++i) {
+      EXPECT_GE(inst.dist.p(i), 0.0);
+      total += inst.dist.p(i);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace histk

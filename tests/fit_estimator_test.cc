@@ -1,0 +1,71 @@
+#include "core/fit_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/voptimal_dp.h"
+#include "dist/generators.h"
+#include "histogram/ops.h"
+
+namespace histk {
+namespace {
+
+TEST(FitEstimatorTest, NearZeroForPerfectFit) {
+  Rng gen(1401);
+  const HistogramSpec spec = MakeRandomKHistogram(64, 4, gen, 20.0);
+  // H = the true histogram itself.
+  const TilingHistogram h = ProjectToBoundaries(spec.dist, spec.right_ends);
+  const AliasSampler sampler(spec.dist);
+  Rng rng(1402);
+  const FitEstimate est = EstimateL2SquaredFit(sampler, h, 200000, rng);
+  EXPECT_NEAR(est.l2_squared, 0.0, 5e-4);
+}
+
+TEST(FitEstimatorTest, TracksTrueDistance) {
+  Rng gen(1403);
+  const Distribution p = MakeGaussianMixture(64, {{0.4, 0.1, 1.0}}, 0.2);
+  for (int64_t k : {1, 2, 4, 8}) {
+    const TilingHistogram h = VOptimalHistogram(p, k).histogram;
+    const double truth = h.L2SquaredErrorTo(p);
+    const AliasSampler sampler(p);
+    Rng rng(1404);
+    const FitEstimate est = EstimateL2SquaredFit(sampler, h, 400000, rng);
+    EXPECT_NEAR(est.l2_squared, truth, 5e-4) << "k=" << k;
+  }
+}
+
+TEST(FitEstimatorTest, ComponentsAreConsistent) {
+  const Distribution p = MakeZipf(32, 1.0);
+  const TilingHistogram h = TilingHistogram::Flat(32, 1.0 / 32.0);
+  const AliasSampler sampler(p);
+  Rng rng(1405);
+  const FitEstimate est = EstimateL2SquaredFit(sampler, h, 300000, rng);
+  EXPECT_NEAR(est.p_norm_sq, p.L2NormSquared(), 1e-3);
+  // <p, uniform-histogram> = 1/n exactly.
+  EXPECT_NEAR(est.cross_term, 1.0 / 32.0, 1e-3);
+  EXPECT_NEAR(est.h_norm_sq, 1.0 / 32.0, 1e-12);
+  EXPECT_EQ(est.samples_used, 5 * (300000 / 5));
+}
+
+TEST(FitEstimatorTest, DetectsStaleHistogramAfterDrift) {
+  // The monitoring use case: H fit yesterday's data; p drifted.
+  Rng gen(1406);
+  const HistogramSpec old_spec = MakeRandomKHistogram(64, 4, gen, 10.0);
+  const TilingHistogram h = ProjectToBoundaries(old_spec.dist, old_spec.right_ends);
+  const Distribution drifted = MakeGaussianMixture(64, {{0.2, 0.05, 1.0}}, 0.3);
+  const double truth = h.L2SquaredErrorTo(drifted);
+  const AliasSampler sampler(drifted);
+  Rng rng(1407);
+  const FitEstimate est = EstimateL2SquaredFit(sampler, h, 300000, rng);
+  EXPECT_NEAR(est.l2_squared, truth, 0.1 * truth + 1e-4);
+  EXPECT_GT(est.l2_squared, 5.0 * 5e-4);  // clearly flagged as a bad fit
+}
+
+TEST(FitEstimatorDeathTest, NeedsEnoughSamples) {
+  const AliasSampler sampler(Distribution::Uniform(8));
+  Rng rng(1408);
+  const TilingHistogram h = TilingHistogram::Flat(8, 0.125);
+  EXPECT_DEATH(EstimateL2SquaredFit(sampler, h, 4, rng, 5), "m >= 2");
+}
+
+}  // namespace
+}  // namespace histk

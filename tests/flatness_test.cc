@@ -1,0 +1,106 @@
+#include "core/flatness.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/generators.h"
+#include "dist/sampler.h"
+
+namespace histk {
+namespace {
+
+SampleSetGroup DrawGroup(const Distribution& d, int64_t r, int64_t m, uint64_t seed) {
+  const AliasSampler sampler(d);
+  Rng rng(seed);
+  return SampleSetGroup::Draw(sampler, r, m, rng);
+}
+
+TEST(FlatnessL2Test, AcceptsUniformInterval) {
+  const SampleSetGroup g = DrawGroup(Distribution::Uniform(128), 9, 50000, 301);
+  const FlatnessDecision d = TestFlatnessL2(g, Interval::Full(128), 0.25);
+  EXPECT_TRUE(d.accept);
+  EXPECT_FALSE(d.light);
+  EXPECT_NEAR(d.z, 1.0 / 128.0, 0.001);
+}
+
+TEST(FlatnessL2Test, AcceptsFlatSubIntervalOfHistogram) {
+  const HistogramSpec spec = MakeStaircase(120, 3);
+  const SampleSetGroup g = DrawGroup(spec.dist, 9, 60000, 302);
+  // Each true piece is flat.
+  EXPECT_TRUE(TestFlatnessL2(g, Interval(0, 39), 0.25).accept);
+  EXPECT_TRUE(TestFlatnessL2(g, Interval(40, 79), 0.25).accept);
+  EXPECT_TRUE(TestFlatnessL2(g, Interval(80, 119), 0.25).accept);
+}
+
+TEST(FlatnessL2Test, RejectsSpikyInterval) {
+  // A point mass inside the interval: ||p_I||_2^2 = 1 >> 1/|I|.
+  std::vector<double> w(64, 0.0);
+  w[10] = 1.0;
+  const SampleSetGroup g = DrawGroup(Distribution::FromWeights(w), 9, 20000, 303);
+  const FlatnessDecision d = TestFlatnessL2(g, Interval(0, 31), 0.25);
+  EXPECT_FALSE(d.accept);
+  EXPECT_NEAR(d.z, 1.0, 0.01);
+}
+
+TEST(FlatnessL2Test, LightIntervalShortcut) {
+  // Interval with ~zero weight: accepted as light regardless of shape.
+  std::vector<double> w(64, 0.0);
+  for (int i = 0; i < 32; ++i) w[static_cast<size_t>(i)] = 1.0;
+  const SampleSetGroup g = DrawGroup(Distribution::FromWeights(w), 5, 10000, 304);
+  const FlatnessDecision d = TestFlatnessL2(g, Interval(40, 63), 0.3);
+  EXPECT_TRUE(d.accept);
+  EXPECT_TRUE(d.light);
+}
+
+TEST(FlatnessL2Test, StraddlingPieceBoundaryRejects) {
+  // Two pieces with densities 1:9 — an interval covering both is far from
+  // flat: ||p_I||^2 substantially exceeds 1/|I|.
+  std::vector<double> w(64, 1.0);
+  for (int i = 32; i < 64; ++i) w[static_cast<size_t>(i)] = 9.0;
+  const SampleSetGroup g = DrawGroup(Distribution::FromWeights(w), 9, 60000, 305);
+  const FlatnessDecision d = TestFlatnessL2(g, Interval::Full(64), 0.2);
+  EXPECT_FALSE(d.accept);
+}
+
+TEST(FlatnessL1Test, AcceptsUniformInterval) {
+  const SampleSetGroup g = DrawGroup(Distribution::Uniform(128), 9, 200000, 306);
+  const FlatnessDecision d = TestFlatnessL1(g, Interval::Full(128), 0.4, 2);
+  EXPECT_TRUE(d.accept);
+}
+
+TEST(FlatnessL1Test, RejectsZigzagInterval) {
+  const Distribution zz = MakeZigzagL1Far(128, 2, 0.4);
+  const SampleSetGroup g = DrawGroup(zz, 9, 200000, 307);
+  const FlatnessDecision d = TestFlatnessL1(g, Interval::Full(128), 0.4, 2);
+  EXPECT_FALSE(d.accept);
+  // z should be near (1 + a^2)/n with a the zigzag amplitude.
+  const double a = ZigzagAmplitude(128, 2, 0.4, 1.1);
+  EXPECT_NEAR(d.z, (1.0 + a * a) / 128.0, 0.1 / 128.0);
+}
+
+TEST(FlatnessL1Test, LightIntervalShortcut) {
+  std::vector<double> w(256, 0.0);
+  for (int i = 0; i < 64; ++i) w[static_cast<size_t>(i)] = 1.0;
+  const SampleSetGroup g = DrawGroup(Distribution::FromWeights(w), 5, 5000, 308);
+  // [128, 135]: zero weight, so each replicate sees 0 < threshold samples.
+  const FlatnessDecision d = TestFlatnessL1(g, Interval(128, 135), 0.4, 2);
+  EXPECT_TRUE(d.accept);
+  EXPECT_TRUE(d.light);
+}
+
+TEST(FlatnessL1Test, SingletonAlwaysFlat) {
+  const SampleSetGroup g = DrawGroup(Distribution::PointMass(32, 5), 5, 1000, 309);
+  // z of a singleton is exactly 1 = 1/|I| <= (1+eps^2/4)/1.
+  EXPECT_TRUE(TestFlatnessL1(g, Interval(5, 5), 0.3, 2).accept);
+  EXPECT_TRUE(TestFlatnessL2(g, Interval(5, 5), 0.3).accept);
+}
+
+TEST(FlatnessTest, ThresholdFieldsExposed) {
+  const SampleSetGroup g = DrawGroup(Distribution::Uniform(64), 5, 20000, 310);
+  const FlatnessDecision d2 = TestFlatnessL2(g, Interval::Full(64), 0.3);
+  EXPECT_GT(d2.threshold, 1.0 / 64.0);
+  const FlatnessDecision d1 = TestFlatnessL1(g, Interval::Full(64), 0.3, 2);
+  EXPECT_NEAR(d1.threshold, (1.0 + 0.09 / 4.0) / 64.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace histk

@@ -1,0 +1,141 @@
+#include "dist/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "histogram/ops.h"
+
+namespace histk {
+namespace {
+
+TEST(GeneratorsTest, ZipfIsDecreasingAndNormalized) {
+  const Distribution d = MakeZipf(100, 1.2);
+  double total = 0.0;
+  for (int64_t i = 0; i < d.n(); ++i) {
+    total += d.p(i);
+    if (i > 0) EXPECT_LE(d.p(i), d.p(i - 1));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(GeneratorsTest, ZipfZeroSkewIsUniform) {
+  const Distribution d = MakeZipf(10, 0.0);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_NEAR(d.p(i), 0.1, 1e-12);
+}
+
+TEST(GeneratorsTest, GaussianMixturePeaksAtMeans) {
+  const Distribution d =
+      MakeGaussianMixture(1000, {{0.25, 0.03, 1.0}, {0.75, 0.03, 1.0}});
+  // Peaks near 250 and 750 dominate the valley at 500.
+  EXPECT_GT(d.p(250), 5.0 * d.p(500));
+  EXPECT_GT(d.p(750), 5.0 * d.p(500));
+}
+
+TEST(GeneratorsTest, GaussianMixtureUniformFloorGivesFullSupport) {
+  const Distribution d = MakeGaussianMixture(256, {{0.5, 0.01, 1.0}}, 0.1);
+  for (int64_t i = 0; i < d.n(); ++i) EXPECT_GT(d.p(i), 0.0);
+}
+
+TEST(GeneratorsTest, RandomKHistogramHasAtMostKPieces) {
+  Rng rng(31);
+  for (int64_t k : {1, 2, 5, 16}) {
+    const HistogramSpec spec = MakeRandomKHistogram(128, k, rng);
+    EXPECT_EQ(static_cast<int64_t>(spec.right_ends.size()), k);
+    EXPECT_EQ(spec.right_ends.back(), 127);
+    EXPECT_LE(MinimalPieceCount(spec.dist), k);
+    EXPECT_TRUE(IsTilingKHistogram(spec.dist, k));
+  }
+}
+
+TEST(GeneratorsTest, RandomKHistogramPiecesAreFlat) {
+  Rng rng(32);
+  const HistogramSpec spec = MakeRandomKHistogram(200, 7, rng);
+  int64_t lo = 0;
+  for (int64_t end : spec.right_ends) {
+    EXPECT_TRUE(spec.dist.IsFlat(Interval(lo, end)));
+    lo = end + 1;
+  }
+}
+
+TEST(GeneratorsTest, StaircaseStructure) {
+  const HistogramSpec spec = MakeStaircase(100, 4);
+  EXPECT_EQ(spec.right_ends.size(), 4u);
+  // Ascending piece values.
+  EXPECT_LT(spec.dist.p(0), spec.dist.p(30));
+  EXPECT_LT(spec.dist.p(30), spec.dist.p(60));
+  EXPECT_LT(spec.dist.p(60), spec.dist.p(99));
+  EXPECT_TRUE(IsTilingKHistogram(spec.dist, 4));
+}
+
+TEST(GeneratorsTest, NoisyStaysClose) {
+  Rng rng(33);
+  const Distribution base = Distribution::Uniform(64);
+  const Distribution noisy = MakeNoisy(base, 0.1, rng);
+  EXPECT_LT(base.L1DistanceTo(noisy), 0.12);  // noise 0.1 -> L1 <= ~0.1
+  EXPECT_GT(base.L1DistanceTo(noisy), 0.0);
+}
+
+TEST(GeneratorsTest, NoisyZeroNoiseIsIdentity) {
+  Rng rng(34);
+  const Distribution base = MakeZipf(32, 1.0);
+  EXPECT_NEAR(base.L1DistanceTo(MakeNoisy(base, 0.0, rng)), 0.0, 1e-12);
+}
+
+TEST(GeneratorsTest, SpikesIsolatedAndEqual) {
+  const Distribution d = MakeSpikes(100, 10);
+  int64_t nonzero = 0;
+  for (int64_t i = 0; i < d.n(); ++i) {
+    if (d.p(i) > 0) {
+      ++nonzero;
+      EXPECT_NEAR(d.p(i), 0.1, 1e-12);
+      // Isolation: neighbours are zero.
+      if (i > 0) EXPECT_DOUBLE_EQ(d.p(i - 1), 0.0);
+      if (i + 1 < d.n()) EXPECT_DOUBLE_EQ(d.p(i + 1), 0.0);
+    }
+  }
+  EXPECT_EQ(nonzero, 10);
+}
+
+TEST(GeneratorsTest, SpikesSingleSpikeIsPointMass) {
+  const Distribution d = MakeSpikes(50, 1);
+  EXPECT_DOUBLE_EQ(d.p(0), 1.0);
+}
+
+TEST(GeneratorsTest, ZigzagAlternatesAndNormalizes) {
+  const Distribution d = MakeZigzagL1Far(64, 4, 0.2);
+  double total = 0.0;
+  for (int64_t i = 0; i < d.n(); ++i) total += d.p(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_GT(d.p(0), d.p(1));
+  EXPECT_GT(d.p(2), d.p(1));
+}
+
+TEST(GeneratorsTest, ZigzagAmplitudeFormula) {
+  EXPECT_NEAR(ZigzagAmplitude(100, 0 + 10, 0.2, 1.0), 0.2 * 100.0 / 90.0, 1e-12);
+}
+
+TEST(GeneratorsDeathTest, ZigzagInfeasibleEpsAborts) {
+  // eps close to 1 forces amplitude > 1.
+  EXPECT_DEATH(MakeZigzagL1Far(64, 4, 0.95), "eps too large");
+}
+
+TEST(GeneratorsTest, WithinPieceZigzagPreservesPieceWeights) {
+  Rng rng(35);
+  const HistogramSpec spec = MakeRandomKHistogram(120, 5, rng);
+  const Distribution z = MakeWithinPieceZigzag(spec, 0.5);
+  int64_t lo = 0;
+  for (int64_t end : spec.right_ends) {
+    EXPECT_NEAR(z.Weight(Interval(lo, end)), spec.dist.Weight(Interval(lo, end)), 1e-9);
+    lo = end + 1;
+  }
+}
+
+TEST(GeneratorsTest, WithinPieceZigzagZeroDeltaIsIdentity) {
+  Rng rng(36);
+  const HistogramSpec spec = MakeRandomKHistogram(64, 3, rng);
+  EXPECT_NEAR(spec.dist.L1DistanceTo(MakeWithinPieceZigzag(spec, 0.0)), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace histk

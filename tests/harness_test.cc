@@ -1,0 +1,48 @@
+#include "benchutil/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace histk {
+namespace {
+
+TEST(HarnessTest, MeasureRateCountsSuccesses) {
+  const AcceptRate r = MeasureRate(10, [](int64_t t) { return t < 7; });
+  EXPECT_DOUBLE_EQ(r.rate, 0.7);
+  EXPECT_EQ(r.trials, 10);
+  EXPECT_LT(r.ci_low, 0.7);
+  EXPECT_GT(r.ci_high, 0.7);
+}
+
+TEST(HarnessTest, MeasureRateExtremes) {
+  EXPECT_DOUBLE_EQ(MeasureRate(5, [](int64_t) { return true; }).rate, 1.0);
+  EXPECT_DOUBLE_EQ(MeasureRate(5, [](int64_t) { return false; }).rate, 0.0);
+}
+
+TEST(HarnessTest, FmtRateShape) {
+  const AcceptRate r = MeasureRate(4, [](int64_t t) { return t % 2 == 0; });
+  const std::string s = FmtRate(r);
+  EXPECT_NE(s.find("0.50"), std::string::npos);
+  EXPECT_NE(s.find('['), std::string::npos);
+}
+
+TEST(HarnessTest, MeasureScalarStats) {
+  const ScalarStats s =
+      MeasureScalar(4, [](int64_t t) { return static_cast<double>(t); });
+  EXPECT_DOUBLE_EQ(s.mean, 1.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_NEAR(s.stddev, 1.29099, 1e-4);
+  EXPECT_EQ(s.trials, 4);
+}
+
+TEST(HarnessTest, TrialIndexIsPassedThrough) {
+  std::vector<int64_t> seen;
+  MeasureScalar(3, [&](int64_t t) {
+    seen.push_back(t);
+    return 0.0;
+  });
+  EXPECT_EQ(seen, (std::vector<int64_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace histk

@@ -1,0 +1,118 @@
+#include "histogram/tiling.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dist/generators.h"
+#include "util/rng.h"
+
+namespace histk {
+namespace {
+
+TilingHistogram MakeThreePiece() {
+  // [0,2]=0.05, [3,5]=0.15, [6,9]=0.1 over n=10 (total mass exactly 1).
+  return TilingHistogram(10, {{0, 2}, {3, 5}, {6, 9}}, {0.05, 0.15, 0.1});
+}
+
+TEST(TilingTest, ValueLookups) {
+  const TilingHistogram h = MakeThreePiece();
+  EXPECT_DOUBLE_EQ(h.Value(0), 0.05);
+  EXPECT_DOUBLE_EQ(h.Value(2), 0.05);
+  EXPECT_DOUBLE_EQ(h.Value(3), 0.15);
+  EXPECT_DOUBLE_EQ(h.Value(5), 0.15);
+  EXPECT_DOUBLE_EQ(h.Value(6), 0.1);
+  EXPECT_DOUBLE_EQ(h.Value(9), 0.1);
+  EXPECT_EQ(h.k(), 3);
+}
+
+TEST(TilingTest, FlatSinglePiece) {
+  const TilingHistogram h = TilingHistogram::Flat(5, 0.2);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(h.Value(i), 0.2);
+  EXPECT_EQ(h.k(), 1);
+}
+
+TEST(TilingTest, FromRightEndsEquivalent) {
+  const TilingHistogram h =
+      TilingHistogram::FromRightEnds(10, {2, 5, 9}, {0.05, 0.15, 0.1});
+  const TilingHistogram ref = MakeThreePiece();
+  for (int64_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(h.Value(i), ref.Value(i));
+}
+
+TEST(TilingDeathTest, RejectsGapsOverlapsAndBadCoverage) {
+  EXPECT_DEATH(TilingHistogram(10, {{0, 2}, {4, 9}}, {0.1, 0.1}), "contiguous");
+  EXPECT_DEATH(TilingHistogram(10, {{0, 5}, {4, 9}}, {0.1, 0.1}), "contiguous");
+  EXPECT_DEATH(TilingHistogram(10, {{0, 2}, {3, 8}}, {0.1, 0.1}), "cover");
+  EXPECT_DEATH(TilingHistogram(10, {{0, 9}}, {0.1, 0.1}), "arity");
+}
+
+TEST(TilingTest, MassOverPiecesAndPartialOverlaps) {
+  const TilingHistogram h = MakeThreePiece();
+  EXPECT_NEAR(h.Mass(Interval::Full(10)), 1.0, 1e-12);
+  EXPECT_NEAR(h.Mass(Interval(0, 2)), 0.15, 1e-12);
+  // Partial: one element of piece 1 and two of piece 2.
+  EXPECT_NEAR(h.Mass(Interval(5, 7)), 0.15 + 2 * 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(h.Mass(Interval::Empty()), 0.0);
+}
+
+TEST(TilingTest, ToValuesRoundTrips) {
+  const TilingHistogram h = MakeThreePiece();
+  const auto v = h.ToValues();
+  ASSERT_EQ(v.size(), 10u);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(v[static_cast<size_t>(i)], h.Value(i));
+}
+
+TEST(TilingTest, L2ErrorMatchesBruteForce) {
+  Rng rng(51);
+  const HistogramSpec spec = MakeRandomKHistogram(40, 6, rng);
+  const TilingHistogram h(40, {{0, 12}, {13, 25}, {26, 39}}, {0.03, 0.01, 0.035});
+  const auto vals = h.ToValues();
+  double brute = 0.0;
+  for (int64_t i = 0; i < 40; ++i) {
+    const double d = spec.dist.p(i) - vals[static_cast<size_t>(i)];
+    brute += d * d;
+  }
+  EXPECT_NEAR(h.L2SquaredErrorTo(spec.dist), brute, 1e-12);
+}
+
+TEST(TilingTest, L1ErrorMatchesBruteForce) {
+  Rng rng(52);
+  const HistogramSpec spec = MakeRandomKHistogram(40, 6, rng);
+  const TilingHistogram h(40, {{0, 9}, {10, 39}}, {0.02, 0.026});
+  const auto vals = h.ToValues();
+  double brute = 0.0;
+  for (int64_t i = 0; i < 40; ++i) {
+    brute += std::fabs(spec.dist.p(i) - vals[static_cast<size_t>(i)]);
+  }
+  EXPECT_NEAR(h.L1ErrorTo(spec.dist), brute, 1e-12);
+}
+
+TEST(TilingTest, ErrorZeroAgainstItself) {
+  const TilingHistogram h = MakeThreePiece();
+  const Distribution d = h.ToDistribution();
+  EXPECT_NEAR(h.L2SquaredErrorTo(d), 0.0, 1e-15);
+  EXPECT_NEAR(h.L1ErrorTo(d), 0.0, 1e-12);
+}
+
+TEST(TilingTest, ToDistributionClampsNegatives) {
+  const TilingHistogram h(4, {{0, 1}, {2, 3}}, {-0.5, 1.0});
+  const Distribution d = h.ToDistribution();
+  EXPECT_DOUBLE_EQ(d.p(0), 0.0);
+  EXPECT_DOUBLE_EQ(d.p(2), 0.5);
+}
+
+TEST(TilingTest, CondensedMergesEqualNeighbours) {
+  const TilingHistogram h(10, {{0, 2}, {3, 5}, {6, 9}}, {0.1, 0.1, 0.2});
+  const TilingHistogram c = h.Condensed();
+  EXPECT_EQ(c.k(), 2);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(c.Value(i), h.Value(i));
+}
+
+TEST(TilingTest, CondensedWithToleranceMerges) {
+  const TilingHistogram h(6, {{0, 1}, {2, 3}, {4, 5}}, {0.1, 0.1001, 0.3});
+  EXPECT_EQ(h.Condensed(0.01).k(), 2);
+  EXPECT_EQ(h.Condensed(0.0).k(), 3);
+}
+
+}  // namespace
+}  // namespace histk

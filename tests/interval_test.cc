@@ -1,0 +1,77 @@
+#include "util/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace histk {
+namespace {
+
+TEST(IntervalTest, EmptyByDefault) {
+  Interval i;
+  EXPECT_TRUE(i.empty());
+  EXPECT_EQ(i.length(), 0);
+}
+
+TEST(IntervalTest, FullCoversDomain) {
+  const Interval f = Interval::Full(10);
+  EXPECT_EQ(f.lo, 0);
+  EXPECT_EQ(f.hi, 9);
+  EXPECT_EQ(f.length(), 10);
+  EXPECT_FALSE(f.empty());
+}
+
+TEST(IntervalTest, SingletonLengthOne) {
+  const Interval s(5, 5);
+  EXPECT_EQ(s.length(), 1);
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_FALSE(s.Contains(6));
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  const Interval outer(2, 8);
+  EXPECT_TRUE(outer.Contains(Interval(2, 8)));
+  EXPECT_TRUE(outer.Contains(Interval(3, 5)));
+  EXPECT_FALSE(outer.Contains(Interval(1, 5)));
+  EXPECT_FALSE(outer.Contains(Interval(5, 9)));
+  EXPECT_TRUE(outer.Contains(Interval::Empty()));
+}
+
+TEST(IntervalTest, IntersectOverlapping) {
+  EXPECT_EQ(Interval(2, 6).Intersect(Interval(4, 9)), Interval(4, 6));
+  EXPECT_EQ(Interval(4, 9).Intersect(Interval(2, 6)), Interval(4, 6));
+}
+
+TEST(IntervalTest, IntersectDisjointIsEmpty) {
+  EXPECT_TRUE(Interval(2, 3).Intersect(Interval(5, 9)).empty());
+  EXPECT_TRUE(Interval(5, 9).Intersect(Interval(2, 3)).empty());
+}
+
+TEST(IntervalTest, IntersectAdjacentTouchingPoint) {
+  EXPECT_EQ(Interval(2, 5).Intersect(Interval(5, 9)), Interval(5, 5));
+}
+
+TEST(IntervalTest, IntersectsPredicateMatchesIntersect) {
+  const Interval a(0, 4), b(4, 8), c(5, 8);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(a.Intersects(Interval::Empty()));
+}
+
+TEST(IntervalTest, EmptyIntervalsCompareEqual) {
+  EXPECT_EQ(Interval(3, 2), Interval::Empty());
+  EXPECT_EQ(Interval(7, 1), Interval(0, -1));
+}
+
+TEST(IntervalTest, OrderingByLoThenHi) {
+  EXPECT_LT(Interval(1, 5), Interval(2, 3));
+  EXPECT_LT(Interval(1, 3), Interval(1, 5));
+  EXPECT_LT(Interval::Empty(), Interval(0, 0));
+}
+
+TEST(IntervalTest, ToStringFormats) {
+  EXPECT_EQ(Interval(2, 7).ToString(), "[2,7]");
+  EXPECT_EQ(Interval::Empty().ToString(), "[]");
+}
+
+}  // namespace
+}  // namespace histk

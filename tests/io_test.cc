@@ -1,0 +1,82 @@
+#include "dist/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "dist/generators.h"
+
+namespace histk {
+namespace {
+
+TEST(IoTest, DistributionRoundTripsExactly) {
+  Rng rng(701);
+  const Distribution d = MakeNoisy(MakeZipf(40, 1.3), 0.3, rng);
+  std::stringstream ss;
+  WriteDistribution(ss, d);
+  const auto back = ReadDistribution(ss);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->n(), d.n());
+  for (int64_t i = 0; i < d.n(); ++i) EXPECT_DOUBLE_EQ(back->p(i), d.p(i));
+}
+
+TEST(IoTest, HistogramRoundTripsExactly) {
+  const TilingHistogram h(10, {{0, 2}, {3, 7}, {8, 9}}, {0.05, 0.11, 0.15});
+  std::stringstream ss;
+  WriteTilingHistogram(ss, h);
+  const auto back = ReadTilingHistogram(ss);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->k(), 3);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(back->Value(i), h.Value(i));
+}
+
+TEST(IoTest, RejectsWrongMagic) {
+  std::stringstream ss("other-format v1\nn 3\n0.5 0.25 0.25\n");
+  EXPECT_FALSE(ReadDistribution(ss).has_value());
+}
+
+TEST(IoTest, RejectsWrongVersion) {
+  std::stringstream ss("histk-distribution v9\nn 2\n0.5 0.5\n");
+  EXPECT_FALSE(ReadDistribution(ss).has_value());
+}
+
+TEST(IoTest, RejectsNonNormalizedPmf) {
+  std::stringstream ss("histk-distribution v1\nn 2\n0.5 0.2\n");
+  EXPECT_FALSE(ReadDistribution(ss).has_value());
+}
+
+TEST(IoTest, RejectsNegativeEntries) {
+  std::stringstream ss("histk-distribution v1\nn 2\n1.5 -0.5\n");
+  EXPECT_FALSE(ReadDistribution(ss).has_value());
+}
+
+TEST(IoTest, RejectsTruncatedStream) {
+  std::stringstream ss("histk-distribution v1\nn 4\n0.25 0.25\n");
+  EXPECT_FALSE(ReadDistribution(ss).has_value());
+}
+
+TEST(IoTest, RejectsHistogramWithBadEnds) {
+  // Non-increasing ends.
+  std::stringstream a("histk-tiling-histogram v1\nn 10 k 2\n5 0.1\n5 0.1\n");
+  EXPECT_FALSE(ReadTilingHistogram(a).has_value());
+  // Last end is not n-1.
+  std::stringstream b("histk-tiling-histogram v1\nn 10 k 2\n3 0.1\n8 0.1\n");
+  EXPECT_FALSE(ReadTilingHistogram(b).has_value());
+  // k > n.
+  std::stringstream c("histk-tiling-histogram v1\nn 2 k 3\n0 0.1\n1 0.1\n1 0.1\n");
+  EXPECT_FALSE(ReadTilingHistogram(c).has_value());
+}
+
+TEST(IoTest, HandlesTinyProbabilitiesPrecisely) {
+  std::vector<double> w(8, 1.0);
+  w[3] = 1e-15;
+  const Distribution d = Distribution::FromWeights(w);
+  std::stringstream ss;
+  WriteDistribution(ss, d);
+  const auto back = ReadDistribution(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_DOUBLE_EQ(back->p(3), d.p(3));
+}
+
+}  // namespace
+}  // namespace histk

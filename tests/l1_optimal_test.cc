@@ -1,0 +1,130 @@
+#include "baseline/l1_optimal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "baseline/far_instances.h"
+#include "baseline/voptimal_dp.h"
+#include "core/lower_bound.h"
+#include "dist/generators.h"
+#include "histogram/ops.h"
+#include "util/rng.h"
+
+namespace histk {
+namespace {
+
+// Exhaustive optimum over boundaries AND values (values = medians are
+// optimal per piece, so enumerate boundaries only).
+double BruteForceL1Opt(const Distribution& p, int64_t k) {
+  const int64_t n = p.n();
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<int64_t> cuts;
+  auto piece_cost = [&](int64_t lo, int64_t hi) {
+    std::vector<double> vals;
+    for (int64_t i = lo; i <= hi; ++i) vals.push_back(p.p(i));
+    std::sort(vals.begin(), vals.end());
+    const double med = vals[(vals.size() - 1) / 2];
+    double c = 0.0;
+    for (double v : vals) c += std::fabs(v - med);
+    return c;
+  };
+  auto rec = [&](auto&& self, int64_t start, int64_t remaining) -> void {
+    if (remaining == 0) {
+      double total = 0.0;
+      int64_t lo = 0;
+      std::vector<int64_t> ends = cuts;
+      ends.push_back(n - 1);
+      for (int64_t end : ends) {
+        total += piece_cost(lo, end);
+        lo = end + 1;
+      }
+      best = std::min(best, total);
+      return;
+    }
+    for (int64_t c = start; c <= n - 1 - remaining; ++c) {
+      cuts.push_back(c);
+      self(self, c + 1, remaining - 1);
+      cuts.pop_back();
+    }
+  };
+  rec(rec, 0, std::min(k, n) - 1);
+  return best;
+}
+
+TEST(L1OptimalTest, MatchesBruteForceOnSmallInstances) {
+  Rng rng(1201);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<double> w(9);
+    for (auto& x : w) x = rng.NextDouble();
+    const Distribution p = Distribution::FromWeights(w);
+    for (int64_t k = 1; k <= 4; ++k) {
+      EXPECT_NEAR(L1OptimalError(p, k), BruteForceL1Opt(p, k), 1e-12)
+          << "trial " << trial << " k " << k;
+    }
+  }
+}
+
+TEST(L1OptimalTest, ZeroOnExactHistograms) {
+  Rng rng(1202);
+  const HistogramSpec spec = MakeRandomKHistogram(60, 5, rng);
+  EXPECT_NEAR(L1OptimalError(spec.dist, 5), 0.0, 1e-12);
+}
+
+TEST(L1OptimalTest, MonotoneInK) {
+  Rng rng(1203);
+  const Distribution p = MakeNoisy(MakeZipf(48, 1.0), 0.5, rng);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int64_t k = 1; k <= 10; ++k) {
+    const double e = L1OptimalError(p, k);
+    EXPECT_LE(e, prev + 1e-12);
+    prev = e;
+  }
+}
+
+TEST(L1OptimalTest, HistogramAchievesItsError) {
+  Rng rng(1204);
+  const Distribution p = MakeNoisy(Distribution::Uniform(40), 0.8, rng);
+  const L1OptimalResult res = L1OptimalHistogram(p, 4);
+  EXPECT_NEAR(res.histogram.L1ErrorTo(p), res.error, 1e-10);
+  EXPECT_LE(res.histogram.k(), 4);
+}
+
+TEST(L1OptimalTest, L1OptimalBeatsL2OptimalInL1) {
+  // The L2-optimal histogram is a valid competitor in L1; the L1 DP must
+  // be at least as good (means vs medians differ under outliers).
+  Rng rng(1205);
+  const Distribution p = MakeNoisy(MakeZipf(64, 1.4), 0.4, rng);
+  for (int64_t k : {2, 4, 8}) {
+    const double l1_opt = L1OptimalError(p, k);
+    const double via_l2 = VOptimalHistogram(p, k).histogram.L1ErrorTo(p);
+    EXPECT_LE(l1_opt, via_l2 + 1e-12) << "k=" << k;
+  }
+}
+
+TEST(L1OptimalTest, CertifiesZigzagAnalyticBound) {
+  // The analytic zigzag certificate must lower-bound the exact distance.
+  const FarInstance inst = MakeL1FarZigzag(64, 4, 0.25);
+  const double exact = L1OptimalError(inst.dist, 4);
+  EXPECT_GE(exact, inst.certified_distance - 1e-9);
+  // The analytic bound is tight for the zigzag (equals the DP value).
+  EXPECT_NEAR(inst.certified_distance, exact, 1e-9);
+}
+
+TEST(L1OptimalTest, LowerBoundNoInstanceIsThetaOneOverKFar) {
+  // Theorem 5's NO instance: exact L1 distance from the k-histogram class
+  // is Theta(1/k) — the quantitative heart of the lower bound.
+  Rng rng(1206);
+  for (int64_t k : {4, 8}) {
+    const auto pair = MakeLowerBoundPair(128, k, rng);
+    const double d = L1OptimalError(pair.no, k);
+    const double heavy_w = 1.0 / std::ceil(static_cast<double>(k) / 2.0);
+    EXPECT_GT(d, heavy_w / 4.0) << "k=" << k;   // within a small constant
+    EXPECT_LT(d, 2.0 * heavy_w) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace histk

@@ -1,0 +1,106 @@
+#include "core/lower_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "histogram/ops.h"
+
+namespace histk {
+namespace {
+
+TEST(LowerBoundTest, YesInstanceIsExactKHistogram) {
+  Rng rng(501);
+  for (int64_t k : {2, 4, 7, 8}) {
+    const LowerBoundPair pair = MakeLowerBoundPair(256, k, rng);
+    EXPECT_TRUE(IsTilingKHistogram(pair.yes, k)) << "k=" << k;
+  }
+}
+
+TEST(LowerBoundTest, BothArePmfs) {
+  Rng rng(502);
+  const LowerBoundPair pair = MakeLowerBoundPair(128, 4, rng);
+  for (const Distribution* d : {&pair.yes, &pair.no}) {
+    double total = 0.0;
+    for (int64_t i = 0; i < d->n(); ++i) {
+      EXPECT_GE(d->p(i), 0.0);
+      total += d->p(i);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(LowerBoundTest, IntervalWeightsMatchBetweenYesAndNo) {
+  // The NO instance only re-arranges mass INSIDE one heavy interval; every
+  // k-partition interval has identical weight under both. This is what
+  // makes the pair hard: weight-level statistics cannot distinguish them.
+  Rng rng(503);
+  const LowerBoundPair pair = MakeLowerBoundPair(240, 6, rng);
+  for (int64_t j = 0; j < 6; ++j) {
+    const Interval I(240 * j / 6, 240 * (j + 1) / 6 - 1);
+    EXPECT_NEAR(pair.yes.Weight(I), pair.no.Weight(I), 1e-12) << I.ToString();
+  }
+}
+
+TEST(LowerBoundTest, NoInstanceHalvesSupportInPerturbedInterval) {
+  Rng rng(504);
+  const LowerBoundPair pair = MakeLowerBoundPair(256, 4, rng);
+  const Interval I = pair.perturbed;
+  int64_t zeros = 0, doubled = 0;
+  for (int64_t i = I.lo; i <= I.hi; ++i) {
+    if (pair.no.p(i) == 0.0) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(pair.no.p(i), 2.0 * pair.yes.p(i), 1e-12);
+      ++doubled;
+    }
+  }
+  EXPECT_EQ(zeros, I.length() / 2);
+  EXPECT_EQ(doubled, I.length() - I.length() / 2);
+}
+
+TEST(LowerBoundTest, L1DistanceBetweenYesAndNoIsOneOverHeavyCount) {
+  Rng rng(505);
+  const LowerBoundPair pair = MakeLowerBoundPair(256, 8, rng);
+  // Zeroed half loses w/2, survivors gain w/2 => total L1 = w = 1/num_heavy.
+  EXPECT_NEAR(pair.yes.L1DistanceTo(pair.no), 1.0 / static_cast<double>(pair.num_heavy),
+              1e-9);
+}
+
+TEST(LowerBoundTest, NoInstanceIsFarFromKHistograms) {
+  // The scattered zero/double pattern needs many pieces to represent.
+  Rng rng(506);
+  const LowerBoundPair pair = MakeLowerBoundPair(256, 4, rng);
+  EXPECT_GT(MinimalPieceCount(pair.no), 4);
+}
+
+TEST(LowerBoundTest, HeavyIntervalsAlternate) {
+  Rng rng(507);
+  const LowerBoundPair pair = MakeLowerBoundPair(240, 6, rng);
+  // Intervals 0, 2, 4 are heavy; 1, 3, 5 empty.
+  for (int64_t j = 0; j < 6; ++j) {
+    const Interval I(240 * j / 6, 240 * (j + 1) / 6 - 1);
+    if (j % 2 == 0) {
+      EXPECT_NEAR(pair.yes.Weight(I), 1.0 / 3.0, 1e-12);
+    } else {
+      EXPECT_NEAR(pair.yes.Weight(I), 0.0, 1e-12);
+    }
+  }
+  EXPECT_EQ(pair.num_heavy, 3);
+}
+
+TEST(LowerBoundTest, OddKAndUnevenN) {
+  Rng rng(508);
+  const LowerBoundPair pair = MakeLowerBoundPair(250, 7, rng);  // 250 % 7 != 0
+  EXPECT_EQ(pair.num_heavy, 4);
+  double total = 0.0;
+  for (int64_t i = 0; i < 250; ++i) total += pair.no.p(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_TRUE(IsTilingKHistogram(pair.yes, 7));
+}
+
+TEST(LowerBoundDeathTest, RejectsTooSmallDomain) {
+  Rng rng(509);
+  EXPECT_DEATH(MakeLowerBoundPair(6, 4, rng), "n >= 2");
+}
+
+}  // namespace
+}  // namespace histk

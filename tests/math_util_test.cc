@@ -1,0 +1,78 @@
+#include "util/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace histk {
+namespace {
+
+TEST(MathUtilTest, PairCountSmallValues) {
+  EXPECT_EQ(PairCount(0), 0u);
+  EXPECT_EQ(PairCount(1), 0u);
+  EXPECT_EQ(PairCount(2), 1u);
+  EXPECT_EQ(PairCount(3), 3u);
+  EXPECT_EQ(PairCount(10), 45u);
+}
+
+TEST(MathUtilTest, PairCountLargeNoOverflow) {
+  // 2^32 choose 2 fits in uint64.
+  const uint64_t m = 1ull << 32;
+  EXPECT_EQ(PairCount(m), (m / 2) * (m - 1));
+}
+
+TEST(MathUtilTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  // Lower median for even sizes.
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({5.0, 5.0, 5.0, 5.0}), 5.0);
+}
+
+TEST(MathUtilTest, MedianRobustToOutliers) {
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0, 4.0, 1e9}), 3.0);
+}
+
+TEST(MathUtilTest, MeanAndStdDev) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(StdDev(v), 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(MathUtilTest, StableSumCompensates) {
+  // Summing 1 + many tiny values loses precision naively.
+  std::vector<double> v{1.0};
+  for (int i = 0; i < 10000000; ++i) v.push_back(1e-16);
+  EXPECT_NEAR(StableSum(v), 1.0 + 1e-9, 1e-12);
+}
+
+TEST(MathUtilTest, WilsonScoreContainsPointEstimate) {
+  const auto ci = WilsonScore(80, 100);
+  EXPECT_LT(ci.lower, 0.8);
+  EXPECT_GT(ci.upper, 0.8);
+  EXPECT_GT(ci.lower, 0.7);
+  EXPECT_LT(ci.upper, 0.9);
+}
+
+TEST(MathUtilTest, WilsonScoreEdges) {
+  const auto zero = WilsonScore(0, 50);
+  EXPECT_DOUBLE_EQ(zero.lower, 0.0);
+  EXPECT_GT(zero.upper, 0.0);
+  const auto all = WilsonScore(50, 50);
+  EXPECT_DOUBLE_EQ(all.upper, 1.0);
+  EXPECT_LT(all.lower, 1.0);
+}
+
+TEST(MathUtilTest, CeilDivAndCeilToInt64) {
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+  EXPECT_EQ(CeilToInt64(2.1), 3);
+  EXPECT_EQ(CeilToInt64(2.0), 2);
+  EXPECT_EQ(CeilToInt64(0.1, 5), 5);  // floor applies
+}
+
+TEST(MathUtilDeathTest, MedianOfEmptyAborts) {
+  EXPECT_DEATH(Median({}), "empty");
+}
+
+}  // namespace
+}  // namespace histk

@@ -1,0 +1,170 @@
+#include "histogram/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/voptimal_dp.h"
+#include "dist/generators.h"
+#include "util/rng.h"
+
+namespace histk {
+namespace {
+
+TEST(OpsTest, ProjectToBoundariesUsesIntervalMeans) {
+  const Distribution d = Distribution::FromWeights({4, 0, 2, 2, 8, 8});
+  const TilingHistogram h = ProjectToBoundaries(d, {1, 3, 5});
+  EXPECT_DOUBLE_EQ(h.Value(0), d.IntervalMean(Interval(0, 1)));
+  EXPECT_DOUBLE_EQ(h.Value(2), d.IntervalMean(Interval(2, 3)));
+  EXPECT_DOUBLE_EQ(h.Value(4), d.IntervalMean(Interval(4, 5)));
+}
+
+TEST(OpsTest, ProjectionIsOptimalForItsBoundaries) {
+  Rng rng(71);
+  const HistogramSpec spec = MakeRandomKHistogram(48, 5, rng);
+  const Distribution noisy = MakeNoisy(spec.dist, 0.4, rng);
+  const std::vector<int64_t> ends{10, 20, 30, 47};
+  const TilingHistogram proj = ProjectToBoundaries(noisy, ends);
+  const double proj_err = proj.L2SquaredErrorTo(noisy);
+  // Perturbing any piece value only hurts.
+  for (size_t j = 0; j < proj.values().size(); ++j) {
+    auto vals = proj.values();
+    vals[j] += 0.01;
+    const TilingHistogram worse =
+        TilingHistogram::FromRightEnds(noisy.n(), ends, std::move(vals));
+    EXPECT_GT(worse.L2SquaredErrorTo(noisy), proj_err);
+  }
+}
+
+TEST(OpsTest, BoundariesSseMatchesProjectionError) {
+  Rng rng(72);
+  const Distribution d = MakeNoisy(Distribution::Uniform(32), 0.8, rng);
+  const std::vector<int64_t> ends{7, 15, 23, 31};
+  EXPECT_NEAR(BoundariesSse(d, ends),
+              ProjectToBoundaries(d, ends).L2SquaredErrorTo(d), 1e-12);
+}
+
+TEST(OpsTest, BoundariesSseFullSplitIsZero) {
+  const Distribution d = Distribution::FromWeights({1, 2, 3, 4});
+  EXPECT_NEAR(BoundariesSse(d, {0, 1, 2, 3}), 0.0, 1e-15);
+}
+
+TEST(OpsTest, MinimalPieceCountExamples) {
+  EXPECT_EQ(MinimalPieceCount(Distribution::Uniform(16)), 1);
+  EXPECT_EQ(MinimalPieceCount(Distribution::FromWeights({1, 1, 2, 2, 2, 1})), 3);
+  EXPECT_EQ(MinimalPieceCount(Distribution::PointMass(5, 2)), 3);  // 0s,1,0s
+  EXPECT_EQ(MinimalPieceCount(Distribution::FromWeights({1, 2, 1, 2})), 4);
+}
+
+TEST(OpsTest, IsTilingKHistogramThresholds) {
+  const Distribution d = Distribution::FromWeights({1, 1, 2, 2, 2, 1});
+  EXPECT_FALSE(IsTilingKHistogram(d, 2));
+  EXPECT_TRUE(IsTilingKHistogram(d, 3));
+  EXPECT_TRUE(IsTilingKHistogram(d, 6));
+}
+
+TEST(OpsTest, GeneratedHistogramsSatisfyTheirK) {
+  Rng rng(73);
+  for (int64_t k : {1, 3, 8}) {
+    const HistogramSpec spec = MakeRandomKHistogram(100, k, rng);
+    EXPECT_TRUE(IsTilingKHistogram(spec.dist, k));
+  }
+}
+
+TEST(ReduceToKPiecesTest, IdentityWhenAlreadySmall) {
+  const TilingHistogram h(10, {{0, 4}, {5, 9}}, {0.1, 0.1});
+  const TilingHistogram r = ReduceToKPieces(h, 3);
+  EXPECT_EQ(r.k(), 2);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(r.Value(i), h.Value(i));
+}
+
+TEST(ReduceToKPiecesTest, MergesLeastDamagingPieces) {
+  // Values 1, 1.01, 5: merging the two near-equal pieces is clearly best.
+  const TilingHistogram h(12, {{0, 3}, {4, 7}, {8, 11}}, {1.0, 1.01, 5.0});
+  const TilingHistogram r = ReduceToKPieces(h, 2);
+  ASSERT_EQ(r.k(), 2);
+  EXPECT_EQ(r.pieces()[0], Interval(0, 7));
+  EXPECT_NEAR(r.values()[0], 1.005, 1e-12);
+  EXPECT_DOUBLE_EQ(r.values()[1], 5.0);
+}
+
+TEST(ReduceToKPiecesTest, MatchesElementLevelDpOnDistributions) {
+  // Reducing an exact representation of p must give the same error as the
+  // element-level DP restricted to h's boundaries... in particular, when h
+  // has singleton pieces everywhere it IS the element-level problem.
+  Rng rng(74);
+  std::vector<double> w(16);
+  for (auto& x : w) x = 0.05 + rng.NextDouble();
+  const Distribution p = Distribution::FromWeights(w);
+  std::vector<Interval> pieces;
+  std::vector<double> vals;
+  for (int64_t i = 0; i < 16; ++i) {
+    pieces.emplace_back(i, i);
+    vals.push_back(p.p(i));
+  }
+  const TilingHistogram h(16, pieces, vals);
+  for (int64_t k : {2, 4, 7}) {
+    const TilingHistogram r = ReduceToKPieces(h, k);
+    EXPECT_LE(r.k(), k);
+    // Error of the reduction against p equals the optimal DP error (the
+    // reduction solved the same problem).
+    EXPECT_NEAR(r.L2SquaredErrorTo(p), BoundariesSse(p, [&] {
+                  std::vector<int64_t> ends;
+                  for (const auto& piece : r.pieces()) ends.push_back(piece.hi);
+                  return ends;
+                }()),
+                1e-12);
+    // With singleton input pieces the reduction IS the element-level DP.
+    EXPECT_NEAR(r.L2SquaredErrorTo(p), VOptimalSse(p, k), 1e-12);
+  }
+}
+
+TEST(MergeTilingsTest, PointwiseCombination) {
+  const TilingHistogram a(8, {{0, 3}, {4, 7}}, {0.2, 0.05});
+  const TilingHistogram b(8, {{0, 1}, {2, 7}}, {0.3, 0.1});
+  const TilingHistogram m = MergeTilings(a, b, 0.5, 0.5);
+  for (int64_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(m.Value(i), 0.5 * a.Value(i) + 0.5 * b.Value(i)) << i;
+  }
+  // Union refinement: boundaries at 1, 3 -> 3 pieces.
+  EXPECT_EQ(m.k(), 3);
+}
+
+TEST(MergeTilingsTest, ShardWeightsRecoverGlobalHistogram) {
+  // Two shards with 1:3 size ratio; merging shard-exact histograms with
+  // those weights reproduces the pooled distribution's projection.
+  const Distribution shard1 = Distribution::FromWeights({4, 4, 0, 0});
+  const Distribution shard2 = Distribution::FromWeights({0, 0, 2, 6});
+  const TilingHistogram h1 = ProjectToBoundaries(shard1, {1, 3});
+  const TilingHistogram h2 = ProjectToBoundaries(shard2, {1, 3});
+  const TilingHistogram merged = MergeTilings(h1, h2, 0.25, 0.75);
+  // Pooled: 0.25*shard1 + 0.75*shard2.
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(merged.Value(i),
+                0.25 * h1.Value(i) + 0.75 * h2.Value(i), 1e-12);
+  }
+  EXPECT_NEAR(merged.Mass(Interval::Full(4)), 1.0, 1e-12);
+}
+
+TEST(MergeTilingsTest, IdentityMergeCondenses) {
+  const TilingHistogram a(6, {{0, 2}, {3, 5}}, {0.1, 0.23333333});
+  const TilingHistogram m = MergeTilings(a, a, 0.5, 0.5);
+  EXPECT_EQ(m.k(), 2);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(m.Value(i), a.Value(i));
+}
+
+TEST(ReduceToKPiecesTest, ReductionErrorIsOptimalAmongBoundarySubsets) {
+  // Brute-force check on a small instance: no choice of k-1 cut positions
+  // among h's piece boundaries does better.
+  const TilingHistogram h(10, {{0, 1}, {2, 4}, {5, 6}, {7, 9}},
+                          {0.2, 0.05, 0.15, 0.05});
+  const TilingHistogram r = ReduceToKPieces(h, 2);
+  const Distribution href = h.ToDistribution();
+  const double red_err = r.L2SquaredErrorTo(href);
+  for (int64_t cut = 0; cut < 3; ++cut) {
+    std::vector<int64_t> ends{h.pieces()[static_cast<size_t>(cut)].hi, 9};
+    EXPECT_GE(ProjectToBoundaries(href, ends).L2SquaredErrorTo(href),
+              red_err - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace histk

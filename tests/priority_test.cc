@@ -1,0 +1,106 @@
+#include "histogram/priority.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace histk {
+namespace {
+
+TEST(PriorityTest, EmptyHistogramIsZero) {
+  PriorityHistogram h(8);
+  for (int64_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(h.Value(i), 0.0);
+  const TilingHistogram t = h.Flatten();
+  EXPECT_EQ(t.k(), 1);
+  EXPECT_DOUBLE_EQ(t.Value(3), 0.0);
+}
+
+TEST(PriorityTest, HigherRankWins) {
+  PriorityHistogram h(10);
+  h.Add(Interval(0, 9), 1.0);  // rank 1
+  h.Add(Interval(3, 6), 2.0);  // rank 2 overrides inside [3,6]
+  EXPECT_DOUBLE_EQ(h.Value(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Value(3), 2.0);
+  EXPECT_DOUBLE_EQ(h.Value(6), 2.0);
+  EXPECT_DOUBLE_EQ(h.Value(7), 1.0);
+}
+
+TEST(PriorityTest, AutoRankIncrements) {
+  PriorityHistogram h(4);
+  h.Add(Interval(0, 3), 1.0);
+  h.Add(Interval(0, 1), 2.0);
+  EXPECT_EQ(h.entries()[0].rank, 1);
+  EXPECT_EQ(h.entries()[1].rank, 2);
+}
+
+TEST(PriorityTest, ExplicitTiesResolveToLaterMax) {
+  // Same rank: Value picks the max-rank entry scanned last only if strictly
+  // greater; equal ranks keep the first. Paper entries within an iteration
+  // never overlap, so ties are unobservable in real use; pin the behaviour.
+  PriorityHistogram h(4);
+  h.AddWithRank(Interval(0, 3), 1.0, 5);
+  h.AddWithRank(Interval(0, 3), 2.0, 5);
+  EXPECT_DOUBLE_EQ(h.Value(0), 1.0);
+}
+
+TEST(PriorityTest, UncoveredStretchesAreZero) {
+  PriorityHistogram h(10);
+  h.Add(Interval(2, 3), 0.5);
+  h.Add(Interval(7, 8), 0.25);
+  EXPECT_DOUBLE_EQ(h.Value(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Value(5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Value(9), 0.0);
+  EXPECT_DOUBLE_EQ(h.Value(2), 0.5);
+  EXPECT_DOUBLE_EQ(h.Value(8), 0.25);
+}
+
+TEST(PriorityTest, FlattenMatchesValueEverywhere) {
+  Rng rng(61);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int64_t n = 32;
+    PriorityHistogram h(n);
+    const int entries = 1 + static_cast<int>(rng.UniformInt(6));
+    for (int e = 0; e < entries; ++e) {
+      const int64_t lo = rng.UniformInRange(0, n - 1);
+      const int64_t hi = rng.UniformInRange(lo, n - 1);
+      h.Add(Interval(lo, hi), rng.NextDouble());
+    }
+    const TilingHistogram t = h.Flatten();
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_DOUBLE_EQ(t.Value(i), h.Value(i)) << "trial " << trial << " i " << i;
+    }
+  }
+}
+
+TEST(PriorityTest, FlattenPieceCountBound) {
+  // A priority k-histogram flattens to <= 2k+1 pieces (paper: tiling
+  // 2k-histogram; +1 covers the leading/trailing zero stretch).
+  Rng rng(62);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int64_t n = 64;
+    PriorityHistogram h(n);
+    const int entries = 1 + static_cast<int>(rng.UniformInt(8));
+    for (int e = 0; e < entries; ++e) {
+      const int64_t lo = rng.UniformInRange(0, n - 1);
+      const int64_t hi = rng.UniformInRange(lo, n - 1);
+      h.Add(Interval(lo, hi), 1.0 + rng.NextDouble());  // nonzero values
+    }
+    EXPECT_LE(h.Flatten().k(), 2 * entries + 1);
+  }
+}
+
+TEST(PriorityTest, FlattenMergesAdjacentEqualValues) {
+  PriorityHistogram h(10);
+  h.Add(Interval(0, 4), 0.1);
+  h.Add(Interval(5, 9), 0.1);
+  EXPECT_EQ(h.Flatten().k(), 1);
+}
+
+TEST(PriorityDeathTest, RejectsBadEntries) {
+  PriorityHistogram h(10);
+  EXPECT_DEATH(h.Add(Interval::Empty(), 1.0), "non-empty");
+  EXPECT_DEATH(h.Add(Interval(5, 12), 1.0), "outside domain");
+}
+
+}  // namespace
+}  // namespace histk

@@ -1,0 +1,70 @@
+#include "dist/quantiles.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/generators.h"
+#include "histogram/ops.h"
+
+namespace histk {
+namespace {
+
+TEST(QuantilesTest, CdfIsMonotoneEndsAtOne) {
+  const Distribution d = MakeZipf(32, 1.0);
+  const auto cdf = Cdf(d);
+  ASSERT_EQ(cdf.size(), 32u);
+  for (size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+  EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+}
+
+TEST(QuantilesTest, QuantileOfUniform) {
+  const Distribution u = Distribution::Uniform(100);
+  EXPECT_EQ(Quantile(u, 0.5), 49);
+  EXPECT_EQ(Quantile(u, 0.01), 0);
+  EXPECT_EQ(Quantile(u, 1.0), 99);
+}
+
+TEST(QuantilesTest, QuantileSkipsZeroMass) {
+  const Distribution d = Distribution::FromWeights({0, 0, 1, 1, 0});
+  EXPECT_EQ(Quantile(d, 0.0), 2);
+  EXPECT_EQ(Quantile(d, 0.5), 2);
+  EXPECT_EQ(Quantile(d, 0.75), 3);
+  EXPECT_EQ(Quantile(d, 1.0), 3);
+}
+
+TEST(QuantilesTest, QuantileOfPointMass) {
+  const Distribution d = Distribution::PointMass(64, 17);
+  for (double q : {0.0, 0.1, 0.5, 1.0}) EXPECT_EQ(Quantile(d, q), 17);
+}
+
+TEST(QuantilesTest, EquiDepthEndsBalanceMass) {
+  const Distribution d = MakeZipf(256, 1.0);
+  const auto ends = EquiDepthEnds(d, 8);
+  EXPECT_LE(ends.size(), 8u);
+  EXPECT_EQ(ends.back(), 255);
+  // Equi-depth invariant: the prefix through the j-th end holds at least
+  // (j+1)/k of the mass (single heavy elements may overshoot a cut, so the
+  // per-piece mass can dip below 1/k — only the prefix bound holds).
+  for (size_t j = 0; j + 1 < ends.size(); ++j) {
+    EXPECT_GE(d.Weight(Interval(0, ends[j])),
+              static_cast<double>(j + 1) / 8.0 - 1e-12)
+        << "j=" << j;
+  }
+}
+
+TEST(QuantilesTest, EquiDepthOnUniformIsEquiWidth) {
+  const auto ends = EquiDepthEnds(Distribution::Uniform(100), 4);
+  EXPECT_EQ(ends, (std::vector<int64_t>{24, 49, 74, 99}));
+}
+
+TEST(QuantilesTest, KsDistanceBasics) {
+  const Distribution a = Distribution::FromPmf({0.5, 0.5, 0.0, 0.0});
+  const Distribution b = Distribution::FromPmf({0.0, 0.0, 0.5, 0.5});
+  EXPECT_NEAR(KsDistance(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(KsDistance(a, a), 0.0, 1e-15);
+  // KS <= L1/... KS is at most total variation = L1/2.
+  const Distribution c = Distribution::FromPmf({0.25, 0.25, 0.25, 0.25});
+  EXPECT_LE(KsDistance(a, c), a.L1DistanceTo(c) / 2.0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace histk

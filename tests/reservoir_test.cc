@@ -1,0 +1,71 @@
+#include "stream/reservoir.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace histk {
+namespace {
+
+TEST(ReservoirTest, KeepsEverythingBelowCapacity) {
+  Reservoir r(10, 801);
+  for (int64_t i = 0; i < 7; ++i) r.Add(i * 11);
+  EXPECT_EQ(r.stream_size(), 7);
+  ASSERT_EQ(r.sample().size(), 7u);
+  for (int64_t i = 0; i < 7; ++i) EXPECT_EQ(r.sample()[static_cast<size_t>(i)], i * 11);
+}
+
+TEST(ReservoirTest, CapsAtCapacity) {
+  Reservoir r(5, 802);
+  for (int64_t i = 0; i < 1000; ++i) r.Add(i);
+  EXPECT_EQ(r.stream_size(), 1000);
+  EXPECT_EQ(r.sample().size(), 5u);
+}
+
+TEST(ReservoirTest, UniformInclusionProbability) {
+  // Each of 50 stream items should land in a 10-slot reservoir with
+  // probability 1/5; average over many independent reservoirs.
+  const int trials = 4000;
+  std::vector<int> hits(50, 0);
+  for (int t = 0; t < trials; ++t) {
+    Reservoir r(10, 900 + static_cast<uint64_t>(t));
+    for (int64_t i = 0; i < 50; ++i) r.Add(i);
+    for (int64_t v : r.sample()) ++hits[static_cast<size_t>(v)];
+  }
+  for (int64_t i = 0; i < 50; ++i) {
+    EXPECT_NEAR(static_cast<double>(hits[static_cast<size_t>(i)]) / trials, 0.2, 0.03)
+        << "item " << i;
+  }
+}
+
+TEST(ReservoirTest, DeterministicGivenSeed) {
+  Reservoir a(8, 77), b(8, 77);
+  for (int64_t i = 0; i < 500; ++i) {
+    a.Add(i % 13);
+    b.Add(i % 13);
+  }
+  EXPECT_EQ(a.sample(), b.sample());
+}
+
+TEST(ReservoirBankTest, IndependentReservoirs) {
+  ReservoirBank bank({6, 6, 6}, 803);
+  for (int64_t i = 0; i < 2000; ++i) bank.Add(i);
+  EXPECT_EQ(bank.size(), 3);
+  // Same capacity, same stream — but different retained samples.
+  EXPECT_NE(bank.reservoir(0).sample(), bank.reservoir(1).sample());
+  EXPECT_NE(bank.reservoir(1).sample(), bank.reservoir(2).sample());
+}
+
+TEST(ReservoirBankTest, MixedCapacities) {
+  ReservoirBank bank({3, 100}, 804);
+  for (int64_t i = 0; i < 50; ++i) bank.Add(i);
+  EXPECT_EQ(bank.reservoir(0).sample().size(), 3u);
+  EXPECT_EQ(bank.reservoir(1).sample().size(), 50u);  // under capacity
+}
+
+TEST(ReservoirDeathTest, RejectsZeroCapacity) {
+  EXPECT_DEATH(Reservoir(0, 1), "capacity");
+}
+
+}  // namespace
+}  // namespace histk

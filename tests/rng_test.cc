@@ -1,0 +1,176 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace histk {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(4);
+  double acc = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) acc += rng.NextDouble();
+  EXPECT_NEAR(acc / trials, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntStaysInBounds) {
+  Rng rng(5);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.UniformInt(bound), bound);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(6);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(7);
+  const int buckets = 10, trials = 100000;
+  std::vector<int> counts(buckets, 0);
+  for (int i = 0; i < trials; ++i) ++counts[rng.UniformInt(buckets)];
+  // Chi-square with 9 dof: 99.9% quantile ~ 27.9.
+  double chi2 = 0.0;
+  const double expect = static_cast<double>(trials) / buckets;
+  for (int c : counts) chi2 += (c - expect) * (c - expect) / expect;
+  EXPECT_LT(chi2, 30.0);
+}
+
+TEST(RngTest, UniformInRangeInclusive) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(9);
+  const int trials = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double z = rng.Normal();
+    sum += z;
+    sumsq += z * z;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / trials, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(10);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(11);
+  Rng child = parent.Fork();
+  // Child and parent outputs should not track each other.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextU64() == child.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(12);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(13);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<size_t>(i)] = i;
+  auto orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // probability of identity is astronomically small
+}
+
+TEST(RngTest, SampleDistinctBasicProperties) {
+  Rng rng(14);
+  for (int64_t count : {0ll, 1ll, 5ll, 20ll, 40ll}) {
+    const auto s = rng.SampleDistinct(40, count);
+    EXPECT_EQ(static_cast<int64_t>(s.size()), count);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    EXPECT_EQ(std::set<int64_t>(s.begin(), s.end()).size(), s.size());
+    for (int64_t v : s) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 40);
+    }
+  }
+}
+
+TEST(RngTest, SampleDistinctFullRangeIsIdentitySet) {
+  Rng rng(15);
+  const auto s = rng.SampleDistinct(10, 10);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(s[static_cast<size_t>(i)], i);
+}
+
+TEST(RngTest, SampleDistinctIsUnbiasedish) {
+  // Every element should be chosen with frequency ~ count/n.
+  Rng rng(16);
+  std::vector<int> hits(20, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (int64_t v : rng.SampleDistinct(20, 5)) ++hits[static_cast<size_t>(v)];
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / trials, 0.25, 0.02);
+  }
+}
+
+TEST(RngTest, SplitMix64KnownSequenceIsStable) {
+  uint64_t state = 0;
+  const uint64_t first = SplitMix64(state);
+  uint64_t state2 = 0;
+  EXPECT_EQ(first, SplitMix64(state2));
+  EXPECT_NE(SplitMix64(state), first);
+}
+
+}  // namespace
+}  // namespace histk

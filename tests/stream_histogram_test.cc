@@ -1,0 +1,94 @@
+#include "stream/stream_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/voptimal_dp.h"
+#include "dist/generators.h"
+#include "dist/sampler.h"
+
+namespace histk {
+namespace {
+
+// Feeds `stream_len` draws from d into a builder.
+StreamHistogramBuilder BuildFrom(const Distribution& d, int64_t stream_len,
+                                 const StreamHistogramOptions& opt, uint64_t seed) {
+  StreamHistogramBuilder builder(d.n(), opt);
+  const AliasSampler sampler(d);
+  Rng rng(seed);
+  for (int64_t i = 0; i < stream_len; ++i) builder.Add(sampler.Draw(rng));
+  return builder;
+}
+
+TEST(StreamHistogramTest, LearnsHistogramFromOnePass) {
+  Rng gen(1001);
+  const HistogramSpec spec = MakeRandomKHistogram(128, 4, gen, 25.0);
+  StreamHistogramOptions opt;
+  opt.k = 4;
+  opt.eps = 0.2;
+  opt.seed = 5;
+  // Stream 30x longer than the largest reservoir: sampling analysis holds.
+  const GreedyParams params = ComputeGreedyParams(128, 4, 0.2, 1.0);
+  const int64_t stream_len = 30 * std::max(params.l, params.m);
+  const StreamHistogramBuilder builder = BuildFrom(spec.dist, stream_len, opt, 1002);
+
+  const LearnResult res = builder.Finalize();
+  EXPECT_LT(res.tiling.L2SquaredErrorTo(spec.dist), 0.01);
+}
+
+TEST(StreamHistogramTest, BeatsSketchEquiDepthOnPiecewiseData) {
+  Rng gen(1003);
+  const HistogramSpec spec = MakeRandomKHistogram(128, 6, gen, 40.0);
+  StreamHistogramOptions opt;
+  opt.k = 6;
+  opt.eps = 0.2;
+  const StreamHistogramBuilder builder = BuildFrom(spec.dist, 400000, opt, 1004);
+  const double greedy_err = builder.Finalize().tiling.L2SquaredErrorTo(spec.dist);
+  const double depth_err = builder.FinalizeEquiDepth().L2SquaredErrorTo(spec.dist);
+  EXPECT_LT(greedy_err, depth_err);
+}
+
+TEST(StreamHistogramTest, RangeCountsApproximateStream) {
+  StreamHistogramOptions opt;
+  opt.k = 2;
+  opt.eps = 0.3;
+  opt.cm_eps = 0.005;
+  const Distribution d = MakeZipf(256, 1.2);
+  const StreamHistogramBuilder builder = BuildFrom(d, 100000, opt, 1005);
+  EXPECT_EQ(builder.stream_size(), 100000);
+  // Head weight ~ d.Weight([0,7]).
+  const double est = static_cast<double>(builder.RangeCount(Interval(0, 7))) / 100000.0;
+  EXPECT_NEAR(est, d.Weight(Interval(0, 7)), 0.12);
+}
+
+TEST(StreamHistogramTest, ShortStreamStillWorks) {
+  // Stream shorter than the reservoirs: every item retained, learner runs
+  // on the exact stream contents.
+  StreamHistogramOptions opt;
+  opt.k = 2;
+  opt.eps = 0.3;
+  const Distribution d = MakeStaircase(64, 2).dist;
+  const StreamHistogramBuilder builder = BuildFrom(d, 3000, opt, 1006);
+  const LearnResult res = builder.Finalize();
+  EXPECT_LT(res.tiling.L2SquaredErrorTo(d), 0.05);
+}
+
+TEST(StreamHistogramDeathTest, EmptyStreamAborts) {
+  StreamHistogramOptions opt;
+  StreamHistogramBuilder builder(32, opt);
+  EXPECT_DEATH(builder.Finalize(), "empty stream");
+}
+
+TEST(StreamHistogramTest, ParamsExposed) {
+  StreamHistogramOptions opt;
+  opt.k = 3;
+  opt.eps = 0.25;
+  opt.sample_scale = 0.5;
+  StreamHistogramBuilder builder(64, opt);
+  const GreedyParams expect = ComputeGreedyParams(64, 3, 0.25, 0.5);
+  EXPECT_EQ(builder.params().l, expect.l);
+  EXPECT_EQ(builder.params().m, expect.m);
+  EXPECT_EQ(builder.params().r, expect.r);
+}
+
+}  // namespace
+}  // namespace histk

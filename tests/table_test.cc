@@ -1,0 +1,57 @@
+#include "util/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace histk {
+namespace {
+
+TEST(TableTest, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22222"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Two header tokens + rule + two rows = 4 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableDeathTest, RowArityMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "arity");
+}
+
+TEST(TableTest, NumRows) {
+  Table t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(FmtF(3.14159, 2), "3.14");
+  EXPECT_EQ(FmtF(3.14159, 4), "3.1416");
+  EXPECT_EQ(FmtE(0.000123, 2), "1.23e-04");
+  EXPECT_EQ(FmtI(1234567), "1_234_567");
+  EXPECT_EQ(FmtI(-42), "-42");
+  EXPECT_EQ(FmtI(0), "0");
+  EXPECT_EQ(FmtI(999), "999");
+  EXPECT_EQ(FmtI(1000), "1_000");
+}
+
+}  // namespace
+}  // namespace histk

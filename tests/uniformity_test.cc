@@ -1,0 +1,86 @@
+#include "baseline/uniformity.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/generators.h"
+
+namespace histk {
+namespace {
+
+Distribution HalfSupportUniform(int64_t n, Rng& rng) {
+  std::vector<double> w(static_cast<size_t>(n), 0.0);
+  for (int64_t v : rng.SampleDistinct(n, n / 2)) w[static_cast<size_t>(v)] = 1.0;
+  return Distribution::FromWeights(std::move(w));
+}
+
+TEST(UniformityTest, AcceptsUniformL2) {
+  const AliasSampler sampler(Distribution::Uniform(1024));
+  Rng rng(111);
+  int accepted = 0;
+  for (int t = 0; t < 20; ++t) {
+    accepted += TestUniformity(sampler, 0.1, Norm::kL2, rng).accepted ? 1 : 0;
+  }
+  EXPECT_GE(accepted, 18);
+}
+
+TEST(UniformityTest, AcceptsUniformL1) {
+  const AliasSampler sampler(Distribution::Uniform(1024));
+  Rng rng(112);
+  int accepted = 0;
+  for (int t = 0; t < 20; ++t) {
+    accepted += TestUniformity(sampler, 0.25, Norm::kL1, rng).accepted ? 1 : 0;
+  }
+  EXPECT_GE(accepted, 18);
+}
+
+TEST(UniformityTest, RejectsHalfSupportL1) {
+  Rng rng(113);
+  const Distribution far = HalfSupportUniform(1024, rng);
+  // ||far - uniform||_1 = 1, far above eps = 0.25.
+  const AliasSampler sampler(far);
+  int rejected = 0;
+  for (int t = 0; t < 20; ++t) {
+    rejected += TestUniformity(sampler, 0.25, Norm::kL1, rng).accepted ? 0 : 1;
+  }
+  EXPECT_GE(rejected, 18);
+}
+
+TEST(UniformityTest, RejectsPointMassL2) {
+  const AliasSampler sampler(Distribution::PointMass(256, 17));
+  Rng rng(114);
+  for (int t = 0; t < 5; ++t) {
+    EXPECT_FALSE(TestUniformity(sampler, 0.2, Norm::kL2, rng).accepted);
+  }
+}
+
+TEST(UniformityTest, CollisionRateNearL2NormSquared) {
+  const Distribution d = MakeZipf(128, 1.0);
+  const AliasSampler sampler(d);
+  Rng rng(115);
+  const SampleSet s = SampleSet::Draw(sampler, 300000, rng);
+  const UniformityResult res = TestUniformityOnSamples(s, 0.1, Norm::kL2);
+  EXPECT_NEAR(res.collision_rate, d.L2NormSquared(), 5e-4);
+}
+
+TEST(UniformityTest, ThresholdsDifferByNorm) {
+  const AliasSampler sampler(Distribution::Uniform(64));
+  Rng rng(116);
+  const SampleSet s = SampleSet::Draw(sampler, 10000, rng);
+  const auto l1 = TestUniformityOnSamples(s, 0.2, Norm::kL1);
+  const auto l2 = TestUniformityOnSamples(s, 0.2, Norm::kL2);
+  EXPECT_NEAR(l1.threshold, (1.0 + 0.01) / 64.0, 1e-12);
+  EXPECT_NEAR(l2.threshold, 1.0 / 64.0 + 0.02, 1e-12);
+}
+
+TEST(UniformityTest, ScaleControlsSampleCount) {
+  const AliasSampler sampler(Distribution::Uniform(256));
+  Rng rng(117);
+  const auto full = TestUniformity(sampler, 0.2, Norm::kL1, rng, 1.0);
+  const auto half = TestUniformity(sampler, 0.2, Norm::kL1, rng, 0.5);
+  EXPECT_NEAR(static_cast<double>(half.samples_used) /
+                  static_cast<double>(full.samples_used),
+              0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace histk

@@ -1,0 +1,186 @@
+// histk_cli — learn or test histogram structure from a file of samples.
+//
+// The input is a data set D: one integer item per line (values in [0, n)).
+// Following the paper's model, p = empirical distribution of D and the
+// algorithms draw i.i.d. samples by picking random elements of D.
+//
+// Usage:
+//   histk_cli learn --k 8 --eps 0.1 [--n N] [--scale S] [--full-enum]
+//                   [--reduce] [--seed X] < items.txt > histogram.txt
+//   histk_cli test  --k 8 --eps 0.3 --norm l2|l1 [--n N] [--scale S]
+//                   [--seed X] < items.txt
+//   histk_cli voptimal --k 8 [--n N] < items.txt > histogram.txt
+//
+// `learn` writes a histk-tiling-histogram v1 file to stdout; `test` prints
+// the verdict and the flat partition; `voptimal` runs the exact DP on the
+// empirical pmf (reads all of D; for reference, not sub-linear).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/histk.h"
+
+namespace {
+
+using namespace histk;
+
+struct Args {
+  std::string command;
+  int64_t k = 8;
+  double eps = 0.1;
+  int64_t n = 0;  // 0 = infer max+1
+  double scale = 1.0;
+  Norm norm = Norm::kL2;
+  bool full_enum = false;
+  bool reduce = false;
+  uint64_t seed = 1;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: histk_cli <learn|test|voptimal> [--k K] [--eps E] [--n N]\n"
+               "                 [--scale S] [--norm l1|l2] [--full-enum]\n"
+               "                 [--reduce] [--seed X]   < items.txt\n");
+}
+
+bool Parse(int argc, char** argv, Args& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (flag == "--k") {
+      const char* v = next();
+      if (!v) return false;
+      args.k = std::stoll(v);
+    } else if (flag == "--eps") {
+      const char* v = next();
+      if (!v) return false;
+      args.eps = std::stod(v);
+    } else if (flag == "--n") {
+      const char* v = next();
+      if (!v) return false;
+      args.n = std::stoll(v);
+    } else if (flag == "--scale") {
+      const char* v = next();
+      if (!v) return false;
+      args.scale = std::stod(v);
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      args.seed = static_cast<uint64_t>(std::stoull(v));
+    } else if (flag == "--norm") {
+      const char* v = next();
+      if (!v) return false;
+      args.norm = std::strcmp(v, "l1") == 0 ? Norm::kL1 : Norm::kL2;
+    } else if (flag == "--full-enum") {
+      args.full_enum = true;
+    } else if (flag == "--reduce") {
+      args.reduce = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return args.command == "learn" || args.command == "test" ||
+         args.command == "voptimal";
+}
+
+std::vector<int64_t> ReadItems(std::istream& is, int64_t& n) {
+  std::vector<int64_t> items;
+  int64_t v = 0, max_seen = -1;
+  while (is >> v) {
+    if (v < 0) {
+      std::fprintf(stderr, "negative item %lld ignored\n", static_cast<long long>(v));
+      continue;
+    }
+    items.push_back(v);
+    max_seen = std::max(max_seen, v);
+  }
+  if (n == 0) n = max_seen + 1;
+  // Drop items outside an explicit domain.
+  if (!items.empty()) {
+    std::vector<int64_t> kept;
+    kept.reserve(items.size());
+    for (int64_t item : items) {
+      if (item < n) kept.push_back(item);
+    }
+    items = std::move(kept);
+  }
+  return items;
+}
+
+int RunLearn(const Args& args, const std::vector<int64_t>& items, int64_t n) {
+  const DatasetSampler sampler(n, items);
+  Rng rng(args.seed);
+  LearnOptions opt;
+  opt.k = args.k;
+  opt.eps = args.eps;
+  opt.sample_scale = args.scale;
+  opt.strategy = args.full_enum ? CandidateStrategy::kAllIntervals
+                                : CandidateStrategy::kSampleEndpoints;
+  const LearnResult res = LearnHistogram(sampler, opt, rng);
+  const TilingHistogram out =
+      args.reduce ? ReduceToKPieces(res.tiling, args.k) : res.tiling;
+  WriteTilingHistogram(std::cout, out);
+  std::fprintf(stderr, "drew %lld samples (l=%lld, r=%lld x m=%lld), %lld pieces\n",
+               static_cast<long long>(res.total_samples),
+               static_cast<long long>(res.params.l),
+               static_cast<long long>(res.params.r),
+               static_cast<long long>(res.params.m),
+               static_cast<long long>(out.k()));
+  return 0;
+}
+
+int RunTest(const Args& args, const std::vector<int64_t>& items, int64_t n) {
+  const DatasetSampler sampler(n, items);
+  Rng rng(args.seed);
+  TestConfig cfg;
+  cfg.k = args.k;
+  cfg.eps = args.eps;
+  cfg.norm = args.norm;
+  cfg.sample_scale = args.scale;
+  const TestOutcome out = TestKHistogram(sampler, cfg, rng);
+  std::printf("%s\n", out.accepted ? "ACCEPT" : "REJECT");
+  std::printf("samples: %lld (r=%lld x m=%lld), norm: %s\n",
+              static_cast<long long>(out.total_samples),
+              static_cast<long long>(out.params.r),
+              static_cast<long long>(out.params.m), NormName(args.norm));
+  std::printf("flat partition found:");
+  for (const Interval& piece : out.flat_partition) {
+    std::printf(" %s", piece.ToString().c_str());
+  }
+  std::printf("\n");
+  return out.accepted ? 0 : 1;
+}
+
+int RunVOptimal(const Args& args, const std::vector<int64_t>& items, int64_t n) {
+  const auto res = VOptimalFromSamples(n, args.k, items);
+  WriteTilingHistogram(std::cout, res.histogram);
+  std::fprintf(stderr, "empirical v-optimal SSE: %.6e\n", res.sse);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, args)) {
+    Usage();
+    return 2;
+  }
+  int64_t n = args.n;
+  const std::vector<int64_t> items = ReadItems(std::cin, n);
+  if (items.empty() || n < 1) {
+    std::fprintf(stderr, "no items in [0, n) on stdin\n");
+    return 2;
+  }
+  if (args.command == "learn") return RunLearn(args, items, n);
+  if (args.command == "test") return RunTest(args, items, n);
+  return RunVOptimal(args, items, n);
+}
