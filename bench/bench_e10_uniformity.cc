@@ -51,20 +51,24 @@ void RunExperiment() {
     cfg.r_override = 9;
 
     int64_t alg2_samples = 0;
+    NextBenchLabel("alg2-yes/n=" + std::to_string(n));
     const AcceptRate a_yes = MeasureRate(kTrials, [&](int64_t) {
       const TestOutcome out = TestKHistogram(s_yes, cfg, rng);
       alg2_samples = out.total_samples;
       return out.accepted;
     });
+    NextBenchLabel("alg2-no/n=" + std::to_string(n));
     const AcceptRate a_no = MeasureRate(
         kTrials, [&](int64_t) { return TestKHistogram(s_no, cfg, rng).accepted; });
 
     int64_t gr_samples = 0;
+    NextBenchLabel("gr00-yes/n=" + std::to_string(n));
     const AcceptRate g_yes = MeasureRate(kTrials, [&](int64_t) {
       const UniformityResult res = TestUniformity(s_yes, eps, Norm::kL1, rng);
       gr_samples = res.samples_used;
       return res.accepted;
     });
+    NextBenchLabel("gr00-no/n=" + std::to_string(n));
     const AcceptRate g_no = MeasureRate(kTrials, [&](int64_t) {
       return TestUniformity(s_no, eps, Norm::kL1, rng).accepted;
     });

@@ -65,6 +65,8 @@ void RunExperiment() {
         const AliasSampler sampler(wl.dist);
         Rng rng(0x1E1 + k);
         int64_t samples = 0;
+        NextBenchLabel(std::string(wl.name) + "/k=" + std::to_string(k) +
+                       "/eps=" + FmtF(eps, 2));
         const ScalarStats err = MeasureScalar(kTrials, [&](int64_t) {
           const LearnResult res = LearnHistogram(sampler, opt, rng);
           samples = res.total_samples;

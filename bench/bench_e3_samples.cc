@@ -52,11 +52,13 @@ void RunExperiment() {
     const AliasSampler s_khist(khist);
     Rng rng(0x1E3);
     int64_t samples = 0;
+    NextBenchLabel("gauss-mix/scale=" + FmtF(scale, 3));
     const ScalarStats e_mix = MeasureScalar(kTrials, [&](int64_t) {
       const LearnResult res = LearnHistogram(s_mix, opt, rng);
       samples = res.total_samples;
       return res.tiling.L2SquaredErrorTo(mix);
     });
+    NextBenchLabel("khist/scale=" + FmtF(scale, 3));
     const ScalarStats e_kh = MeasureScalar(kTrials, [&](int64_t) {
       return LearnHistogram(s_khist, opt, rng).tiling.L2SquaredErrorTo(khist);
     });

@@ -46,6 +46,7 @@ void RunExperiment() {
     Rng rng(0xE4 ^ static_cast<uint64_t>(c.n * 131 + c.k));
 
     // YES: fresh random k-histogram per trial.
+    NextBenchLabel("yes/n=" + std::to_string(c.n) + "/k=" + std::to_string(c.k));
     const AcceptRate yes = MeasureRate(kTrials, [&](int64_t) {
       const HistogramSpec spec = MakeRandomKHistogram(c.n, c.k, rng, 20.0);
       const AliasSampler sampler(spec.dist);
@@ -60,6 +61,7 @@ void RunExperiment() {
     if (inst) {
       family = inst->family;
       const AliasSampler sampler(inst->dist);
+      NextBenchLabel("no/n=" + std::to_string(c.n) + "/k=" + std::to_string(c.k));
       no = MeasureRate(kTrials, [&](int64_t) {
         const TestOutcome out = TestKHistogram(sampler, cfg, rng);
         samples = out.total_samples;

@@ -47,6 +47,7 @@ void RunExperiment() {
 
     Rng rng(0xE5 ^ static_cast<uint64_t>(c.n * 131 + c.k));
 
+    NextBenchLabel("yes/n=" + std::to_string(c.n) + "/k=" + std::to_string(c.k));
     const AcceptRate yes = MeasureRate(kTrials, [&](int64_t) {
       const HistogramSpec spec = MakeRandomKHistogram(c.n, c.k, rng, 20.0);
       const AliasSampler sampler(spec.dist);
@@ -56,6 +57,7 @@ void RunExperiment() {
     const FarInstance inst = MakeL1FarZigzag(c.n, c.k, c.eps);
     const AliasSampler no_sampler(inst.dist);
     int64_t samples = 0;
+    NextBenchLabel("no/n=" + std::to_string(c.n) + "/k=" + std::to_string(c.k));
     const AcceptRate no = MeasureRate(kTrials, [&](int64_t) {
       const TestOutcome out = TestKHistogram(no_sampler, cfg, rng);
       samples = out.total_samples;

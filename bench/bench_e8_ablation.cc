@@ -41,22 +41,19 @@ void RunExperiment() {
 
   const GreedyParams formula = ComputeGreedyParams(kN, kK, kEps, 1.0);
 
-  auto run = [&](LearnOptions opt, uint64_t seed) {
-    Rng rng(seed);
-    const ScalarStats s = MeasureScalar(kTrials, [&](int64_t) {
-      return LearnHistogram(sampler, opt, rng).tiling.L2SquaredErrorTo(dist);
-    });
-    return s;
-  };
-
   LearnOptions base;
   base.k = kK;
   base.eps = kEps;
   base.sample_scale = kScale;
 
   Table table({"ablation", "setting", "err(L2^2)", "sd", "err/OPT"});
-  auto add = [&](const std::string& group, const std::string& setting,
-                 const ScalarStats& s) {
+  auto measure = [&](const std::string& group, const std::string& setting,
+                     const LearnOptions& opt, uint64_t seed) {
+    NextBenchLabel(group + "/" + setting);
+    Rng rng(seed);
+    const ScalarStats s = MeasureScalar(kTrials, [&](int64_t) {
+      return LearnHistogram(sampler, opt, rng).tiling.L2SquaredErrorTo(dist);
+    });
     table.AddRow({group, setting, FmtE(s.mean, 3), FmtE(s.stddev, 1),
                   FmtF(s.mean / opt_sse, 2)});
   };
@@ -65,20 +62,21 @@ void RunExperiment() {
   for (int64_t r : {int64_t{1}, int64_t{3}, formula.r}) {
     LearnOptions opt = base;
     opt.r_override = r;
-    add("median-of-r", "r=" + std::to_string(r) + (r == formula.r ? " (paper)" : ""),
-        run(opt, 0x8E1));
+    measure("median-of-r",
+            "r=" + std::to_string(r) + (r == formula.r ? " (paper)" : ""), opt,
+            0x8E1);
   }
 
   // (b) candidate set.
   {
     LearnOptions opt = base;
     opt.strategy = CandidateStrategy::kAllIntervals;
-    add("candidates", "all O(n^2) (Alg 1)", run(opt, 0x8E2));
+    measure("candidates", "all O(n^2) (Alg 1)", opt, 0x8E2);
     opt = base;
     opt.strategy = CandidateStrategy::kSampleEndpoints;
-    add("candidates", "samples+-1 (Thm 2, paper)", run(opt, 0x8E2));
+    measure("candidates", "samples+-1 (Thm 2, paper)", opt, 0x8E2);
     opt.include_endpoint_neighbors = false;
-    add("candidates", "samples only (no +-1)", run(opt, 0x8E2));
+    measure("candidates", "samples only (no +-1)", opt, 0x8E2);
   }
 
   // (c) iteration count.
@@ -86,9 +84,9 @@ void RunExperiment() {
     LearnOptions opt = base;
     opt.iterations_override = iters;
     const bool paper = iters == formula.iterations;
-    add("iterations",
-        "q=" + std::to_string(iters) + (paper ? " (paper: k ln 1/eps)" : ""),
-        run(opt, 0x8E3));
+    measure("iterations",
+            "q=" + std::to_string(iters) + (paper ? " (paper: k ln 1/eps)" : ""),
+            opt, 0x8E3);
   }
 
   table.Print(std::cout);

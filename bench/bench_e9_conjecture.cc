@@ -55,11 +55,13 @@ void RunExperiment() {
 
     Rng rng(0x19E9);
     int64_t s_paper = 0, s_linear = 0;
+    NextBenchLabel("k2-budget/k=" + std::to_string(k));
     const ScalarStats e_paper = MeasureScalar(kTrials, [&](int64_t) {
       const LearnResult r = LearnHistogram(sampler, paper, rng);
       s_paper = r.total_samples;
       return r.tiling.L2SquaredErrorTo(spec.dist);
     });
+    NextBenchLabel("linear-budget/k=" + std::to_string(k));
     const ScalarStats e_linear = MeasureScalar(kTrials, [&](int64_t) {
       const LearnResult r = LearnHistogram(sampler, linear, rng);
       s_linear = r.total_samples;

@@ -40,9 +40,24 @@ ScalarStats MeasureScalar(int64_t trials, const std::function<double(int64_t)>& 
 /// Formats "3.1e-03 (sd 4e-04)".
 std::string FmtScalar(const ScalarStats& s);
 
-/// Prints the standard experiment banner (id, claim, substitution notes).
+/// Prints the standard experiment banner (id, claim, substitution notes)
+/// and opens the machine-readable result log for the experiment (below).
 void PrintExperimentHeader(const std::string& id, const std::string& claim,
                            const std::string& setup);
+
+/// Machine-readable bench results. PrintExperimentHeader(id, ...) starts a
+/// JSON document BENCH_<slug>.json (slug = id up to the first ':',
+/// sanitized); every subsequent MeasureRate / MeasureScalar appends one
+/// record, and the document is rewritten after each append so partial runs
+/// still leave parseable results. Measurements taken before any header
+/// (e.g. unit tests) are not recorded.
+///
+/// Environment: HISTK_BENCH_JSON_DIR redirects the output directory
+/// (default "."); HISTK_BENCH_JSON=0 disables emission entirely.
+///
+/// Sets the label attached to the next recorded measurement (records are
+/// otherwise labeled with their sequence index).
+void NextBenchLabel(std::string label);
 
 }  // namespace histk
 

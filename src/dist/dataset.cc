@@ -1,0 +1,32 @@
+#include "dist/dataset.h"
+
+#include <utility>
+
+#include "dist/empirical.h"
+#include "util/common.h"
+
+namespace histk {
+
+DatasetSampler::DatasetSampler(int64_t n, std::vector<int64_t> items)
+    : n_(n), items_(std::move(items)) {
+  HISTK_CHECK(n_ >= 1);
+  HISTK_CHECK_MSG(!items_.empty(), "data set must be non-empty");
+  for (int64_t item : items_) {
+    HISTK_CHECK_MSG(0 <= item && item < n_, "item out of domain");
+  }
+}
+
+int64_t DatasetSampler::Draw(Rng& rng) const { return DrawImpl(rng); }
+
+std::vector<int64_t> DatasetSampler::DrawMany(int64_t m, Rng& rng) const {
+  HISTK_CHECK(m >= 0);
+  std::vector<int64_t> draws(static_cast<size_t>(m));
+  for (auto& d : draws) d = DrawImpl(rng);
+  return draws;
+}
+
+Distribution DatasetSampler::EmpiricalDist() const {
+  return EmpiricalDistribution(n_, items_);
+}
+
+}  // namespace histk

@@ -1,0 +1,50 @@
+// DatasetSampler: the oracle over a materialized data set.
+//
+// Following the paper's data-set model, a file of items D (values in
+// [0, n)) defines the distribution p = empirical(D), and the sample oracle
+// draws uniformly random elements of D. This is exactly what tools/histk_cli
+// does with its stdin items, and what experiments use to run the learner on
+// "real" data without knowing the generating process.
+#ifndef HISTK_DIST_DATASET_H_
+#define HISTK_DIST_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "dist/sampler.h"
+#include "util/rng.h"
+
+namespace histk {
+
+/// Uniform-over-items sample oracle. Immutable; Draw is O(1).
+class DatasetSampler : public Sampler {
+ public:
+  /// Takes ownership of the items. Aborts unless the data set is non-empty
+  /// and every item lies in [0, n).
+  DatasetSampler(int64_t n, std::vector<int64_t> items);
+
+  int64_t n() const override { return n_; }
+  int64_t Draw(Rng& rng) const override;
+  std::vector<int64_t> DrawMany(int64_t m, Rng& rng) const override;
+
+  /// Number of items |D|.
+  int64_t size() const { return static_cast<int64_t>(items_.size()); }
+
+  const std::vector<int64_t>& items() const { return items_; }
+
+  /// The distribution this oracle samples: p(i) = occ(i, D)/|D|.
+  Distribution EmpiricalDist() const;
+
+ private:
+  int64_t DrawImpl(Rng& rng) const {
+    return items_[static_cast<size_t>(rng.UniformInt(items_.size()))];
+  }
+
+  int64_t n_ = 0;
+  std::vector<int64_t> items_;
+};
+
+}  // namespace histk
+
+#endif  // HISTK_DIST_DATASET_H_

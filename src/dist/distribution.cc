@@ -1,0 +1,171 @@
+#include "dist/distribution.h"
+
+#include <cmath>
+#include <utility>
+
+namespace histk {
+
+namespace {
+
+/// Validates weights for the factories: every entry finite and >= 0.
+void CheckEntriesNonNegative(const std::vector<double>& w) {
+  for (double x : w) {
+    HISTK_CHECK_MSG(std::isfinite(x) && x >= 0.0, "entries must be finite and >= 0");
+  }
+}
+
+/// Compensated (long double) sum: the prefix arrays and normalizers must be
+/// accurate to an ulp so interval queries match brute force to ~1e-15.
+long double SumLd(const std::vector<double>& w) {
+  long double total = 0.0L;
+  for (double x : w) total += static_cast<long double>(x);
+  return total;
+}
+
+}  // namespace
+
+const char* NormName(Norm norm) { return norm == Norm::kL1 ? "L1" : "L2"; }
+
+Distribution::Distribution(std::vector<double> pmf) : pmf_(std::move(pmf)) {
+  const size_t n = pmf_.size();
+  prefix_.resize(n + 1);
+  prefix_sq_.resize(n + 1);
+  long double acc = 0.0L;
+  long double acc_sq = 0.0L;
+  prefix_[0] = 0.0;
+  prefix_sq_[0] = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const long double p = static_cast<long double>(pmf_[i]);
+    acc += p;
+    acc_sq += p * p;
+    prefix_[i + 1] = static_cast<double>(acc);
+    prefix_sq_[i + 1] = static_cast<double>(acc_sq);
+  }
+}
+
+Distribution Distribution::FromWeights(std::vector<double> weights) {
+  HISTK_CHECK_MSG(!weights.empty(), "domain must be non-empty");
+  CheckEntriesNonNegative(weights);
+  const long double total = SumLd(weights);
+  HISTK_CHECK_MSG(total > 0.0L, "total weight must be positive");
+  for (double& w : weights) w = static_cast<double>(static_cast<long double>(w) / total);
+  return Distribution(std::move(weights));
+}
+
+Distribution Distribution::FromPmf(std::vector<double> pmf) {
+  auto d = TryFromPmf(std::move(pmf));
+  HISTK_CHECK_MSG(d.has_value(),
+                  "pmf entries must be finite and >= 0 and sum to 1");
+  return *std::move(d);
+}
+
+std::optional<Distribution> Distribution::TryFromPmf(std::vector<double> pmf) {
+  if (pmf.empty()) return std::nullopt;
+  for (double x : pmf) {
+    if (!(std::isfinite(x) && x >= 0.0)) return std::nullopt;
+  }
+  const long double total = SumLd(pmf);
+  if (std::fabs(static_cast<double>(total) - 1.0) > kPmfSumTolerance) {
+    return std::nullopt;
+  }
+  // Re-normalize the (at most ulp-level) residue so invariants are exact.
+  for (double& x : pmf) x = static_cast<double>(static_cast<long double>(x) / total);
+  return Distribution(std::move(pmf));
+}
+
+Distribution Distribution::Uniform(int64_t n) {
+  HISTK_CHECK(n >= 1);
+  return Distribution(
+      std::vector<double>(static_cast<size_t>(n), 1.0 / static_cast<double>(n)));
+}
+
+Distribution Distribution::PointMass(int64_t n, int64_t at) {
+  HISTK_CHECK(n >= 1);
+  HISTK_CHECK_MSG(0 <= at && at < n, "point mass needs 0 <= at < n");
+  std::vector<double> pmf(static_cast<size_t>(n), 0.0);
+  pmf[static_cast<size_t>(at)] = 1.0;
+  return Distribution(std::move(pmf));
+}
+
+double Distribution::Weight(Interval I) const {
+  const Interval c = Clip(I);
+  if (c.empty()) return 0.0;
+  return prefix_[static_cast<size_t>(c.hi + 1)] - prefix_[static_cast<size_t>(c.lo)];
+}
+
+double Distribution::SumSquares(Interval I) const {
+  const Interval c = Clip(I);
+  if (c.empty()) return 0.0;
+  return prefix_sq_[static_cast<size_t>(c.hi + 1)] -
+         prefix_sq_[static_cast<size_t>(c.lo)];
+}
+
+double Distribution::L2NormSquared() const { return prefix_sq_.back(); }
+
+double Distribution::IntervalMean(Interval I) const {
+  const Interval c = Clip(I);
+  HISTK_CHECK_MSG(!c.empty(), "interval mean of an empty interval");
+  return Weight(c) / static_cast<double>(c.length());
+}
+
+double Distribution::IntervalSse(Interval I) const {
+  const Interval c = Clip(I);
+  if (c.length() < 2) return 0.0;
+  const double w = Weight(c);
+  return SumSquares(c) - w * w / static_cast<double>(c.length());
+}
+
+bool Distribution::IsFlat(Interval I, double tol) const {
+  const Interval c = Clip(I);
+  if (c.length() < 2) return true;
+  const double first = pmf_[static_cast<size_t>(c.lo)];
+  for (int64_t i = c.lo + 1; i <= c.hi; ++i) {
+    if (std::fabs(pmf_[static_cast<size_t>(i)] - first) > tol) return false;
+  }
+  return true;
+}
+
+Distribution Distribution::Restrict(Interval I) const {
+  const Interval c = Clip(I);
+  HISTK_CHECK_MSG(!c.empty(), "restriction to an empty interval");
+  HISTK_CHECK_MSG(Weight(c) > 0.0, "restriction to a zero-weight interval");
+  std::vector<double> w(pmf_.begin() + static_cast<ptrdiff_t>(c.lo),
+                        pmf_.begin() + static_cast<ptrdiff_t>(c.hi + 1));
+  return FromWeights(std::move(w));
+}
+
+double Distribution::L1DistanceTo(const Distribution& other) const {
+  return L1DistanceToValues(other.pmf_);
+}
+
+double Distribution::L2DistanceTo(const Distribution& other) const {
+  HISTK_CHECK_MSG(n() == other.n(), "domain sizes must match");
+  return std::sqrt(L2SquaredDistanceToValues(other.pmf_));
+}
+
+double Distribution::DistanceTo(const Distribution& other, Norm norm) const {
+  return norm == Norm::kL1 ? L1DistanceTo(other) : L2DistanceTo(other);
+}
+
+double Distribution::L1DistanceToValues(const std::vector<double>& values) const {
+  HISTK_CHECK_MSG(values.size() == pmf_.size(), "domain sizes must match");
+  long double acc = 0.0L;
+  for (size_t i = 0; i < pmf_.size(); ++i) {
+    acc += std::fabs(static_cast<long double>(pmf_[i]) -
+                     static_cast<long double>(values[i]));
+  }
+  return static_cast<double>(acc);
+}
+
+double Distribution::L2SquaredDistanceToValues(const std::vector<double>& values) const {
+  HISTK_CHECK_MSG(values.size() == pmf_.size(), "domain sizes must match");
+  long double acc = 0.0L;
+  for (size_t i = 0; i < pmf_.size(); ++i) {
+    const long double d = static_cast<long double>(pmf_[i]) -
+                          static_cast<long double>(values[i]);
+    acc += d * d;
+  }
+  return static_cast<double>(acc);
+}
+
+}  // namespace histk

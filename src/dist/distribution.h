@@ -1,0 +1,122 @@
+// Immutable, validated distributions over the domain [0, n).
+//
+// Distribution is the ground-truth object every oracle samples from and
+// every histogram is measured against. It is constructed through validating
+// factories (weights are normalized; pmfs must already sum to 1), stores
+// prefix sums of p and p^2, and answers the interval queries the paper's
+// algorithms are phrased in — weight p(I), sum of squares, interval mean,
+// and the SSE of flattening an interval to its best constant — in O(1).
+//
+// Interval arguments are clipped to the domain: the part of an interval
+// outside [0, n) carries no mass. Precondition violations abort via
+// HISTK_CHECK (see util/common.h for the error-handling policy).
+#ifndef HISTK_DIST_DISTRIBUTION_H_
+#define HISTK_DIST_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/common.h"
+#include "util/interval.h"
+
+namespace histk {
+
+/// The two distance notions the paper's guarantees are stated in.
+enum class Norm { kL1, kL2 };
+
+/// "L1" / "L2".
+const char* NormName(Norm norm);
+
+/// A probability distribution on {0, ..., n-1}.
+class Distribution {
+ public:
+  /// From non-negative weights, normalized to sum 1. Aborts unless every
+  /// weight is finite and >= 0 and the total is positive.
+  static Distribution FromWeights(std::vector<double> weights);
+
+  /// From an exact pmf. Aborts unless entries are finite and >= 0 and sum
+  /// to 1 (within kPmfSumTolerance).
+  static Distribution FromPmf(std::vector<double> pmf);
+
+  /// Non-aborting variant of FromPmf for untrusted input (see dist/io.h):
+  /// empty on any validation failure.
+  static std::optional<Distribution> TryFromPmf(std::vector<double> pmf);
+
+  /// Uniform distribution on [0, n).
+  static Distribution Uniform(int64_t n);
+
+  /// All mass on element `at`.
+  static Distribution PointMass(int64_t n, int64_t at);
+
+  /// Relative slack accepted by FromPmf / TryFromPmf on |sum - 1|.
+  static constexpr double kPmfSumTolerance = 1e-9;
+
+  /// Domain size.
+  int64_t n() const { return static_cast<int64_t>(pmf_.size()); }
+
+  /// p(i). Bounds-checked in debug builds.
+  double p(int64_t i) const {
+    HISTK_DCHECK(0 <= i && i < n());
+    return pmf_[static_cast<size_t>(i)];
+  }
+
+  /// The full pmf.
+  const std::vector<double>& pmf() const { return pmf_; }
+
+  /// p(I) = sum_{i in I} p(i), clipped to the domain. O(1).
+  double Weight(Interval I) const;
+
+  /// sum_{i in I} p(i)^2, clipped to the domain. O(1).
+  double SumSquares(Interval I) const;
+
+  /// ||p||_2^2 = SumSquares over the full domain.
+  double L2NormSquared() const;
+
+  /// p(I)/|I|, the best constant for bucketing I (clipped). Aborts on an
+  /// interval with no domain overlap ("empty").
+  double IntervalMean(Interval I) const;
+
+  /// min_c sum_{i in I} (p(i) - c)^2 = SumSquares(I) - p(I)^2/|I|: the SSE
+  /// of making (the clipped) I a single bucket. 0 for intervals with fewer
+  /// than two domain elements.
+  double IntervalSse(Interval I) const;
+
+  /// True iff p is constant on the clipped interval (within tol per
+  /// element). Empty/degenerate intervals are flat.
+  bool IsFlat(Interval I, double tol = 1e-12) const;
+
+  /// The conditional distribution p_I on a fresh domain [0, |I|). Aborts on
+  /// zero-weight intervals.
+  Distribution Restrict(Interval I) const;
+
+  /// sum |p_i - q_i|. Domains must match.
+  double L1DistanceTo(const Distribution& other) const;
+
+  /// sqrt(sum (p_i - q_i)^2). Domains must match.
+  double L2DistanceTo(const Distribution& other) const;
+
+  /// L1DistanceTo or L2DistanceTo by norm tag.
+  double DistanceTo(const Distribution& other, Norm norm) const;
+
+  /// sum |p_i - v_i| against an arbitrary value vector of length n (e.g. a
+  /// histogram's per-element densities).
+  double L1DistanceToValues(const std::vector<double>& values) const;
+
+  /// sum (p_i - v_i)^2 against an arbitrary value vector of length n.
+  double L2SquaredDistanceToValues(const std::vector<double>& values) const;
+
+ private:
+  explicit Distribution(std::vector<double> pmf);
+
+  /// The domain-clipped interval (possibly empty).
+  Interval Clip(Interval I) const { return I.Intersect(Interval::Full(n())); }
+
+  std::vector<double> pmf_;
+  std::vector<double> prefix_;     // prefix_[i] = sum_{j < i} p(j)
+  std::vector<double> prefix_sq_;  // prefix_sq_[i] = sum_{j < i} p(j)^2
+};
+
+}  // namespace histk
+
+#endif  // HISTK_DIST_DISTRIBUTION_H_

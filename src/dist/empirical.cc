@@ -1,0 +1,27 @@
+#include "dist/empirical.h"
+
+#include "util/common.h"
+
+namespace histk {
+
+std::vector<int64_t> CountOccurrences(int64_t n, const std::vector<int64_t>& items) {
+  HISTK_CHECK(n >= 1);
+  std::vector<int64_t> counts(static_cast<size_t>(n), 0);
+  for (int64_t item : items) {
+    HISTK_CHECK_MSG(0 <= item && item < n, "item out of domain");
+    ++counts[static_cast<size_t>(item)];
+  }
+  return counts;
+}
+
+Distribution EmpiricalDistribution(int64_t n, const std::vector<int64_t>& items) {
+  HISTK_CHECK_MSG(!items.empty(), "empirical distribution needs samples");
+  const std::vector<int64_t> counts = CountOccurrences(n, items);
+  std::vector<double> weights(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    weights[i] = static_cast<double>(counts[i]);
+  }
+  return Distribution::FromWeights(std::move(weights));
+}
+
+}  // namespace histk

@@ -1,0 +1,27 @@
+// Bridging materialized samples/items to distributions.
+//
+// The CLI's model (and the paper's "data set" reading of a distribution):
+// a file of items D over [0, n) defines p = the empirical distribution of
+// D, and the oracle draws uniformly from D. These helpers convert item
+// multisets to counts and pmfs; dist/dataset.h wraps them in a Sampler.
+#ifndef HISTK_DIST_EMPIRICAL_H_
+#define HISTK_DIST_EMPIRICAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace histk {
+
+/// Per-element occurrence counts of `items` over [0, n). Aborts if any item
+/// is out of domain. An empty item list yields all zeros.
+std::vector<int64_t> CountOccurrences(int64_t n, const std::vector<int64_t>& items);
+
+/// The empirical distribution of `items` over [0, n): p(i) = occ(i)/|items|.
+/// Aborts on an empty item list.
+Distribution EmpiricalDistribution(int64_t n, const std::vector<int64_t>& items);
+
+}  // namespace histk
+
+#endif  // HISTK_DIST_EMPIRICAL_H_

@@ -1,0 +1,139 @@
+#include "dist/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/common.h"
+
+namespace histk {
+
+Distribution MakeZipf(int64_t n, double skew) {
+  HISTK_CHECK(n >= 1);
+  HISTK_CHECK(skew >= 0.0);
+  std::vector<double> w(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    w[static_cast<size_t>(i)] = std::pow(static_cast<double>(i + 1), -skew);
+  }
+  return Distribution::FromWeights(std::move(w));
+}
+
+Distribution MakeGaussianMixture(int64_t n, const std::vector<GaussianComponent>& components,
+                                 double uniform_floor) {
+  HISTK_CHECK(n >= 1);
+  HISTK_CHECK(!components.empty());
+  HISTK_CHECK(0.0 <= uniform_floor && uniform_floor <= 1.0);
+  std::vector<double> w(static_cast<size_t>(n), 0.0);
+  long double total = 0.0L;
+  for (const GaussianComponent& c : components) {
+    HISTK_CHECK(c.sigma_frac > 0.0 && c.weight > 0.0);
+    const double mean = c.mean_frac * static_cast<double>(n);
+    const double sigma = c.sigma_frac * static_cast<double>(n);
+    for (int64_t i = 0; i < n; ++i) {
+      const double z = (static_cast<double>(i) - mean) / sigma;
+      const double v = c.weight * std::exp(-0.5 * z * z);
+      w[static_cast<size_t>(i)] += v;
+      total += static_cast<long double>(v);
+    }
+  }
+  HISTK_CHECK_MSG(total > 0.0L, "mixture mass underflowed to zero");
+  const double unif = 1.0 / static_cast<double>(n);
+  for (auto& x : w) {
+    x = (1.0 - uniform_floor) * static_cast<double>(static_cast<long double>(x) / total) +
+        uniform_floor * unif;
+  }
+  return Distribution::FromWeights(std::move(w));
+}
+
+HistogramSpec MakeRandomKHistogram(int64_t n, int64_t k, Rng& rng, double contrast) {
+  HISTK_CHECK(n >= 1 && 1 <= k && k <= n);
+  HISTK_CHECK(contrast >= 1.0);
+  // k-1 distinct cut points in {0, ..., n-2}; piece j ends at cut j.
+  std::vector<int64_t> right_ends = rng.SampleDistinct(n - 1, k - 1);
+  right_ends.push_back(n - 1);
+
+  std::vector<double> w(static_cast<size_t>(n));
+  int64_t lo = 0;
+  for (int64_t end : right_ends) {
+    const double density = 1.0 + (contrast - 1.0) * rng.NextDouble();
+    for (int64_t i = lo; i <= end; ++i) w[static_cast<size_t>(i)] = density;
+    lo = end + 1;
+  }
+  return {Distribution::FromWeights(std::move(w)), std::move(right_ends)};
+}
+
+HistogramSpec MakeStaircase(int64_t n, int64_t k) {
+  HISTK_CHECK(n >= 1 && 1 <= k && k <= n);
+  std::vector<int64_t> right_ends(static_cast<size_t>(k));
+  for (int64_t j = 0; j < k; ++j) {
+    right_ends[static_cast<size_t>(j)] = (j + 1) * n / k - 1;
+  }
+  right_ends.back() = n - 1;
+
+  std::vector<double> w(static_cast<size_t>(n));
+  int64_t lo = 0;
+  for (int64_t j = 0; j < k; ++j) {
+    const int64_t end = right_ends[static_cast<size_t>(j)];
+    for (int64_t i = lo; i <= end; ++i) {
+      w[static_cast<size_t>(i)] = static_cast<double>(j + 1);
+    }
+    lo = end + 1;
+  }
+  return {Distribution::FromWeights(std::move(w)), std::move(right_ends)};
+}
+
+Distribution MakeNoisy(const Distribution& base, double noise, Rng& rng) {
+  HISTK_CHECK(0.0 <= noise && noise <= 1.0);
+  std::vector<double> w(base.pmf());
+  for (auto& x : w) {
+    const double u = 2.0 * rng.NextDouble() - 1.0;
+    x *= 1.0 + noise * u;
+  }
+  return Distribution::FromWeights(std::move(w));
+}
+
+Distribution MakeSpikes(int64_t n, int64_t s) {
+  HISTK_CHECK(s >= 1);
+  HISTK_CHECK_MSG(n >= 2 * s - 1, "spikes need stride >= 2 for isolation");
+  const int64_t stride = std::max<int64_t>(2, n / s);
+  std::vector<double> w(static_cast<size_t>(n), 0.0);
+  for (int64_t j = 0; j < s; ++j) w[static_cast<size_t>(j * stride)] = 1.0;
+  return Distribution::FromWeights(std::move(w));
+}
+
+double ZigzagAmplitude(int64_t n, int64_t k, double eps, double margin) {
+  HISTK_CHECK(n >= 2 && k >= 1 && k < n);
+  HISTK_CHECK(eps > 0.0 && margin > 0.0);
+  return margin * eps * static_cast<double>(n) / static_cast<double>(n - k);
+}
+
+Distribution MakeZigzagL1Far(int64_t n, int64_t k, double eps, double margin) {
+  HISTK_CHECK_MSG(n % 2 == 0, "zigzag needs an even domain");
+  const double a = ZigzagAmplitude(n, k, eps, margin);
+  HISTK_CHECK_MSG(a <= 1.0, "eps too large: zigzag amplitude would exceed 1");
+  std::vector<double> w(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    w[static_cast<size_t>(i)] = i % 2 == 0 ? 1.0 + a : 1.0 - a;
+  }
+  return Distribution::FromWeights(std::move(w));
+}
+
+Distribution MakeWithinPieceZigzag(const HistogramSpec& spec, double delta) {
+  HISTK_CHECK(0.0 <= delta && delta <= 1.0);
+  const Distribution& d = spec.dist;
+  std::vector<double> w(d.pmf());
+  int64_t lo = 0;
+  for (int64_t end : spec.right_ends) {
+    // Zigzag full pairs; an odd-length piece keeps its last element flat,
+    // so every piece's total weight is preserved exactly.
+    for (int64_t i = lo; i + 1 <= end; i += 2) {
+      const double v = d.p(i);
+      w[static_cast<size_t>(i)] = v * (1.0 + delta);
+      w[static_cast<size_t>(i + 1)] = v * (1.0 - delta);
+    }
+    lo = end + 1;
+  }
+  return Distribution::FromWeights(std::move(w));
+}
+
+}  // namespace histk

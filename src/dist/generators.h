@@ -1,0 +1,86 @@
+// The experiment zoo: synthetic distributions used by tests and benches.
+//
+// Two kinds of outputs:
+//   * Distribution — shaped families (Zipf, Gaussian mixtures, spikes,
+//     zigzags) used as workloads and far instances;
+//   * HistogramSpec — a distribution that IS a tiling k-histogram, together
+//     with its piece boundaries, so tests can check the learner/tester
+//     against known structure.
+//
+// All randomized generators take an explicit Rng& and are deterministic
+// given its state.
+#ifndef HISTK_DIST_GENERATORS_H_
+#define HISTK_DIST_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "util/rng.h"
+
+namespace histk {
+
+/// A generated tiling histogram distribution plus its ground truth: the
+/// inclusive right endpoint of each piece (right_ends.back() == n-1).
+struct HistogramSpec {
+  Distribution dist;
+  std::vector<int64_t> right_ends;
+};
+
+/// Zipf with exponent `skew`: p(i) proportional to (i+1)^-skew. skew = 0 is
+/// uniform; larger skews are more head-heavy.
+Distribution MakeZipf(int64_t n, double skew);
+
+/// One component of a Gaussian mixture, in domain-relative units.
+struct GaussianComponent {
+  double mean_frac = 0.5;   ///< mean as a fraction of n
+  double sigma_frac = 0.1;  ///< standard deviation as a fraction of n
+  double weight = 1.0;      ///< relative component mass
+};
+
+/// Discretized Gaussian mixture, optionally blended with a uniform floor:
+/// p = (1 - uniform_floor) * mixture + uniform_floor * uniform. A positive
+/// floor gives full support.
+Distribution MakeGaussianMixture(int64_t n, const std::vector<GaussianComponent>& components,
+                                 double uniform_floor = 0.0);
+
+/// A random tiling k-histogram: k pieces at uniformly random boundaries,
+/// each piece flat at a density drawn uniformly from [1, contrast] (before
+/// normalization). Larger contrast separates piece levels more strongly.
+HistogramSpec MakeRandomKHistogram(int64_t n, int64_t k, Rng& rng,
+                                   double contrast = 10.0);
+
+/// Deterministic ascending staircase: k near-equal-width pieces with
+/// density proportional to the 1-based piece index.
+HistogramSpec MakeStaircase(int64_t n, int64_t k);
+
+/// Multiplicative noise: each weight p(i) * (1 + noise * u_i) with u_i
+/// uniform on [-1, 1], renormalized. L1 distance to the base is at most
+/// ~noise (typically around noise/2); noise = 0 is the identity. Requires
+/// noise in [0, 1] so weights stay non-negative.
+Distribution MakeNoisy(const Distribution& base, double noise, Rng& rng);
+
+/// s isolated spikes of mass 1/s at stride max(2, n/s) starting at 0, zero
+/// elsewhere. Requires s >= 1 and (for isolation) n >= 2s - 1.
+Distribution MakeSpikes(int64_t n, int64_t s);
+
+/// The per-element amplitude of the L1-far zigzag: margin * eps * n/(n-k).
+/// Any tiling k-histogram is at least (n-k)/n * amplitude/1 away in L1, so
+/// amplitude is calibrated to make the zigzag (margin * eps)-far.
+double ZigzagAmplitude(int64_t n, int64_t k, double eps, double margin = 1.0);
+
+/// Alternating zigzag p(i) = (1 +/- a)/n with a = ZigzagAmplitude(...):
+/// analytically (margin * eps)-far in L1 from every tiling k-histogram.
+/// Requires even n; aborts with "eps too large" if the implied amplitude
+/// exceeds 1 (weights would go negative).
+Distribution MakeZigzagL1Far(int64_t n, int64_t k, double eps, double margin = 1.0);
+
+/// Perturbs each piece of `spec` by an internal zigzag of relative
+/// amplitude delta in [0, 1], preserving every piece's total weight (odd
+/// pieces keep their last element at the flat value). delta = 0 is the
+/// identity. Used to make instances that fool weight-only estimators.
+Distribution MakeWithinPieceZigzag(const HistogramSpec& spec, double delta);
+
+}  // namespace histk
+
+#endif  // HISTK_DIST_GENERATORS_H_

@@ -1,0 +1,109 @@
+#include "dist/io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace histk {
+
+namespace {
+
+constexpr char kDistributionMagic[] = "histk-distribution";
+constexpr char kHistogramMagic[] = "histk-tiling-histogram";
+constexpr char kVersion[] = "v1";
+
+/// Writes a double with enough digits to round-trip exactly.
+void WriteDouble(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*g", std::numeric_limits<double>::max_digits10, v);
+  os << buf;
+}
+
+bool ReadHeader(std::istream& is, const char* magic) {
+  std::string tok;
+  if (!(is >> tok) || tok != magic) return false;
+  if (!(is >> tok) || tok != kVersion) return false;
+  return true;
+}
+
+bool ReadLabeled(std::istream& is, const char* label, int64_t& out) {
+  std::string tok;
+  if (!(is >> tok) || tok != label) return false;
+  return static_cast<bool>(is >> out);
+}
+
+}  // namespace
+
+void WriteDistribution(std::ostream& os, const Distribution& d) {
+  os << kDistributionMagic << ' ' << kVersion << '\n';
+  os << "n " << d.n() << '\n';
+  for (int64_t i = 0; i < d.n(); ++i) {
+    if (i > 0) os << ' ';
+    WriteDouble(os, d.p(i));
+  }
+  os << '\n';
+}
+
+std::optional<Distribution> ReadDistribution(std::istream& is) {
+  if (!ReadHeader(is, kDistributionMagic)) return std::nullopt;
+  int64_t n = 0;
+  if (!ReadLabeled(is, "n", n) || n < 1) return std::nullopt;
+  std::vector<double> pmf(static_cast<size_t>(n));
+  for (auto& p : pmf) {
+    if (!(is >> p)) return std::nullopt;
+  }
+  // TryFromPmf re-validates: finite, non-negative, sums to 1.
+  return Distribution::TryFromPmf(std::move(pmf));
+}
+
+void WriteTilingHistogram(std::ostream& os, const TilingHistogram& h) {
+  os << kHistogramMagic << ' ' << kVersion << '\n';
+  os << "n " << h.n() << " k " << h.k() << '\n';
+  for (int64_t j = 0; j < h.k(); ++j) {
+    os << h.pieces()[static_cast<size_t>(j)].hi << ' ';
+    WriteDouble(os, h.values()[static_cast<size_t>(j)]);
+    os << '\n';
+  }
+}
+
+std::optional<TilingHistogram> ReadTilingHistogram(std::istream& is) {
+  if (!ReadHeader(is, kHistogramMagic)) return std::nullopt;
+  int64_t n = 0;
+  int64_t k = 0;
+  if (!ReadLabeled(is, "n", n) || n < 1) return std::nullopt;
+  if (!ReadLabeled(is, "k", k) || k < 1 || k > n) return std::nullopt;
+  std::vector<int64_t> right_ends(static_cast<size_t>(k));
+  std::vector<double> values(static_cast<size_t>(k));
+  int64_t prev_end = -1;
+  for (int64_t j = 0; j < k; ++j) {
+    int64_t end = 0;
+    double value = 0.0;
+    if (!(is >> end >> value)) return std::nullopt;
+    if (end <= prev_end || end > n - 1 || !std::isfinite(value)) return std::nullopt;
+    right_ends[static_cast<size_t>(j)] = end;
+    values[static_cast<size_t>(j)] = value;
+    prev_end = end;
+  }
+  if (right_ends.back() != n - 1) return std::nullopt;
+  return TilingHistogram::FromRightEnds(n, right_ends, std::move(values));
+}
+
+void WriteDataset(std::ostream& os, const std::vector<int64_t>& items) {
+  for (int64_t item : items) os << item << '\n';
+}
+
+std::optional<std::vector<int64_t>> ReadDataset(std::istream& is, int64_t n) {
+  std::vector<int64_t> items;
+  int64_t v = 0;
+  while (is >> v) {
+    if (v < 0 || (n > 0 && v >= n)) return std::nullopt;
+    items.push_back(v);
+  }
+  if (!is.eof()) return std::nullopt;  // stopped on a malformed token
+  return items;
+}
+
+}  // namespace histk

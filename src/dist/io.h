@@ -1,0 +1,59 @@
+// Text serialization of distributions, tiling histograms, and data sets.
+//
+// Formats (line-oriented, whitespace-tolerant, exact double round-trip via
+// max_digits10):
+//
+//   histk-distribution v1
+//   n <N>
+//   <p0> <p1> ... <pN-1>
+//
+//   histk-tiling-histogram v1
+//   n <N> k <K>
+//   <right_end> <value>            (one line per piece, ends ascending,
+//   ...                             last end = N-1)
+//
+//   data sets: one integer item per line (the histk_cli stdin format).
+//
+// Writers abort only on stream failure at the caller's discretion; readers
+// never abort — malformed input yields std::nullopt (recoverable-condition
+// policy, see util/common.h).
+#ifndef HISTK_DIST_IO_H_
+#define HISTK_DIST_IO_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "histogram/tiling.h"
+
+namespace histk {
+
+/// Writes the histk-distribution v1 format.
+void WriteDistribution(std::ostream& os, const Distribution& d);
+
+/// Parses a histk-distribution v1 stream. Empty on wrong magic/version,
+/// truncation, negative or non-finite entries, or a pmf that does not sum
+/// to 1.
+std::optional<Distribution> ReadDistribution(std::istream& is);
+
+/// Writes the histk-tiling-histogram v1 format.
+void WriteTilingHistogram(std::ostream& os, const TilingHistogram& h);
+
+/// Parses a histk-tiling-histogram v1 stream. Empty on wrong
+/// magic/version, truncation, k < 1 or k > n, non-ascending ends, a final
+/// end != n-1, or non-finite values.
+std::optional<TilingHistogram> ReadTilingHistogram(std::istream& is);
+
+/// Writes a data set: one item per line.
+void WriteDataset(std::ostream& os, const std::vector<int64_t>& items);
+
+/// Reads a data set (one integer per line) until EOF. Empty if the stream
+/// contains a non-integer token or an item outside [0, n) for n > 0
+/// (pass n = 0 to accept any non-negative items).
+std::optional<std::vector<int64_t>> ReadDataset(std::istream& is, int64_t n = 0);
+
+}  // namespace histk
+
+#endif  // HISTK_DIST_IO_H_

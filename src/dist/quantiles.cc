@@ -1,0 +1,69 @@
+#include "dist/quantiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace histk {
+
+namespace {
+
+/// Slack on quantile targets: cumulative rounding in the cdf must not push
+/// an exactly-representable target (0.25 on Uniform(100)) off its element.
+constexpr double kQuantileSlack = 1e-12;
+
+}  // namespace
+
+std::vector<double> Cdf(const Distribution& d) {
+  std::vector<double> cdf(static_cast<size_t>(d.n()));
+  long double acc = 0.0L;
+  for (int64_t i = 0; i < d.n(); ++i) {
+    acc += static_cast<long double>(d.p(i));
+    cdf[static_cast<size_t>(i)] = static_cast<double>(acc);
+  }
+  return cdf;
+}
+
+int64_t Quantile(const Distribution& d, double q) {
+  HISTK_CHECK_MSG(0.0 <= q && q <= 1.0, "quantile level must be in [0, 1]");
+  const std::vector<double> cdf = Cdf(d);
+  const double target = q - kQuantileSlack;
+  // First index whose cdf reaches the target. A zero-mass index repeats its
+  // predecessor's cdf, so the first hit has positive mass — except a
+  // zero-mass prefix when target <= 0, skipped explicitly.
+  auto it = std::lower_bound(cdf.begin(), cdf.end(), target);
+  int64_t idx = it == cdf.end() ? d.n() - 1 : static_cast<int64_t>(it - cdf.begin());
+  while (idx < d.n() - 1 && d.p(idx) == 0.0) ++idx;
+  while (idx > 0 && d.p(idx) == 0.0) --idx;  // all-zero tail cannot happen; guard
+  return idx;
+}
+
+std::vector<int64_t> EquiDepthEnds(const Distribution& d, int64_t k) {
+  HISTK_CHECK(k >= 1);
+  std::vector<int64_t> ends;
+  ends.reserve(static_cast<size_t>(k));
+  for (int64_t j = 1; j <= k; ++j) {
+    const int64_t end =
+        Quantile(d, static_cast<double>(j) / static_cast<double>(k));
+    if (ends.empty() || end > ends.back()) ends.push_back(end);
+  }
+  // The last piece absorbs any zero-mass tail so the partition tiles [0, n).
+  ends.back() = d.n() - 1;
+  return ends;
+}
+
+double KsDistance(const Distribution& a, const Distribution& b) {
+  HISTK_CHECK_MSG(a.n() == b.n(), "domain sizes must match");
+  long double acc_a = 0.0L;
+  long double acc_b = 0.0L;
+  long double worst = 0.0L;
+  for (int64_t i = 0; i < a.n(); ++i) {
+    acc_a += static_cast<long double>(a.p(i));
+    acc_b += static_cast<long double>(b.p(i));
+    worst = std::max(worst, std::fabs(acc_a - acc_b));
+  }
+  return static_cast<double>(worst);
+}
+
+}  // namespace histk

@@ -1,0 +1,39 @@
+// Cdf/quantile queries over a Distribution.
+//
+// Backs the equi-depth baseline (piece boundaries at mass quantiles) and
+// the Kolmogorov–Smirnov distance used by cross-checks. Quantiles follow
+// the left-continuous convention restricted to the support: Quantile(p, q)
+// is the first element of positive mass whose cdf reaches q.
+#ifndef HISTK_DIST_QUANTILES_H_
+#define HISTK_DIST_QUANTILES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace histk {
+
+/// The cdf as a length-n vector: cdf[i] = p([0, i]). Monotone; the last
+/// entry is 1 (up to an ulp).
+std::vector<double> Cdf(const Distribution& d);
+
+/// The q-quantile, q in [0, 1]: the smallest i with p(i) > 0 and
+/// cdf[i] >= q (with ~1e-12 slack so exactly-representable targets like
+/// 0.25 on a uniform domain resolve to the intended element). Quantile(_, 0)
+/// is the first support element; Quantile(_, 1) the last.
+int64_t Quantile(const Distribution& d, double q);
+
+/// Right endpoints of an equi-depth partition into at most k pieces: the
+/// j/k-quantiles for j = 1..k, deduplicated (heavy elements may absorb
+/// several cuts), with the final end extended to n-1. The prefix through
+/// the j-th end carries at least (j+1)/k of the mass.
+std::vector<int64_t> EquiDepthEnds(const Distribution& d, int64_t k);
+
+/// Kolmogorov–Smirnov distance max_i |cdf_a[i] - cdf_b[i]|. Domains must
+/// match.
+double KsDistance(const Distribution& a, const Distribution& b);
+
+}  // namespace histk
+
+#endif  // HISTK_DIST_QUANTILES_H_

@@ -1,0 +1,121 @@
+#include "dist/sampler.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace histk {
+
+std::vector<int64_t> Sampler::DrawMany(int64_t m, Rng& rng) const {
+  HISTK_CHECK(m >= 0);
+  std::vector<int64_t> draws;
+  draws.reserve(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) draws.push_back(Draw(rng));
+  return draws;
+}
+
+AliasSampler::AliasSampler(const Distribution& dist) : n_(dist.n()) {
+  const size_t n = static_cast<size_t>(n_);
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Column heights scaled so the average is 1. Kept in long double: the
+  // mass shuffled out of large columns must not drift, or near-boundary
+  // columns would mis-split by more than an ulp.
+  std::vector<long double> scaled(n);
+  size_t heaviest = 0;
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = static_cast<long double>(dist.p(static_cast<int64_t>(i))) *
+                static_cast<long double>(n_);
+    if (dist.p(static_cast<int64_t>(i)) > dist.p(static_cast<int64_t>(heaviest))) {
+      heaviest = i;
+    }
+  }
+
+  // Vose pairing. Zero-mass columns go through it like any other small
+  // column: they end up all-alias (prob 0 with a strict < draw), and the
+  // pairing is what spreads the large columns' excess across them — mass
+  // conservation depends on every column being filled to height 1.
+  std::vector<size_t> small, large;
+  for (size_t i = 0; i < n; ++i) {
+    if (scaled[i] < 1.0L) {
+      small.push_back(i);
+    } else {
+      large.push_back(i);
+    }
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.back();
+    small.pop_back();
+    const size_t l = large.back();
+    large.pop_back();
+    prob_[s] = static_cast<double>(scaled[s]);
+    alias_[s] = static_cast<int64_t>(l);
+    scaled[l] -= 1.0L - scaled[s];
+    if (scaled[l] < 1.0L) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  // Leftovers hold fp residue around 1: accept outright. A positive column
+  // accepting itself is always correct; residue this far from 1 cannot
+  // happen for positive columns, but guard anyway so a zero-adjacent fp
+  // quirk can never make a column self-accept spuriously.
+  for (size_t l : large) prob_[l] = 1.0;
+  for (size_t s : small) {
+    if (scaled[s] > 0.5L) {
+      prob_[s] = 1.0;
+    } else {
+      prob_[s] = 0.0;
+      alias_[s] = static_cast<int64_t>(heaviest);
+    }
+  }
+}
+
+int64_t AliasSampler::Draw(Rng& rng) const { return DrawImpl(rng); }
+
+std::vector<int64_t> AliasSampler::DrawMany(int64_t m, Rng& rng) const {
+  HISTK_CHECK(m >= 0);
+  std::vector<int64_t> draws(static_cast<size_t>(m));
+  for (auto& d : draws) d = DrawImpl(rng);
+  return draws;
+}
+
+CdfSampler::CdfSampler(const Distribution& dist) {
+  const size_t n = static_cast<size_t>(dist.n());
+  cdf_.resize(n);
+  long double acc = 0.0L;
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<long double>(dist.p(static_cast<int64_t>(i)));
+    cdf_[i] = static_cast<double>(acc);
+  }
+  // NextDouble() < 1, so the search needs cdf_.back() >= 1 to stay in
+  // range. Saturate from the LAST POSITIVE index onward: raising only
+  // cdf_.back() would hand fp residue (~1e-16 mass) to a zero-mass tail.
+  size_t last_pos = n - 1;
+  while (last_pos > 0 && dist.p(static_cast<int64_t>(last_pos)) == 0.0) --last_pos;
+  if (cdf_.back() < 1.0) {
+    for (size_t i = last_pos; i < n; ++i) cdf_[i] = 1.0;
+  }
+}
+
+int64_t CdfSampler::DrawImpl(Rng& rng) const {
+  const double u = rng.NextDouble();
+  // First index with cdf > u. A zero-mass index i repeats cdf_[i-1], so it
+  // can never be the first — zero-mass elements are never drawn.
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+int64_t CdfSampler::Draw(Rng& rng) const { return DrawImpl(rng); }
+
+std::vector<int64_t> CdfSampler::DrawMany(int64_t m, Rng& rng) const {
+  HISTK_CHECK(m >= 0);
+  std::vector<int64_t> draws(static_cast<size_t>(m));
+  for (auto& d : draws) d = DrawImpl(rng);
+  return draws;
+}
+
+}  // namespace histk

@@ -1,0 +1,88 @@
+// Sample oracles: the access model of the paper.
+//
+// Every algorithm in histk sees the unknown distribution only through a
+// Sampler — the abstract i.i.d. sample oracle. Two draw paths exist:
+// single Draw(rng) and the batched DrawMany(m, rng) hot path (benches draw
+// 10^5–10^7 samples per run; implementations keep the batch loop free of
+// virtual dispatch). Samplers are immutable after construction and hold no
+// rng state, so one sampler can serve many threads as long as each thread
+// draws from its own Rng (fork streams with Rng::Fork()).
+//
+// Implementations:
+//   * AliasSampler  — Walker/Vose alias method, O(n) build, O(1) per draw.
+//   * CdfSampler    — binary search over the cdf, O(log n) per draw; the
+//                     baseline AliasSampler is validated against.
+//   * DatasetSampler (dist/dataset.h) — uniform over a materialized data
+//                     set, the CLI's model.
+#ifndef HISTK_DIST_SAMPLER_H_
+#define HISTK_DIST_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "util/rng.h"
+
+namespace histk {
+
+/// Abstract i.i.d. sample oracle for a distribution on [0, n).
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// Domain size.
+  virtual int64_t n() const = 0;
+
+  /// One draw.
+  virtual int64_t Draw(Rng& rng) const = 0;
+
+  /// `m` draws. The default loops Draw; implementations override with a
+  /// dispatch-free batch loop. Every implementation consumes the rng
+  /// identically in both paths, so seeded runs replay regardless of which
+  /// path a caller uses.
+  virtual std::vector<int64_t> DrawMany(int64_t m, Rng& rng) const;
+};
+
+/// Walker/Vose alias method: O(n) preprocessing, O(1) amortized per draw.
+/// Zero-mass elements are excluded from the alias table outright, so they
+/// are never returned (not even with fp-residue probability).
+class AliasSampler : public Sampler {
+ public:
+  explicit AliasSampler(const Distribution& dist);
+
+  int64_t n() const override { return n_; }
+  int64_t Draw(Rng& rng) const override;
+  std::vector<int64_t> DrawMany(int64_t m, Rng& rng) const override;
+
+ private:
+  int64_t DrawImpl(Rng& rng) const {
+    const auto i = static_cast<size_t>(rng.UniformInt(static_cast<uint64_t>(n_)));
+    return rng.NextDouble() < prob_[i] ? static_cast<int64_t>(i) : alias_[i];
+  }
+
+  int64_t n_ = 0;
+  std::vector<double> prob_;     // acceptance threshold per column; strict <
+                                 // comparison, so prob 0 never accepts
+  std::vector<int64_t> alias_;   // element drawn on reject
+};
+
+/// Inverse-cdf sampling by binary search: O(n) preprocessing, O(log n) per
+/// draw. Slower than AliasSampler; kept as the independently-correct
+/// baseline the alias table is cross-checked against.
+class CdfSampler : public Sampler {
+ public:
+  explicit CdfSampler(const Distribution& dist);
+
+  int64_t n() const override { return static_cast<int64_t>(cdf_.size()); }
+  int64_t Draw(Rng& rng) const override;
+  std::vector<int64_t> DrawMany(int64_t m, Rng& rng) const override;
+
+ private:
+  int64_t DrawImpl(Rng& rng) const;
+
+  std::vector<double> cdf_;  // cdf_[i] = p([0, i]); cdf_.back() == 1
+};
+
+}  // namespace histk
+
+#endif  // HISTK_DIST_SAMPLER_H_

@@ -1,5 +1,12 @@
 #include "benchutil/harness.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace histk {
@@ -42,6 +49,39 @@ TEST(HarnessTest, TrialIndexIsPassedThrough) {
     return 0.0;
   });
   EXPECT_EQ(seen, (std::vector<int64_t>{0, 1, 2}));
+}
+
+// NOTE: runs last in this binary — PrintExperimentHeader activates JSON
+// logging process-wide, and the measurements in the tests above must stay
+// unlogged (no header seen yet = not recorded).
+TEST(HarnessTest, ZzBenchJsonEmission) {
+  const std::string dir = ::testing::TempDir();
+  ASSERT_EQ(::setenv("HISTK_BENCH_JSON_DIR", dir.c_str(), 1), 0);
+
+  PrintExperimentHeader("E0: harness \"self\" test", "n/a", "n/a");
+  NextBenchLabel("labeled/k=1");
+  MeasureScalar(2, [](int64_t t) { return static_cast<double>(t); });
+  MeasureRate(4, [](int64_t t) { return t % 2 == 0; });
+  // Non-finite values must degrade to null, not invalid JSON tokens.
+  MeasureScalar(2, [](int64_t) { return std::numeric_limits<double>::quiet_NaN(); });
+
+  const std::string path = dir + "/BENCH_E0.json";
+  std::ifstream f(path);
+  ASSERT_TRUE(f.is_open()) << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string json = ss.str();
+
+  // Escaped experiment id, explicit label, index labels, kinds, null.
+  EXPECT_NE(json.find("E0: harness \\\"self\\\" test"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"label\": \"labeled/k=1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"label\": \"1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kind\": \"rate\", \"rate\": 0.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean\": null"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+
+  ::unsetenv("HISTK_BENCH_JSON_DIR");
+  std::remove(path.c_str());
 }
 
 }  // namespace

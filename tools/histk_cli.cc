@@ -1,22 +1,31 @@
-// histk_cli — learn or test histogram structure from a file of samples.
+// histk_cli — generate data sets, learn, or test histogram structure.
 //
 // The input is a data set D: one integer item per line (values in [0, n)).
 // Following the paper's model, p = empirical distribution of D and the
 // algorithms draw i.i.d. samples by picking random elements of D.
 //
 // Usage:
+//   histk_cli gen   --family khist|staircase|zipf|gauss|spikes|zigzag|uniform
+//                   [--n N] [--k K] [--samples M] [--seed X] [--skew S]
+//                   [--eps E] [--contrast C] [--pmf-out FILE] > items.txt
 //   histk_cli learn --k 8 --eps 0.1 [--n N] [--scale S] [--full-enum]
 //                   [--reduce] [--seed X] < items.txt > histogram.txt
 //   histk_cli test  --k 8 --eps 0.3 --norm l2|l1 [--n N] [--scale S]
 //                   [--seed X] < items.txt
 //   histk_cli voptimal --k 8 [--n N] < items.txt > histogram.txt
 //
+// `gen` writes a synthetic data set (one item per line) drawn from the
+// chosen family, so learn/test are exercisable end to end:
+//   histk_cli gen --family khist --n 256 --k 8 | histk_cli learn --k 8
 // `learn` writes a histk-tiling-histogram v1 file to stdout; `test` prints
 // the verdict and the flat partition; `voptimal` runs the exact DP on the
 // empirical pmf (reads all of D; for reference, not sub-linear).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,19 +39,29 @@ struct Args {
   std::string command;
   int64_t k = 8;
   double eps = 0.1;
-  int64_t n = 0;  // 0 = infer max+1
+  int64_t n = 0;  // 0 = infer max+1 (gen: defaults to 256)
   double scale = 1.0;
   Norm norm = Norm::kL2;
   bool full_enum = false;
   bool reduce = false;
   uint64_t seed = 1;
+  // gen-only:
+  std::string family = "khist";
+  int64_t samples = 200000;
+  double skew = 1.0;
+  double contrast = 20.0;
+  std::string pmf_out;
 };
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: histk_cli <learn|test|voptimal> [--k K] [--eps E] [--n N]\n"
+               "usage: histk_cli <gen|learn|test|voptimal> [--k K] [--eps E] [--n N]\n"
                "                 [--scale S] [--norm l1|l2] [--full-enum]\n"
-               "                 [--reduce] [--seed X]   < items.txt\n");
+               "                 [--reduce] [--seed X]   < items.txt\n"
+               "       histk_cli gen --family khist|staircase|zipf|gauss|spikes|\n"
+               "                 zigzag|uniform [--n N] [--k K] [--samples M]\n"
+               "                 [--seed X] [--skew S] [--eps E] [--contrast C]\n"
+               "                 [--pmf-out FILE]        > items.txt\n");
 }
 
 bool Parse(int argc, char** argv, Args& args) {
@@ -82,13 +101,33 @@ bool Parse(int argc, char** argv, Args& args) {
       args.full_enum = true;
     } else if (flag == "--reduce") {
       args.reduce = true;
+    } else if (flag == "--family") {
+      const char* v = next();
+      if (!v) return false;
+      args.family = v;
+    } else if (flag == "--samples") {
+      const char* v = next();
+      if (!v) return false;
+      args.samples = std::stoll(v);
+    } else if (flag == "--skew") {
+      const char* v = next();
+      if (!v) return false;
+      args.skew = std::stod(v);
+    } else if (flag == "--contrast") {
+      const char* v = next();
+      if (!v) return false;
+      args.contrast = std::stod(v);
+    } else if (flag == "--pmf-out") {
+      const char* v = next();
+      if (!v) return false;
+      args.pmf_out = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
   }
-  return args.command == "learn" || args.command == "test" ||
-         args.command == "voptimal";
+  return args.command == "gen" || args.command == "learn" ||
+         args.command == "test" || args.command == "voptimal";
 }
 
 std::vector<int64_t> ReadItems(std::istream& is, int64_t& n) {
@@ -159,6 +198,62 @@ int RunTest(const Args& args, const std::vector<int64_t>& items, int64_t n) {
   return out.accepted ? 0 : 1;
 }
 
+int RunGen(const Args& args) {
+  const int64_t n = args.n > 0 ? args.n : 256;
+  // Validate user input up front: bad flags should exit 2 with a message,
+  // not trip a library HISTK_CHECK abort.
+  auto reject = [](const char* why) {
+    std::fprintf(stderr, "gen: %s\n", why);
+    return 2;
+  };
+  if (args.samples < 1) return reject("--samples must be >= 1");
+  if (args.k < 1 || args.k > n) return reject("--k must be in [1, n]");
+  if (args.family == "zigzag") {
+    if (n % 2 != 0) return reject("zigzag needs an even --n");
+    if (args.eps <= 0.0 ||
+        args.eps * static_cast<double>(n) / static_cast<double>(n - args.k) > 1.0) {
+      return reject("zigzag --eps infeasible at this (n, k): amplitude would exceed 1");
+    }
+  }
+  if (args.family == "spikes" && n < 2 * args.k - 1) {
+    return reject("spikes need --n >= 2k-1 for isolation");
+  }
+  if (args.family == "gauss" && n < 2) return reject("gauss needs --n >= 2");
+  Rng rng(args.seed);
+  auto make = [&]() -> std::optional<Distribution> {
+    if (args.family == "khist") return MakeRandomKHistogram(n, args.k, rng, args.contrast).dist;
+    if (args.family == "staircase") return MakeStaircase(n, args.k).dist;
+    if (args.family == "zipf") return MakeZipf(n, args.skew);
+    if (args.family == "gauss") {
+      return MakeGaussianMixture(n, {{0.3, 0.08, 2.0}, {0.7, 0.05, 1.0}}, 0.05);
+    }
+    if (args.family == "spikes") return MakeSpikes(n, std::max<int64_t>(1, args.k));
+    if (args.family == "zigzag") return MakeZigzagL1Far(n, args.k, args.eps);
+    if (args.family == "uniform") return Distribution::Uniform(n);
+    return std::nullopt;
+  };
+  const std::optional<Distribution> dist = make();
+  if (!dist) {
+    std::fprintf(stderr, "unknown family: %s\n", args.family.c_str());
+    return 2;
+  }
+  if (!args.pmf_out.empty()) {
+    std::ofstream f(args.pmf_out);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", args.pmf_out.c_str());
+      return 2;
+    }
+    WriteDistribution(f, *dist);
+  }
+  const AliasSampler sampler(*dist);
+  WriteDataset(std::cout, sampler.DrawMany(args.samples, rng));
+  std::fprintf(stderr, "gen: family=%s n=%lld items=%lld seed=%llu\n",
+               args.family.c_str(), static_cast<long long>(n),
+               static_cast<long long>(args.samples),
+               static_cast<unsigned long long>(args.seed));
+  return 0;
+}
+
 int RunVOptimal(const Args& args, const std::vector<int64_t>& items, int64_t n) {
   const auto res = VOptimalFromSamples(n, args.k, items);
   WriteTilingHistogram(std::cout, res.histogram);
@@ -174,6 +269,7 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  if (args.command == "gen") return RunGen(args);
   int64_t n = args.n;
   const std::vector<int64_t> items = ReadItems(std::cin, n);
   if (items.empty() || n < 1) {
