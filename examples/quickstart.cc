@@ -51,7 +51,7 @@ int main() {
   std::printf("\n");
 
   std::printf("\ntrue pmf vs learned histogram (ASCII, 16 buckets):\n");
-  std::printf("--- truth ---\n%s", AsciiPlot(secret.dist.pmf(), 16, 40).c_str());
+  std::printf("--- truth ---\n%s", AsciiPlot(secret.dist.DensePmf(), 16, 40).c_str());
   std::printf("--- learned ---\n%s", AsciiPlot(compact.ToValues(), 16, 40).c_str());
   return 0;
 }

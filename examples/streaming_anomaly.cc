@@ -31,7 +31,7 @@ int main() {
   Distribution degraded = healthy.dist;
   {
     const Interval tier(healthy.right_ends[1] + 1, healthy.right_ends[2]);
-    std::vector<double> w(degraded.pmf());
+    std::vector<double> w = degraded.DensePmf();
     std::vector<int64_t> elems;
     for (int64_t i = tier.lo; i <= tier.hi; ++i) elems.push_back(i);
     rng.Shuffle(elems);

@@ -1,5 +1,6 @@
 #include "dist/distribution.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -22,12 +23,34 @@ long double SumLd(const std::vector<double>& w) {
   return total;
 }
 
+/// Structural validity of a bucket tiling: non-empty, strictly ascending
+/// right ends inside [0, n), covering exactly [0, n), one value per bucket.
+bool RunsAreValid(int64_t n, const std::vector<int64_t>& right_ends, size_t num_values) {
+  if (n < 1 || right_ends.empty() || right_ends.size() != num_values) return false;
+  if (static_cast<int64_t>(right_ends.size()) > n) return false;
+  int64_t prev = -1;
+  for (int64_t end : right_ends) {
+    if (end <= prev || end >= n) return false;
+    prev = end;
+  }
+  return right_ends.back() == n - 1;
+}
+
+/// Entry-level validity of bucket weights/masses: finite and non-negative.
+bool RunValuesAreValid(const std::vector<double>& values) {
+  for (double x : values) {
+    if (!(std::isfinite(x) && x >= 0.0)) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 const char* NormName(Norm norm) { return norm == Norm::kL1 ? "L1" : "L2"; }
 
 Distribution::Distribution(std::vector<double> pmf) : pmf_(std::move(pmf)) {
   const size_t n = pmf_.size();
+  n_ = static_cast<int64_t>(n);
   prefix_.resize(n + 1);
   prefix_sq_.resize(n + 1);
   long double acc = 0.0L;
@@ -40,6 +63,28 @@ Distribution::Distribution(std::vector<double> pmf) : pmf_(std::move(pmf)) {
     acc_sq += p * p;
     prefix_[i + 1] = static_cast<double>(acc);
     prefix_sq_[i + 1] = static_cast<double>(acc_sq);
+  }
+}
+
+Distribution::Distribution(int64_t n, std::vector<int64_t> right_ends,
+                           std::vector<double> densities)
+    : n_(n), bucket_hi_(std::move(right_ends)), bucket_density_(std::move(densities)) {
+  const size_t k = bucket_hi_.size();
+  bucket_mass_prefix_.resize(k + 1);
+  bucket_sq_prefix_.resize(k + 1);
+  bucket_mass_prefix_[0] = 0.0;
+  bucket_sq_prefix_[0] = 0.0;
+  long double acc = 0.0L;
+  long double acc_sq = 0.0L;
+  int64_t lo = 0;
+  for (size_t j = 0; j < k; ++j) {
+    const long double len = static_cast<long double>(bucket_hi_[j] - lo + 1);
+    const long double d = static_cast<long double>(bucket_density_[j]);
+    acc += len * d;
+    acc_sq += len * d * d;
+    bucket_mass_prefix_[j + 1] = static_cast<double>(acc);
+    bucket_sq_prefix_[j + 1] = static_cast<double>(acc_sq);
+    lo = bucket_hi_[j] + 1;
   }
 }
 
@@ -73,34 +118,209 @@ std::optional<Distribution> Distribution::TryFromPmf(std::vector<double> pmf) {
   return Distribution(std::move(pmf));
 }
 
+Distribution Distribution::FromBucketWeights(int64_t n, std::vector<int64_t> right_ends,
+                                             const std::vector<double>& weights) {
+  auto d = TryFromBucketWeights(n, std::move(right_ends), weights);
+  HISTK_CHECK_MSG(d.has_value(),
+                  "bucket runs must tile [0, n) with finite weights of positive total");
+  return *std::move(d);
+}
+
+Distribution Distribution::FromBucketPmf(int64_t n, std::vector<int64_t> right_ends,
+                                         const std::vector<double>& masses) {
+  auto d = TryFromBucketPmf(n, std::move(right_ends), masses);
+  HISTK_CHECK_MSG(d.has_value(),
+                  "bucket runs must tile [0, n) with finite masses summing to 1");
+  return *std::move(d);
+}
+
+std::optional<Distribution> Distribution::TryFromBucketWeights(
+    int64_t n, std::vector<int64_t> right_ends, const std::vector<double>& weights) {
+  if (!RunsAreValid(n, right_ends, weights.size())) return std::nullopt;
+  if (!RunValuesAreValid(weights)) return std::nullopt;
+  const long double total = SumLd(weights);
+  if (!(total > 0.0L)) return std::nullopt;
+  std::vector<double> densities(weights.size());
+  int64_t lo = 0;
+  for (size_t j = 0; j < weights.size(); ++j) {
+    const long double len = static_cast<long double>(right_ends[j] - lo + 1);
+    densities[j] = static_cast<double>(static_cast<long double>(weights[j]) / total / len);
+    lo = right_ends[j] + 1;
+  }
+  return Distribution(n, std::move(right_ends), std::move(densities));
+}
+
+std::optional<Distribution> Distribution::TryFromBucketPmf(
+    int64_t n, std::vector<int64_t> right_ends, const std::vector<double>& masses) {
+  if (!RunsAreValid(n, right_ends, masses.size())) return std::nullopt;
+  if (!RunValuesAreValid(masses)) return std::nullopt;
+  const long double total = SumLd(masses);
+  if (std::fabs(static_cast<double>(total) - 1.0) > kPmfSumTolerance) {
+    return std::nullopt;
+  }
+  return TryFromBucketWeights(n, std::move(right_ends), masses);
+}
+
+Distribution Distribution::FromRunDensities(int64_t n,
+                                            const std::vector<int64_t>& right_ends,
+                                            const std::vector<double>& densities) {
+  HISTK_CHECK_MSG(RunsAreValid(n, right_ends, densities.size()),
+                  "runs must tile [0, n) with ascending right ends");
+  if (n <= kAutoBucketThreshold) {
+    // Expand and normalize elementwise — bit-for-bit the historical dense
+    // construction, so small-domain seeded experiments replay unchanged.
+    std::vector<double> w(static_cast<size_t>(n));
+    int64_t lo = 0;
+    for (size_t j = 0; j < right_ends.size(); ++j) {
+      for (int64_t i = lo; i <= right_ends[j]; ++i) {
+        w[static_cast<size_t>(i)] = densities[j];
+      }
+      lo = right_ends[j] + 1;
+    }
+    return FromWeights(std::move(w));
+  }
+  std::vector<double> weights(densities.size());
+  int64_t lo = 0;
+  for (size_t j = 0; j < densities.size(); ++j) {
+    const long double len = static_cast<long double>(right_ends[j] - lo + 1);
+    weights[j] = static_cast<double>(static_cast<long double>(densities[j]) * len);
+    lo = right_ends[j] + 1;
+  }
+  return FromBucketWeights(n, right_ends, weights);
+}
+
 Distribution Distribution::Uniform(int64_t n) {
   HISTK_CHECK(n >= 1);
-  return Distribution(
-      std::vector<double>(static_cast<size_t>(n), 1.0 / static_cast<double>(n)));
+  if (n <= kAutoBucketThreshold) {
+    return Distribution(
+        std::vector<double>(static_cast<size_t>(n), 1.0 / static_cast<double>(n)));
+  }
+  return FromBucketPmf(n, {n - 1}, {1.0});
 }
 
 Distribution Distribution::PointMass(int64_t n, int64_t at) {
   HISTK_CHECK(n >= 1);
   HISTK_CHECK_MSG(0 <= at && at < n, "point mass needs 0 <= at < n");
-  std::vector<double> pmf(static_cast<size_t>(n), 0.0);
-  pmf[static_cast<size_t>(at)] = 1.0;
-  return Distribution(std::move(pmf));
+  if (n <= kAutoBucketThreshold) {
+    std::vector<double> pmf(static_cast<size_t>(n), 0.0);
+    pmf[static_cast<size_t>(at)] = 1.0;
+    return Distribution(std::move(pmf));
+  }
+  std::vector<int64_t> ends;
+  std::vector<double> masses;
+  if (at > 0) {
+    ends.push_back(at - 1);
+    masses.push_back(0.0);
+  }
+  ends.push_back(at);
+  masses.push_back(1.0);
+  if (at < n - 1) {
+    ends.push_back(n - 1);
+    masses.push_back(0.0);
+  }
+  return FromBucketPmf(n, std::move(ends), masses);
+}
+
+std::vector<double> Distribution::DensePmf() const {
+  if (!is_bucketed()) return pmf_;
+  HISTK_CHECK_MSG(n_ <= kMaxDensifyDomain,
+                  "refusing to densify a huge bucket-backed domain");
+  std::vector<double> pmf(static_cast<size_t>(n_));
+  int64_t lo = 0;
+  for (size_t j = 0; j < bucket_hi_.size(); ++j) {
+    for (int64_t i = lo; i <= bucket_hi_[j]; ++i) {
+      pmf[static_cast<size_t>(i)] = bucket_density_[j];
+    }
+    lo = bucket_hi_[j] + 1;
+  }
+  return pmf;
+}
+
+int64_t Distribution::BucketIndexOf(int64_t i) const {
+  const auto it = std::lower_bound(bucket_hi_.begin(), bucket_hi_.end(), i);
+  HISTK_DCHECK(it != bucket_hi_.end());
+  return static_cast<int64_t>(it - bucket_hi_.begin());
+}
+
+int64_t Distribution::NextSupport(int64_t i) const {
+  HISTK_CHECK(0 <= i && i < n_);
+  if (!is_bucketed()) {
+    for (int64_t j = i; j < n_; ++j) {
+      if (pmf_[static_cast<size_t>(j)] > 0.0) return j;
+    }
+    return -1;
+  }
+  int64_t j = BucketIndexOf(i);
+  if (bucket_density_[static_cast<size_t>(j)] > 0.0) return i;
+  for (++j; j < static_cast<int64_t>(bucket_hi_.size()); ++j) {
+    if (bucket_density_[static_cast<size_t>(j)] > 0.0) return BucketLo(j);
+  }
+  return -1;
+}
+
+int64_t Distribution::PrevSupport(int64_t i) const {
+  HISTK_CHECK(0 <= i && i < n_);
+  if (!is_bucketed()) {
+    for (int64_t j = i; j >= 0; --j) {
+      if (pmf_[static_cast<size_t>(j)] > 0.0) return j;
+    }
+    return -1;
+  }
+  int64_t j = BucketIndexOf(i);
+  if (bucket_density_[static_cast<size_t>(j)] > 0.0) return i;
+  for (--j; j >= 0; --j) {
+    if (bucket_density_[static_cast<size_t>(j)] > 0.0) return bucket_hi_[static_cast<size_t>(j)];
+  }
+  return -1;
+}
+
+double Distribution::WeightBucket(Interval c) const {
+  const int64_t jl = BucketIndexOf(c.lo);
+  const int64_t jh = BucketIndexOf(c.hi);
+  if (jl == jh) {
+    return static_cast<double>(c.length()) * bucket_density_[static_cast<size_t>(jl)];
+  }
+  const double left = static_cast<double>(bucket_hi_[static_cast<size_t>(jl)] - c.lo + 1) *
+                      bucket_density_[static_cast<size_t>(jl)];
+  const double right = static_cast<double>(c.hi - BucketLo(jh) + 1) *
+                       bucket_density_[static_cast<size_t>(jh)];
+  const double middle = bucket_mass_prefix_[static_cast<size_t>(jh)] -
+                        bucket_mass_prefix_[static_cast<size_t>(jl + 1)];
+  return left + middle + right;
+}
+
+double Distribution::SumSquaresBucket(Interval c) const {
+  const int64_t jl = BucketIndexOf(c.lo);
+  const int64_t jh = BucketIndexOf(c.hi);
+  const double dl = bucket_density_[static_cast<size_t>(jl)];
+  if (jl == jh) return static_cast<double>(c.length()) * dl * dl;
+  const double dh = bucket_density_[static_cast<size_t>(jh)];
+  const double left =
+      static_cast<double>(bucket_hi_[static_cast<size_t>(jl)] - c.lo + 1) * dl * dl;
+  const double right = static_cast<double>(c.hi - BucketLo(jh) + 1) * dh * dh;
+  const double middle = bucket_sq_prefix_[static_cast<size_t>(jh)] -
+                        bucket_sq_prefix_[static_cast<size_t>(jl + 1)];
+  return left + middle + right;
 }
 
 double Distribution::Weight(Interval I) const {
   const Interval c = Clip(I);
   if (c.empty()) return 0.0;
+  if (is_bucketed()) return WeightBucket(c);
   return prefix_[static_cast<size_t>(c.hi + 1)] - prefix_[static_cast<size_t>(c.lo)];
 }
 
 double Distribution::SumSquares(Interval I) const {
   const Interval c = Clip(I);
   if (c.empty()) return 0.0;
+  if (is_bucketed()) return SumSquaresBucket(c);
   return prefix_sq_[static_cast<size_t>(c.hi + 1)] -
          prefix_sq_[static_cast<size_t>(c.lo)];
 }
 
-double Distribution::L2NormSquared() const { return prefix_sq_.back(); }
+double Distribution::L2NormSquared() const {
+  return is_bucketed() ? bucket_sq_prefix_.back() : prefix_sq_.back();
+}
 
 double Distribution::IntervalMean(Interval I) const {
   const Interval c = Clip(I);
@@ -118,6 +338,15 @@ double Distribution::IntervalSse(Interval I) const {
 bool Distribution::IsFlat(Interval I, double tol) const {
   const Interval c = Clip(I);
   if (c.length() < 2) return true;
+  if (is_bucketed()) {
+    const int64_t jl = BucketIndexOf(c.lo);
+    const int64_t jh = BucketIndexOf(c.hi);
+    const double first = bucket_density_[static_cast<size_t>(jl)];
+    for (int64_t j = jl + 1; j <= jh; ++j) {
+      if (std::fabs(bucket_density_[static_cast<size_t>(j)] - first) > tol) return false;
+    }
+    return true;
+  }
   const double first = pmf_[static_cast<size_t>(c.lo)];
   for (int64_t i = c.lo + 1; i <= c.hi; ++i) {
     if (std::fabs(pmf_[static_cast<size_t>(i)] - first) > tol) return false;
@@ -129,43 +358,107 @@ Distribution Distribution::Restrict(Interval I) const {
   const Interval c = Clip(I);
   HISTK_CHECK_MSG(!c.empty(), "restriction to an empty interval");
   HISTK_CHECK_MSG(Weight(c) > 0.0, "restriction to a zero-weight interval");
+  if (is_bucketed()) {
+    // Collect the overlapped runs, clipped to c, in coordinates relative to
+    // c.lo — no dense intermediate regardless of |I| or n.
+    const int64_t jl = BucketIndexOf(c.lo);
+    const int64_t jh = BucketIndexOf(c.hi);
+    std::vector<int64_t> ends;
+    std::vector<double> weights;
+    ends.reserve(static_cast<size_t>(jh - jl + 1));
+    weights.reserve(static_cast<size_t>(jh - jl + 1));
+    for (int64_t j = jl; j <= jh; ++j) {
+      const int64_t lo = std::max(BucketLo(j), c.lo);
+      const int64_t hi = std::min(bucket_hi_[static_cast<size_t>(j)], c.hi);
+      ends.push_back(hi - c.lo);
+      weights.push_back(static_cast<double>(hi - lo + 1) *
+                        bucket_density_[static_cast<size_t>(j)]);
+    }
+    return FromBucketWeights(c.length(), std::move(ends), weights);
+  }
   std::vector<double> w(pmf_.begin() + static_cast<ptrdiff_t>(c.lo),
                         pmf_.begin() + static_cast<ptrdiff_t>(c.hi + 1));
   return FromWeights(std::move(w));
 }
 
+long double Distribution::MixedDiffAccum(const Distribution& other, bool squared) const {
+  // |a - b| and (a - b)^2 are symmetric, so accumulate from the bucket
+  // side against the dense side's pmf — the run walk in ValuesDiffAccum.
+  const Distribution& bk = is_bucketed() ? *this : other;
+  const Distribution& dn = is_bucketed() ? other : *this;
+  return bk.ValuesDiffAccum(dn.pmf_, squared);
+}
+
 double Distribution::L1DistanceTo(const Distribution& other) const {
-  return L1DistanceToValues(other.pmf_);
+  HISTK_CHECK_MSG(n() == other.n(), "domain sizes must match");
+  if (is_bucketed() && other.is_bucketed()) {
+    // Both pmfs are constant on each merged run, so the distance is a sum
+    // over <= k_p + k_q runs.
+    long double acc = 0.0L;
+    ForEachMergedRun(*this, other, [&](int64_t len, double da, double db) {
+      acc += static_cast<long double>(len) *
+             fabsl(static_cast<long double>(da) - static_cast<long double>(db));
+    });
+    return static_cast<double>(acc);
+  }
+  if (!is_bucketed() && !other.is_bucketed()) return L1DistanceToValues(other.pmf_);
+  return static_cast<double>(MixedDiffAccum(other, /*squared=*/false));
 }
 
 double Distribution::L2DistanceTo(const Distribution& other) const {
   HISTK_CHECK_MSG(n() == other.n(), "domain sizes must match");
-  return std::sqrt(L2SquaredDistanceToValues(other.pmf_));
+  if (is_bucketed() && other.is_bucketed()) {
+    long double acc = 0.0L;
+    ForEachMergedRun(*this, other, [&](int64_t len, double da, double db) {
+      const long double diff =
+          static_cast<long double>(da) - static_cast<long double>(db);
+      acc += static_cast<long double>(len) * diff * diff;
+    });
+    return std::sqrt(static_cast<double>(acc));
+  }
+  if (!is_bucketed() && !other.is_bucketed()) {
+    return std::sqrt(L2SquaredDistanceToValues(other.pmf_));
+  }
+  return std::sqrt(static_cast<double>(MixedDiffAccum(other, /*squared=*/true)));
 }
 
 double Distribution::DistanceTo(const Distribution& other, Norm norm) const {
   return norm == Norm::kL1 ? L1DistanceTo(other) : L2DistanceTo(other);
 }
 
-double Distribution::L1DistanceToValues(const std::vector<double>& values) const {
-  HISTK_CHECK_MSG(values.size() == pmf_.size(), "domain sizes must match");
+long double Distribution::ValuesDiffAccum(const std::vector<double>& values,
+                                          bool squared) const {
+  HISTK_CHECK_MSG(static_cast<int64_t>(values.size()) == n_, "domain sizes must match");
   long double acc = 0.0L;
-  for (size_t i = 0; i < pmf_.size(); ++i) {
-    acc += std::fabs(static_cast<long double>(pmf_[i]) -
-                     static_cast<long double>(values[i]));
+  if (is_bucketed()) {
+    // Walk the runs with a direct scan of `values` inside each — O(n + k),
+    // no per-element bucket search.
+    int64_t lo = 0;
+    for (size_t j = 0; j < bucket_hi_.size(); ++j) {
+      const long double density = static_cast<long double>(bucket_density_[j]);
+      for (int64_t i = lo; i <= bucket_hi_[j]; ++i) {
+        const long double d =
+            density - static_cast<long double>(values[static_cast<size_t>(i)]);
+        acc += squared ? d * d : fabsl(d);
+      }
+      lo = bucket_hi_[j] + 1;
+    }
+    return acc;
   }
-  return static_cast<double>(acc);
+  for (size_t i = 0; i < pmf_.size(); ++i) {
+    const long double d =
+        static_cast<long double>(pmf_[i]) - static_cast<long double>(values[i]);
+    acc += squared ? d * d : fabsl(d);
+  }
+  return acc;
+}
+
+double Distribution::L1DistanceToValues(const std::vector<double>& values) const {
+  return static_cast<double>(ValuesDiffAccum(values, /*squared=*/false));
 }
 
 double Distribution::L2SquaredDistanceToValues(const std::vector<double>& values) const {
-  HISTK_CHECK_MSG(values.size() == pmf_.size(), "domain sizes must match");
-  long double acc = 0.0L;
-  for (size_t i = 0; i < pmf_.size(); ++i) {
-    const long double d = static_cast<long double>(pmf_[i]) -
-                          static_cast<long double>(values[i]);
-    acc += d * d;
-  }
-  return static_cast<double>(acc);
+  return static_cast<double>(ValuesDiffAccum(values, /*squared=*/true));
 }
 
 }  // namespace histk

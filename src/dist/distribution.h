@@ -2,10 +2,29 @@
 //
 // Distribution is the ground-truth object every oracle samples from and
 // every histogram is measured against. It is constructed through validating
-// factories (weights are normalized; pmfs must already sum to 1), stores
-// prefix sums of p and p^2, and answers the interval queries the paper's
-// algorithms are phrased in — weight p(I), sum of squares, interval mean,
-// and the SSE of flattening an interval to its best constant — in O(1).
+// factories and answers the interval queries the paper's algorithms are
+// phrased in — weight p(I), sum of squares, interval mean, and the SSE of
+// flattening an interval to its best constant.
+//
+// Two representation backends live behind the one interface:
+//
+//   * dense  — a materialized pmf vector plus prefix sums of p and p^2;
+//     O(n) to build, O(1) per interval query. The right choice whenever the
+//     pmf genuinely has n degrees of freedom (empirical data, noisy
+//     families) and n is moderate (<= kAutoBucketThreshold).
+//   * bucket — a piecewise-constant pmf stored as k (interval, density)
+//     runs plus prefix sums over buckets; O(k) to build and store, O(log k)
+//     per interval query, independent of n. The paper's central object IS a
+//     k-histogram, so this backend makes domains of 2^30 and beyond
+//     first-class: constructing, querying, restricting, and sampling such a
+//     distribution never touches an O(n) array.
+//
+// Backend choice: the FromBucket*/TryFromBucket* factories always build the
+// bucket backend; FromWeights/FromPmf always build dense (the caller already
+// materialized a vector); FromRunDensities and the shaped constructors
+// (Uniform, PointMass, the generator zoo's piecewise families) auto-select —
+// dense up to kAutoBucketThreshold (bit-for-bit identical to the historical
+// dense construction, so seeded experiments replay), bucket above it.
 //
 // Interval arguments are clipped to the domain: the part of an interval
 // outside [0, n) carries no mass. Precondition violations abort via
@@ -28,46 +47,138 @@ enum class Norm { kL1, kL2 };
 /// "L1" / "L2".
 const char* NormName(Norm norm);
 
+/// The representation backing a Distribution.
+enum class DistBackend { kDense, kBucket };
+
 /// A probability distribution on {0, ..., n-1}.
 class Distribution {
  public:
-  /// From non-negative weights, normalized to sum 1. Aborts unless every
-  /// weight is finite and >= 0 and the total is positive.
+  /// From non-negative weights, normalized to sum 1. Always dense. Aborts
+  /// unless every weight is finite and >= 0 and the total is positive.
   static Distribution FromWeights(std::vector<double> weights);
 
-  /// From an exact pmf. Aborts unless entries are finite and >= 0 and sum
-  /// to 1 (within kPmfSumTolerance).
+  /// From an exact pmf. Always dense. Aborts unless entries are finite and
+  /// >= 0 and sum to 1 (within kPmfSumTolerance).
   static Distribution FromPmf(std::vector<double> pmf);
 
   /// Non-aborting variant of FromPmf for untrusted input (see dist/io.h):
   /// empty on any validation failure.
   static std::optional<Distribution> TryFromPmf(std::vector<double> pmf);
 
-  /// Uniform distribution on [0, n).
+  /// Bucket-backed, from per-bucket total weights (relative masses,
+  /// normalized to sum 1). Bucket j covers [prev_end + 1, right_ends[j]];
+  /// right_ends must be strictly ascending with right_ends.back() == n - 1.
+  /// O(k) regardless of n. Aborts on malformed runs, non-finite or negative
+  /// weights, or zero total weight.
+  static Distribution FromBucketWeights(int64_t n, std::vector<int64_t> right_ends,
+                                        const std::vector<double>& weights);
+
+  /// Bucket-backed, from per-bucket probability masses that must already sum
+  /// to 1 (within kPmfSumTolerance). Aborts on invalid input.
+  static Distribution FromBucketPmf(int64_t n, std::vector<int64_t> right_ends,
+                                    const std::vector<double>& masses);
+
+  /// Non-aborting variants of the bucket factories, for untrusted input
+  /// (see dist/io.h): empty on any validation failure.
+  static std::optional<Distribution> TryFromBucketWeights(
+      int64_t n, std::vector<int64_t> right_ends, const std::vector<double>& weights);
+  static std::optional<Distribution> TryFromBucketPmf(
+      int64_t n, std::vector<int64_t> right_ends, const std::vector<double>& masses);
+
+  /// From per-bucket *densities* (the per-element value inside each run),
+  /// auto-selecting the backend: for n <= kAutoBucketThreshold the runs are
+  /// expanded and normalized elementwise — bit-for-bit the historical dense
+  /// construction — and above it the bucket backend is built in O(k).
+  static Distribution FromRunDensities(int64_t n, const std::vector<int64_t>& right_ends,
+                                       const std::vector<double>& densities);
+
+  /// Uniform distribution on [0, n). Bucket-backed (one run) for
+  /// n > kAutoBucketThreshold.
   static Distribution Uniform(int64_t n);
 
-  /// All mass on element `at`.
+  /// All mass on element `at`. Bucket-backed (<= 3 runs) for
+  /// n > kAutoBucketThreshold.
   static Distribution PointMass(int64_t n, int64_t at);
 
-  /// Relative slack accepted by FromPmf / TryFromPmf on |sum - 1|.
+  /// Relative slack accepted by the *Pmf factories on |sum - 1|.
   static constexpr double kPmfSumTolerance = 1e-9;
 
-  /// Domain size.
-  int64_t n() const { return static_cast<int64_t>(pmf_.size()); }
+  /// Auto-backend cutoff: domains up to this size densify (matching
+  /// SampleSet::kDenseDomainLimit); larger ones get the bucket backend.
+  static constexpr int64_t kAutoBucketThreshold = int64_t{1} << 21;
 
-  /// p(i). Bounds-checked in debug builds.
+  /// Hard cap for materializing O(n) vectors out of a bucket-backed
+  /// distribution (DensePmf, dist/quantiles.h's Cdf): beyond this an
+  /// accidental densification would dominate memory, so it aborts instead.
+  static constexpr int64_t kMaxDensifyDomain = int64_t{1} << 24;
+
+  /// Domain size.
+  int64_t n() const { return n_; }
+
+  /// The backend in use.
+  DistBackend backend() const {
+    return bucket_hi_.empty() ? DistBackend::kDense : DistBackend::kBucket;
+  }
+  bool is_bucketed() const { return !bucket_hi_.empty(); }
+
+  /// p(i). O(1) dense, O(log k) bucket. Bounds-checked in debug builds.
   double p(int64_t i) const {
     HISTK_DCHECK(0 <= i && i < n());
+    if (!bucket_hi_.empty()) return bucket_density_[BucketIndexOf(i)];
     return pmf_[static_cast<size_t>(i)];
   }
 
-  /// The full pmf.
-  const std::vector<double>& pmf() const { return pmf_; }
+  /// The pmf materialized as a length-n vector (a copy for the dense
+  /// backend, an O(n) expansion for the bucket backend). Aborts for domains
+  /// above kMaxDensifyDomain — callers of huge-domain distributions must
+  /// stay in interval/bucket queries.
+  std::vector<double> DensePmf() const;
 
-  /// p(I) = sum_{i in I} p(i), clipped to the domain. O(1).
+  // ------------------------------------------------------------ buckets
+  // The run-length view, for consumers that walk the piecewise structure
+  // directly (samplers, io, quantiles). Dense distributions have no bucket
+  // arrays; call sites branch on is_bucketed().
+
+  /// Number of runs k (bucket backend only).
+  int64_t num_buckets() const {
+    HISTK_CHECK_MSG(is_bucketed(), "num_buckets on a dense distribution");
+    return static_cast<int64_t>(bucket_hi_.size());
+  }
+
+  /// Inclusive right endpoint of each bucket, ascending; back() == n-1.
+  const std::vector<int64_t>& bucket_right_ends() const {
+    HISTK_CHECK_MSG(is_bucketed(), "bucket view on a dense distribution");
+    return bucket_hi_;
+  }
+
+  /// Per-element density inside each bucket.
+  const std::vector<double>& bucket_densities() const {
+    HISTK_CHECK_MSG(is_bucketed(), "bucket view on a dense distribution");
+    return bucket_density_;
+  }
+
+  /// Cumulative bucket masses: entry j = total mass of buckets < j
+  /// (size k+1, back() == 1 up to an ulp).
+  const std::vector<double>& bucket_mass_prefix() const {
+    HISTK_CHECK_MSG(is_bucketed(), "bucket view on a dense distribution");
+    return bucket_mass_prefix_;
+  }
+
+  /// Smallest j >= i with p(j) > 0, or -1 if no support at or after i.
+  /// O(support gap) dense, O(k) bucket.
+  int64_t NextSupport(int64_t i) const;
+
+  /// Largest j <= i with p(j) > 0, or -1 if no support at or before i.
+  int64_t PrevSupport(int64_t i) const;
+
+  // ------------------------------------------------------------ queries
+
+  /// p(I) = sum_{i in I} p(i), clipped to the domain. O(1) dense,
+  /// O(log k) bucket.
   double Weight(Interval I) const;
 
-  /// sum_{i in I} p(i)^2, clipped to the domain. O(1).
+  /// sum_{i in I} p(i)^2, clipped to the domain. O(1) dense, O(log k)
+  /// bucket.
   double SumSquares(Interval I) const;
 
   /// ||p||_2^2 = SumSquares over the full domain.
@@ -83,17 +194,22 @@ class Distribution {
   double IntervalSse(Interval I) const;
 
   /// True iff p is constant on the clipped interval (within tol per
-  /// element). Empty/degenerate intervals are flat.
+  /// element). Empty/degenerate intervals are flat. O(|I|) dense,
+  /// O(buckets overlapped) bucket.
   bool IsFlat(Interval I, double tol = 1e-12) const;
 
   /// The conditional distribution p_I on a fresh domain [0, |I|). Aborts on
-  /// zero-weight intervals.
+  /// zero-weight intervals. Keeps the receiver's backend: a bucket-backed
+  /// restriction is built from the overlapped runs in O(log k + runs) with
+  /// no dense intermediate.
   Distribution Restrict(Interval I) const;
 
-  /// sum |p_i - q_i|. Domains must match.
+  /// sum |p_i - q_i|. Domains must match. O(k_p + k_q) when both sides are
+  /// bucket-backed; O(n) otherwise.
   double L1DistanceTo(const Distribution& other) const;
 
-  /// sqrt(sum (p_i - q_i)^2). Domains must match.
+  /// sqrt(sum (p_i - q_i)^2). Domains must match. O(k_p + k_q) when both
+  /// sides are bucket-backed; O(n) otherwise.
   double L2DistanceTo(const Distribution& other) const;
 
   /// L1DistanceTo or L2DistanceTo by norm tag.
@@ -108,14 +224,74 @@ class Distribution {
 
  private:
   explicit Distribution(std::vector<double> pmf);
+  Distribution(int64_t n, std::vector<int64_t> right_ends, std::vector<double> densities);
+
+  /// sum over i of |p(i) - other.p(i)| (or the square of the difference)
+  /// for the mixed dense/bucket case: walks the bucket side's runs with a
+  /// direct scan of the dense side's pmf inside each — O(n + k), no
+  /// per-element bucket search.
+  long double MixedDiffAccum(const Distribution& other, bool squared) const;
+
+  /// Same accumulation against an arbitrary length-n value vector, walking
+  /// the receiver's runs when bucketed.
+  long double ValuesDiffAccum(const std::vector<double>& values, bool squared) const;
 
   /// The domain-clipped interval (possibly empty).
   Interval Clip(Interval I) const { return I.Intersect(Interval::Full(n())); }
 
+  /// Index of the bucket containing element i (bucket backend only).
+  int64_t BucketIndexOf(int64_t i) const;
+
+  /// First element of bucket j.
+  int64_t BucketLo(int64_t j) const {
+    return j == 0 ? 0 : bucket_hi_[static_cast<size_t>(j - 1)] + 1;
+  }
+
+  /// Number of elements in bucket j.
+  int64_t BucketLen(int64_t j) const {
+    return bucket_hi_[static_cast<size_t>(j)] - BucketLo(j) + 1;
+  }
+
+  double WeightBucket(Interval c) const;
+  double SumSquaresBucket(Interval c) const;
+
+  int64_t n_ = 0;
+
+  // Dense backend (empty when bucketed).
   std::vector<double> pmf_;
   std::vector<double> prefix_;     // prefix_[i] = sum_{j < i} p(j)
   std::vector<double> prefix_sq_;  // prefix_sq_[i] = sum_{j < i} p(j)^2
+
+  // Bucket backend (empty when dense).
+  std::vector<int64_t> bucket_hi_;        // inclusive right end per bucket
+  std::vector<double> bucket_density_;    // per-element density per bucket
+  std::vector<double> bucket_mass_prefix_;  // [j] = mass of buckets < j (k+1)
+  std::vector<double> bucket_sq_prefix_;    // [j] = sum p^2 of buckets < j (k+1)
 };
+
+/// Walks the merged run boundaries of two bucket-backed distributions on
+/// the same domain, calling fn(len, density_a, density_b) once per maximal
+/// interval where BOTH pmfs are constant — at most k_a + k_b calls. The
+/// backbone of the bucket-bucket distance and KS computations.
+template <typename Fn>
+void ForEachMergedRun(const Distribution& a, const Distribution& b, Fn&& fn) {
+  HISTK_CHECK_MSG(a.n() == b.n(), "domain sizes must match");
+  HISTK_CHECK_MSG(a.is_bucketed() && b.is_bucketed(),
+                  "merged-run walk needs two bucket-backed distributions");
+  const std::vector<int64_t>& ahi = a.bucket_right_ends();
+  const std::vector<int64_t>& bhi = b.bucket_right_ends();
+  const std::vector<double>& ad = a.bucket_densities();
+  const std::vector<double>& bd = b.bucket_densities();
+  size_t ja = 0, jb = 0;
+  int64_t pos = 0;
+  while (pos < a.n()) {
+    const int64_t end = std::min(ahi[ja], bhi[jb]);
+    fn(end - pos + 1, ad[ja], bd[jb]);
+    if (ahi[ja] == end) ++ja;
+    if (bhi[jb] == end) ++jb;
+    pos = end + 1;
+  }
+}
 
 }  // namespace histk
 

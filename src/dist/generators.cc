@@ -52,39 +52,27 @@ HistogramSpec MakeRandomKHistogram(int64_t n, int64_t k, Rng& rng, double contra
   std::vector<int64_t> right_ends = rng.SampleDistinct(n - 1, k - 1);
   right_ends.push_back(n - 1);
 
-  std::vector<double> w(static_cast<size_t>(n));
-  int64_t lo = 0;
-  for (int64_t end : right_ends) {
-    const double density = 1.0 + (contrast - 1.0) * rng.NextDouble();
-    for (int64_t i = lo; i <= end; ++i) w[static_cast<size_t>(i)] = density;
-    lo = end + 1;
-  }
-  return {Distribution::FromWeights(std::move(w)), std::move(right_ends)};
+  std::vector<double> density(right_ends.size());
+  for (auto& d : density) d = 1.0 + (contrast - 1.0) * rng.NextDouble();
+  // Run form: O(k) construction on huge domains, dense below the threshold.
+  return {Distribution::FromRunDensities(n, right_ends, density), std::move(right_ends)};
 }
 
 HistogramSpec MakeStaircase(int64_t n, int64_t k) {
   HISTK_CHECK(n >= 1 && 1 <= k && k <= n);
   std::vector<int64_t> right_ends(static_cast<size_t>(k));
+  std::vector<double> density(static_cast<size_t>(k));
   for (int64_t j = 0; j < k; ++j) {
     right_ends[static_cast<size_t>(j)] = (j + 1) * n / k - 1;
+    density[static_cast<size_t>(j)] = static_cast<double>(j + 1);
   }
   right_ends.back() = n - 1;
-
-  std::vector<double> w(static_cast<size_t>(n));
-  int64_t lo = 0;
-  for (int64_t j = 0; j < k; ++j) {
-    const int64_t end = right_ends[static_cast<size_t>(j)];
-    for (int64_t i = lo; i <= end; ++i) {
-      w[static_cast<size_t>(i)] = static_cast<double>(j + 1);
-    }
-    lo = end + 1;
-  }
-  return {Distribution::FromWeights(std::move(w)), std::move(right_ends)};
+  return {Distribution::FromRunDensities(n, right_ends, density), std::move(right_ends)};
 }
 
 Distribution MakeNoisy(const Distribution& base, double noise, Rng& rng) {
   HISTK_CHECK(0.0 <= noise && noise <= 1.0);
-  std::vector<double> w(base.pmf());
+  std::vector<double> w = base.DensePmf();
   for (auto& x : w) {
     const double u = 2.0 * rng.NextDouble() - 1.0;
     x *= 1.0 + noise * u;
@@ -96,9 +84,28 @@ Distribution MakeSpikes(int64_t n, int64_t s) {
   HISTK_CHECK(s >= 1);
   HISTK_CHECK_MSG(n >= 2 * s - 1, "spikes need stride >= 2 for isolation");
   const int64_t stride = std::max<int64_t>(2, n / s);
-  std::vector<double> w(static_cast<size_t>(n), 0.0);
-  for (int64_t j = 0; j < s; ++j) w[static_cast<size_t>(j * stride)] = 1.0;
-  return Distribution::FromWeights(std::move(w));
+  // Run form: a unit-mass singleton run per spike, zero runs between —
+  // O(s) regardless of n.
+  std::vector<int64_t> right_ends;
+  std::vector<double> density;
+  right_ends.reserve(static_cast<size_t>(2 * s + 1));
+  density.reserve(static_cast<size_t>(2 * s + 1));
+  int64_t covered = -1;  // last index already assigned to a run
+  for (int64_t j = 0; j < s; ++j) {
+    const int64_t pos = j * stride;
+    if (pos - 1 > covered) {
+      right_ends.push_back(pos - 1);
+      density.push_back(0.0);
+    }
+    right_ends.push_back(pos);
+    density.push_back(1.0);
+    covered = pos;
+  }
+  if (covered < n - 1) {
+    right_ends.push_back(n - 1);
+    density.push_back(0.0);
+  }
+  return Distribution::FromRunDensities(n, right_ends, density);
 }
 
 double ZigzagAmplitude(int64_t n, int64_t k, double eps, double margin) {
@@ -121,7 +128,7 @@ Distribution MakeZigzagL1Far(int64_t n, int64_t k, double eps, double margin) {
 Distribution MakeWithinPieceZigzag(const HistogramSpec& spec, double delta) {
   HISTK_CHECK(0.0 <= delta && delta <= 1.0);
   const Distribution& d = spec.dist;
-  std::vector<double> w(d.pmf());
+  std::vector<double> w = d.DensePmf();
   int64_t lo = 0;
   for (int64_t end : spec.right_ends) {
     // Zigzag full pairs; an odd-length piece keeps its last element flat,

@@ -9,6 +9,16 @@
 //
 // All randomized generators take an explicit Rng& and are deterministic
 // given its state.
+//
+// The piecewise-constant families (MakeRandomKHistogram, MakeStaircase,
+// MakeSpikes — and Distribution::Uniform/PointMass) emit their runs
+// natively through Distribution::FromRunDensities, so on domains above
+// Distribution::kAutoBucketThreshold they build the O(k) bucket backend and
+// never materialize an O(n) vector; below the threshold they densify
+// bit-for-bit like the historical constructors, so small-domain seeded
+// experiments replay unchanged. The shaped families (Zipf, Gaussian
+// mixtures, noisy/zigzag perturbations) have n degrees of freedom and stay
+// dense.
 #ifndef HISTK_DIST_GENERATORS_H_
 #define HISTK_DIST_GENERATORS_H_
 

@@ -91,6 +91,58 @@ std::optional<TilingHistogram> ReadTilingHistogram(std::istream& is) {
   return TilingHistogram::FromRightEnds(n, right_ends, std::move(values));
 }
 
+void WriteBucketDistribution(std::ostream& os, const Distribution& d) {
+  std::vector<int64_t> ends;
+  std::vector<double> densities;
+  if (d.is_bucketed()) {
+    ends = d.bucket_right_ends();
+    densities = d.bucket_densities();
+  } else {
+    // Run-length compress the dense pmf (exact equality only, so no two
+    // distinct densities ever merge).
+    for (int64_t i = 0; i < d.n(); ++i) {
+      if (densities.empty() || d.p(i) != densities.back()) {
+        ends.push_back(i);
+        densities.push_back(d.p(i));
+      } else {
+        ends.back() = i;
+      }
+    }
+  }
+  os << kHistogramMagic << ' ' << kVersion << '\n';
+  os << "n " << d.n() << " k " << ends.size() << '\n';
+  for (size_t j = 0; j < ends.size(); ++j) {
+    os << ends[j] << ' ';
+    WriteDouble(os, densities[j]);
+    os << '\n';
+  }
+}
+
+std::optional<Distribution> ReadBucketDistribution(std::istream& is) {
+  if (!ReadHeader(is, kHistogramMagic)) return std::nullopt;
+  int64_t n = 0;
+  int64_t k = 0;
+  if (!ReadLabeled(is, "n", n) || n < 1) return std::nullopt;
+  if (!ReadLabeled(is, "k", k) || k < 1 || k > n) return std::nullopt;
+  std::vector<int64_t> right_ends(static_cast<size_t>(k));
+  std::vector<double> weights(static_cast<size_t>(k));
+  int64_t prev_end = -1;
+  for (int64_t j = 0; j < k; ++j) {
+    int64_t end = 0;
+    double density = 0.0;
+    if (!(is >> end >> density)) return std::nullopt;
+    if (end <= prev_end || end > n - 1) return std::nullopt;
+    right_ends[static_cast<size_t>(j)] = end;
+    // Piece mass; validity (finite, >= 0, total = 1) is re-checked by
+    // TryFromBucketPmf below.
+    weights[static_cast<size_t>(j)] =
+        density * static_cast<double>(end - prev_end);
+    prev_end = end;
+  }
+  if (right_ends.back() != n - 1) return std::nullopt;
+  return Distribution::TryFromBucketPmf(n, std::move(right_ends), weights);
+}
+
 void WriteDataset(std::ostream& os, const std::vector<int64_t>& items) {
   for (int64_t item : items) os << item << '\n';
 }

@@ -46,6 +46,23 @@ void WriteTilingHistogram(std::ostream& os, const TilingHistogram& h);
 /// end != n-1, or non-finite values.
 std::optional<TilingHistogram> ReadTilingHistogram(std::istream& is);
 
+/// Writes a Distribution in the histk-tiling-histogram v1 format, one piece
+/// per constant run with the per-element density as the piece value. A
+/// bucket-backed distribution writes its k runs directly (O(k) regardless
+/// of n); a dense one is run-length compressed on the fly (exactly equal
+/// neighbors merge). This is the on-disk form for huge domains, where the
+/// per-element histk-distribution v1 format is infeasible.
+void WriteBucketDistribution(std::ostream& os, const Distribution& d);
+
+/// Parses a histk-tiling-histogram v1 stream straight into a bucket-backed
+/// Distribution: piece values are per-element densities and the implied
+/// total mass must be 1 within Distribution::kPmfSumTolerance. Never
+/// densifies — time and memory are O(k) whatever n is. Empty on malformed
+/// input, negative densities, or mass not summing to 1. Like
+/// ReadDistribution, the reader renormalizes the parsed values, so a
+/// write/read cycle can perturb densities by an ulp (it is not bit-exact).
+std::optional<Distribution> ReadBucketDistribution(std::istream& is);
+
 /// Writes a data set: one item per line.
 void WriteDataset(std::ostream& os, const std::vector<int64_t>& items);
 

@@ -15,7 +15,14 @@ constexpr double kQuantileSlack = 1e-12;
 
 }  // namespace
 
+double CdfAt(const Distribution& d, int64_t i) {
+  HISTK_CHECK(0 <= i && i < d.n());
+  return d.Weight(Interval(0, i));
+}
+
 std::vector<double> Cdf(const Distribution& d) {
+  HISTK_CHECK_MSG(d.n() <= Distribution::kMaxDensifyDomain,
+                  "refusing to materialize the cdf of a huge domain; use CdfAt");
   std::vector<double> cdf(static_cast<size_t>(d.n()));
   long double acc = 0.0L;
   for (int64_t i = 0; i < d.n(); ++i) {
@@ -27,15 +34,34 @@ std::vector<double> Cdf(const Distribution& d) {
 
 int64_t Quantile(const Distribution& d, double q) {
   HISTK_CHECK_MSG(0.0 <= q && q <= 1.0, "quantile level must be in [0, 1]");
-  const std::vector<double> cdf = Cdf(d);
   const double target = q - kQuantileSlack;
-  // First index whose cdf reaches the target. A zero-mass index repeats its
-  // predecessor's cdf, so the first hit has positive mass — except a
-  // zero-mass prefix when target <= 0, skipped explicitly.
-  auto it = std::lower_bound(cdf.begin(), cdf.end(), target);
-  int64_t idx = it == cdf.end() ? d.n() - 1 : static_cast<int64_t>(it - cdf.begin());
-  while (idx < d.n() - 1 && d.p(idx) == 0.0) ++idx;
-  while (idx > 0 && d.p(idx) == 0.0) --idx;  // all-zero tail cannot happen; guard
+  // Smallest i with cdf(i) >= target, by bisection over the monotone cdf —
+  // O(log n) probes, each O(1) dense / O(log k) bucket. On the dense
+  // backend CdfAt reads the stored prefix sums, so the probe values are
+  // exactly the entries the historical materialized-cdf search compared.
+  int64_t lo = 0;
+  int64_t hi = d.n();  // d.n() = "no index reaches the target"
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (CdfAt(d, mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  int64_t idx = lo == d.n() ? d.n() - 1 : lo;
+  // A zero-mass index repeats its predecessor's cdf, so the first hit has
+  // positive mass — except a zero-mass prefix when target <= 0 (skip
+  // forward) and a zero-mass tail when nothing reached the target (fall
+  // back to the last support element).
+  if (d.p(idx) == 0.0) {
+    const int64_t nxt = d.NextSupport(idx);
+    idx = nxt == -1 ? d.n() - 1 : nxt;
+  }
+  if (d.p(idx) == 0.0) {
+    const int64_t prv = d.PrevSupport(idx);
+    if (prv != -1) idx = prv;
+  }
   return idx;
 }
 
@@ -55,13 +81,48 @@ std::vector<int64_t> EquiDepthEnds(const Distribution& d, int64_t k) {
 
 double KsDistance(const Distribution& a, const Distribution& b) {
   HISTK_CHECK_MSG(a.n() == b.n(), "domain sizes must match");
+  if (a.is_bucketed() && b.is_bucketed()) {
+    // Both cdfs are linear inside every merged run, so their difference is
+    // too — the max is attained at a run boundary. O(k_a + k_b).
+    long double acc_a = 0.0L;
+    long double acc_b = 0.0L;
+    long double worst = 0.0L;
+    ForEachMergedRun(a, b, [&](int64_t len, double da, double db) {
+      acc_a += static_cast<long double>(len) * static_cast<long double>(da);
+      acc_b += static_cast<long double>(len) * static_cast<long double>(db);
+      worst = std::max(worst, fabsl(acc_a - acc_b));
+    });
+    return static_cast<double>(worst);
+  }
+  if (a.is_bucketed() || b.is_bucketed()) {
+    // Mixed backends: walk the bucket side's runs with a direct scan of the
+    // dense side inside each — O(n + k), no per-element bucket search.
+    const Distribution& bk = a.is_bucketed() ? a : b;
+    const Distribution& dn = a.is_bucketed() ? b : a;
+    const std::vector<int64_t>& hi = bk.bucket_right_ends();
+    const std::vector<double>& density = bk.bucket_densities();
+    long double acc_bk = 0.0L;
+    long double acc_dn = 0.0L;
+    long double worst = 0.0L;
+    int64_t lo = 0;
+    for (size_t j = 0; j < hi.size(); ++j) {
+      const long double d = static_cast<long double>(density[j]);
+      for (int64_t i = lo; i <= hi[j]; ++i) {
+        acc_bk += d;
+        acc_dn += static_cast<long double>(dn.p(i));
+        worst = std::max(worst, fabsl(acc_bk - acc_dn));
+      }
+      lo = hi[j] + 1;
+    }
+    return static_cast<double>(worst);
+  }
   long double acc_a = 0.0L;
   long double acc_b = 0.0L;
   long double worst = 0.0L;
   for (int64_t i = 0; i < a.n(); ++i) {
     acc_a += static_cast<long double>(a.p(i));
     acc_b += static_cast<long double>(b.p(i));
-    worst = std::max(worst, std::fabs(acc_a - acc_b));
+    worst = std::max(worst, fabsl(acc_a - acc_b));
   }
   return static_cast<double>(worst);
 }

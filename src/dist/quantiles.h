@@ -4,6 +4,13 @@
 // the Kolmogorov–Smirnov distance used by cross-checks. Quantiles follow
 // the left-continuous convention restricted to the support: Quantile(p, q)
 // is the first element of positive mass whose cdf reaches q.
+//
+// All queries are backend-aware: on a bucket-backed Distribution the cdf is
+// evaluated per bucket (CdfAt O(log k), Quantile O(log n) probes of O(log k)
+// each, KsDistance O(k_a + k_b)), so equi-depth partitioning of a 2^30
+// domain never touches an O(n) array. Cdf() — the materialized length-n
+// vector — is the one exception and is gated by
+// Distribution::kMaxDensifyDomain.
 #ifndef HISTK_DIST_QUANTILES_H_
 #define HISTK_DIST_QUANTILES_H_
 
@@ -14,8 +21,12 @@
 
 namespace histk {
 
+/// The cdf at a single element: p([0, i]). O(1) dense, O(log k) bucket.
+double CdfAt(const Distribution& d, int64_t i);
+
 /// The cdf as a length-n vector: cdf[i] = p([0, i]). Monotone; the last
-/// entry is 1 (up to an ulp).
+/// entry is 1 (up to an ulp). Materializes O(n) — aborts above
+/// Distribution::kMaxDensifyDomain; prefer CdfAt for huge domains.
 std::vector<double> Cdf(const Distribution& d);
 
 /// The q-quantile, q in [0, 1]: the smallest i with p(i) > 0 and
@@ -31,7 +42,7 @@ int64_t Quantile(const Distribution& d, double q);
 std::vector<int64_t> EquiDepthEnds(const Distribution& d, int64_t k);
 
 /// Kolmogorov–Smirnov distance max_i |cdf_a[i] - cdf_b[i]|. Domains must
-/// match.
+/// match. O(k_a + k_b) when both sides are bucket-backed; O(n) otherwise.
 double KsDistance(const Distribution& a, const Distribution& b);
 
 }  // namespace histk

@@ -1,41 +1,28 @@
 #include "dist/sampler.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "util/common.h"
 
 namespace histk {
 
-std::vector<int64_t> Sampler::DrawMany(int64_t m, Rng& rng) const {
-  HISTK_CHECK(m >= 0);
-  std::vector<int64_t> draws;
-  draws.reserve(static_cast<size_t>(m));
-  for (int64_t i = 0; i < m; ++i) draws.push_back(Draw(rng));
-  return draws;
-}
+namespace {
 
-AliasSampler::AliasSampler(const Distribution& dist) : n_(dist.n()) {
-  const size_t n = static_cast<size_t>(n_);
-  prob_.assign(n, 0.0);
-  alias_.assign(n, 0);
+/// Vose pairing over columns whose scaled heights average 1 (scaled[i] =
+/// mass_i * num_columns). Zero-mass columns go through it like any other
+/// small column: they end up all-alias (prob 0 with a strict < draw), and
+/// the pairing is what spreads the large columns' excess across them — mass
+/// conservation depends on every column being filled to height 1.
+/// `heaviest` is the index of a maximal-mass column, the safe alias for
+/// leftover zero columns.
+void BuildVose(std::vector<long double> scaled, size_t heaviest,
+               std::vector<double>& prob, std::vector<int64_t>& alias) {
+  const size_t n = scaled.size();
+  prob.assign(n, 0.0);
+  alias.assign(n, 0);
 
-  // Column heights scaled so the average is 1. Kept in long double: the
-  // mass shuffled out of large columns must not drift, or near-boundary
-  // columns would mis-split by more than an ulp.
-  std::vector<long double> scaled(n);
-  size_t heaviest = 0;
-  for (size_t i = 0; i < n; ++i) {
-    scaled[i] = static_cast<long double>(dist.p(static_cast<int64_t>(i))) *
-                static_cast<long double>(n_);
-    if (dist.p(static_cast<int64_t>(i)) > dist.p(static_cast<int64_t>(heaviest))) {
-      heaviest = i;
-    }
-  }
-
-  // Vose pairing. Zero-mass columns go through it like any other small
-  // column: they end up all-alias (prob 0 with a strict < draw), and the
-  // pairing is what spreads the large columns' excess across them — mass
-  // conservation depends on every column being filled to height 1.
   std::vector<size_t> small, large;
   for (size_t i = 0; i < n; ++i) {
     if (scaled[i] < 1.0L) {
@@ -50,8 +37,8 @@ AliasSampler::AliasSampler(const Distribution& dist) : n_(dist.n()) {
     small.pop_back();
     const size_t l = large.back();
     large.pop_back();
-    prob_[s] = static_cast<double>(scaled[s]);
-    alias_[s] = static_cast<int64_t>(l);
+    prob[s] = static_cast<double>(scaled[s]);
+    alias[s] = static_cast<int64_t>(l);
     scaled[l] -= 1.0L - scaled[s];
     if (scaled[l] < 1.0L) {
       small.push_back(l);
@@ -63,15 +50,114 @@ AliasSampler::AliasSampler(const Distribution& dist) : n_(dist.n()) {
   // accepting itself is always correct; residue this far from 1 cannot
   // happen for positive columns, but guard anyway so a zero-adjacent fp
   // quirk can never make a column self-accept spuriously.
-  for (size_t l : large) prob_[l] = 1.0;
+  for (size_t l : large) prob[l] = 1.0;
   for (size_t s : small) {
     if (scaled[s] > 0.5L) {
-      prob_[s] = 1.0;
+      prob[s] = 1.0;
     } else {
-      prob_[s] = 0.0;
-      alias_[s] = static_cast<int64_t>(heaviest);
+      prob[s] = 0.0;
+      alias[s] = static_cast<int64_t>(heaviest);
     }
   }
+}
+
+}  // namespace
+
+std::vector<int64_t> Sampler::DrawMany(int64_t m, Rng& rng) const {
+  HISTK_CHECK(m >= 0);
+  std::vector<int64_t> draws;
+  draws.reserve(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) draws.push_back(Draw(rng));
+  return draws;
+}
+
+std::vector<int64_t> Sampler::DrawManySharded(int64_t m, Rng& rng,
+                                              int num_threads) const {
+  HISTK_CHECK(m >= 0);
+  // One root value regardless of m or thread count: the chunk streams are
+  // functions of (root, chunk index) only, which is what makes the output
+  // invariant under the worker count.
+  const uint64_t root = rng.NextU64();
+  std::vector<int64_t> out(static_cast<size_t>(m));
+  if (m == 0) return out;
+  const int64_t num_chunks = (m + kShardChunk - 1) / kShardChunk;
+  if (num_threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  num_threads = static_cast<int>(
+      std::min<int64_t>(static_cast<int64_t>(num_threads), num_chunks));
+
+  std::atomic<int64_t> next{0};
+  auto worker = [&]() {
+    for (int64_t c; (c = next.fetch_add(1, std::memory_order_relaxed)) < num_chunks;) {
+      uint64_t state =
+          root ^ (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(c) + 1));
+      Rng chunk_rng(SplitMix64(state));
+      const int64_t lo = c * kShardChunk;
+      const int64_t len = std::min<int64_t>(kShardChunk, m - lo);
+      const std::vector<int64_t> draws = DrawMany(len, chunk_rng);
+      std::copy(draws.begin(), draws.end(), out.begin() + static_cast<ptrdiff_t>(lo));
+    }
+  };
+
+  if (num_threads <= 1) {
+    worker();
+    return out;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) workers.emplace_back(worker);
+  for (auto& w : workers) w.join();
+  return out;
+}
+
+AliasSampler::AliasSampler(const Distribution& dist)
+    : n_(dist.n()), bucketed_(dist.is_bucketed()) {
+  if (!bucketed_) {
+    const size_t n = static_cast<size_t>(n_);
+    // Column heights scaled so the average is 1. Kept in long double: the
+    // mass shuffled out of large columns must not drift, or near-boundary
+    // columns would mis-split by more than an ulp.
+    std::vector<long double> scaled(n);
+    size_t heaviest = 0;
+    for (size_t i = 0; i < n; ++i) {
+      scaled[i] = static_cast<long double>(dist.p(static_cast<int64_t>(i))) *
+                  static_cast<long double>(n_);
+      if (dist.p(static_cast<int64_t>(i)) > dist.p(static_cast<int64_t>(heaviest))) {
+        heaviest = i;
+      }
+    }
+    BuildVose(std::move(scaled), heaviest, prob_, alias_);
+    return;
+  }
+
+  // Bucket mode: one column per run, weighted by the run's total mass. A
+  // draw lands in a column and is then placed uniformly inside the run, so
+  // both the table and each draw are independent of n.
+  const std::vector<int64_t>& hi = dist.bucket_right_ends();
+  const std::vector<double>& density = dist.bucket_densities();
+  const size_t k = hi.size();
+  col_lo_.resize(k);
+  col_len_.resize(k);
+  std::vector<long double> scaled(k);
+  size_t heaviest = 0;
+  long double heaviest_mass = -1.0L;
+  int64_t lo = 0;
+  for (size_t j = 0; j < k; ++j) {
+    const int64_t len = hi[j] - lo + 1;
+    col_lo_[j] = lo;
+    col_len_[j] = len;
+    const long double mass =
+        static_cast<long double>(density[j]) * static_cast<long double>(len);
+    scaled[j] = mass * static_cast<long double>(k);
+    if (mass > heaviest_mass) {
+      heaviest_mass = mass;
+      heaviest = j;
+    }
+    lo = hi[j] + 1;
+  }
+  BuildVose(std::move(scaled), heaviest, prob_, alias_);
 }
 
 int64_t AliasSampler::Draw(Rng& rng) const { return DrawImpl(rng); }
@@ -83,30 +169,64 @@ std::vector<int64_t> AliasSampler::DrawMany(int64_t m, Rng& rng) const {
   return draws;
 }
 
-CdfSampler::CdfSampler(const Distribution& dist) {
-  const size_t n = static_cast<size_t>(dist.n());
-  cdf_.resize(n);
-  long double acc = 0.0L;
-  for (size_t i = 0; i < n; ++i) {
-    acc += static_cast<long double>(dist.p(static_cast<int64_t>(i)));
-    cdf_[i] = static_cast<double>(acc);
+CdfSampler::CdfSampler(const Distribution& dist)
+    : n_(dist.n()), bucketed_(dist.is_bucketed()) {
+  if (!bucketed_) {
+    const size_t n = static_cast<size_t>(n_);
+    cdf_.resize(n);
+    long double acc = 0.0L;
+    for (size_t i = 0; i < n; ++i) {
+      acc += static_cast<long double>(dist.p(static_cast<int64_t>(i)));
+      cdf_[i] = static_cast<double>(acc);
+    }
+    // NextDouble() < 1, so the search needs cdf_.back() >= 1 to stay in
+    // range. Saturate from the LAST POSITIVE index onward: raising only
+    // cdf_.back() would hand fp residue (~1e-16 mass) to a zero-mass tail.
+    size_t last_pos = n - 1;
+    while (last_pos > 0 && dist.p(static_cast<int64_t>(last_pos)) == 0.0) --last_pos;
+    if (cdf_.back() < 1.0) {
+      for (size_t i = last_pos; i < n; ++i) cdf_[i] = 1.0;
+    }
+    return;
   }
-  // NextDouble() < 1, so the search needs cdf_.back() >= 1 to stay in
-  // range. Saturate from the LAST POSITIVE index onward: raising only
-  // cdf_.back() would hand fp residue (~1e-16 mass) to a zero-mass tail.
-  size_t last_pos = n - 1;
-  while (last_pos > 0 && dist.p(static_cast<int64_t>(last_pos)) == 0.0) --last_pos;
+
+  const std::vector<int64_t>& hi = dist.bucket_right_ends();
+  density_ = dist.bucket_densities();
+  const size_t k = hi.size();
+  cdf_.resize(k);
+  col_lo_.resize(k);
+  col_len_.resize(k);
+  long double acc = 0.0L;
+  int64_t lo = 0;
+  for (size_t j = 0; j < k; ++j) {
+    const int64_t len = hi[j] - lo + 1;
+    col_lo_[j] = lo;
+    col_len_[j] = len;
+    acc += static_cast<long double>(density_[j]) * static_cast<long double>(len);
+    cdf_[j] = static_cast<double>(acc);
+    lo = hi[j] + 1;
+  }
+  // Same saturation rule at bucket granularity.
+  size_t last_pos = k - 1;
+  while (last_pos > 0 && density_[last_pos] == 0.0) --last_pos;
   if (cdf_.back() < 1.0) {
-    for (size_t i = last_pos; i < n; ++i) cdf_[i] = 1.0;
+    for (size_t j = last_pos; j < k; ++j) cdf_[j] = 1.0;
   }
 }
 
 int64_t CdfSampler::DrawImpl(Rng& rng) const {
   const double u = rng.NextDouble();
-  // First index with cdf > u. A zero-mass index i repeats cdf_[i-1], so it
-  // can never be the first — zero-mass elements are never drawn.
+  // First column with cdf > u. A zero-mass column repeats its predecessor's
+  // cdf, so it can never be the first — zero-mass elements are never drawn.
   const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
-  return static_cast<int64_t>(it - cdf_.begin());
+  const auto j = static_cast<size_t>(it - cdf_.begin());
+  if (!bucketed_) return static_cast<int64_t>(j);
+  // Invert the within-bucket (linear) cdf arithmetically; the division is
+  // safe because a selected bucket strictly raised the cdf past u.
+  const double prev = j == 0 ? 0.0 : cdf_[j - 1];
+  int64_t off = static_cast<int64_t>((u - prev) / density_[j]);
+  off = std::min<int64_t>(std::max<int64_t>(off, 0), col_len_[j] - 1);
+  return col_lo_[j] + off;
 }
 
 int64_t CdfSampler::Draw(Rng& rng) const { return DrawImpl(rng); }

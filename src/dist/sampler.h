@@ -1,16 +1,28 @@
 // Sample oracles: the access model of the paper.
 //
 // Every algorithm in histk sees the unknown distribution only through a
-// Sampler — the abstract i.i.d. sample oracle. Two draw paths exist:
-// single Draw(rng) and the batched DrawMany(m, rng) hot path (benches draw
+// Sampler — the abstract i.i.d. sample oracle. Three draw paths exist:
+// single Draw(rng), the batched DrawMany(m, rng) hot path (benches draw
 // 10^5–10^7 samples per run; implementations keep the batch loop free of
-// virtual dispatch). Samplers are immutable after construction and hold no
-// rng state, so one sampler can serve many threads as long as each thread
-// draws from its own Rng (fork streams with Rng::Fork()).
+// virtual dispatch), and the sharded DrawManySharded(m, rng, threads) path
+// that splits a batch into fixed-size chunks on deterministically derived
+// Rng streams and fans the chunks out over worker threads. Samplers are
+// immutable after construction and hold no rng state, so one sampler can
+// serve many threads as long as each thread draws from its own Rng (fork
+// streams with Rng::Fork()).
 //
 // Implementations:
-//   * AliasSampler  — Walker/Vose alias method, O(n) build, O(1) per draw.
-//   * CdfSampler    — binary search over the cdf, O(log n) per draw; the
+//   * AliasSampler  — Walker/Vose alias method. For a dense Distribution
+//                     the table has one column per element (O(n) build,
+//                     O(1)/draw, byte-identical to the historical sampler).
+//                     For a bucket-backed Distribution the table has one
+//                     column per *bucket* (O(k) build); a draw picks a
+//                     bucket via the alias table and then a uniform offset
+//                     inside it — O(1)/draw independent of n, so domains of
+//                     2^30+ sample at dense speeds.
+//   * CdfSampler    — binary search over the cdf, per element (dense,
+//                     O(log n)/draw) or per bucket (bucket-backed,
+//                     O(log k)/draw + O(1) within-bucket inversion); the
 //                     baseline AliasSampler is validated against.
 //   * DatasetSampler (dist/dataset.h) — uniform over a materialized data
 //                     set, the CLI's model.
@@ -41,10 +53,24 @@ class Sampler {
   /// identically in both paths, so seeded runs replay regardless of which
   /// path a caller uses.
   virtual std::vector<int64_t> DrawMany(int64_t m, Rng& rng) const;
+
+  /// `m` draws, sharded: the batch is split into kShardChunk-sized chunks,
+  /// chunk c drawn from its own Rng stream derived deterministically from
+  /// one NextU64() of `rng` and c, and chunks are processed by up to
+  /// `num_threads` workers (0 = hardware concurrency). The output depends
+  /// only on (sampler, m, rng state) — NOT on the thread count — so seeded
+  /// runs replay byte-identically at any parallelism. Exactly one NextU64()
+  /// is consumed from `rng` regardless of m; the resulting sample stream is
+  /// distinct from DrawMany's.
+  std::vector<int64_t> DrawManySharded(int64_t m, Rng& rng, int num_threads = 0) const;
+
+  /// Draws per derived stream in DrawManySharded.
+  static constexpr int64_t kShardChunk = int64_t{1} << 16;
 };
 
-/// Walker/Vose alias method: O(n) preprocessing, O(1) amortized per draw.
-/// Zero-mass elements are excluded from the alias table outright, so they
+/// Walker/Vose alias method: O(columns) preprocessing, O(1) amortized per
+/// draw, where columns = n (dense) or k (bucket-backed). Zero-mass columns
+/// are excluded from the alias table outright, so zero-probability elements
 /// are never returned (not even with fp-residue probability).
 class AliasSampler : public Sampler {
  public:
@@ -56,31 +82,50 @@ class AliasSampler : public Sampler {
 
  private:
   int64_t DrawImpl(Rng& rng) const {
-    const auto i = static_cast<size_t>(rng.UniformInt(static_cast<uint64_t>(n_)));
-    return rng.NextDouble() < prob_[i] ? static_cast<int64_t>(i) : alias_[i];
+    const auto c =
+        static_cast<size_t>(rng.UniformInt(static_cast<uint64_t>(prob_.size())));
+    const size_t col =
+        rng.NextDouble() < prob_[c] ? c : static_cast<size_t>(alias_[c]);
+    if (!bucketed_) return static_cast<int64_t>(col);
+    const int64_t len = col_len_[col];
+    // Single-element buckets skip the offset draw; multi-element buckets
+    // spend one extra UniformInt to place the sample inside the run.
+    return len == 1
+               ? col_lo_[col]
+               : col_lo_[col] +
+                     static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(len)));
   }
 
   int64_t n_ = 0;
+  bool bucketed_ = false;
   std::vector<double> prob_;     // acceptance threshold per column; strict <
                                  // comparison, so prob 0 never accepts
-  std::vector<int64_t> alias_;   // element drawn on reject
+  std::vector<int64_t> alias_;   // column drawn on reject
+  std::vector<int64_t> col_lo_;  // bucket mode: first element per column
+  std::vector<int64_t> col_len_;  // bucket mode: elements per column
 };
 
-/// Inverse-cdf sampling by binary search: O(n) preprocessing, O(log n) per
-/// draw. Slower than AliasSampler; kept as the independently-correct
-/// baseline the alias table is cross-checked against.
+/// Inverse-cdf sampling by binary search: O(columns) preprocessing,
+/// O(log columns) per draw. Slower than AliasSampler; kept as the
+/// independently-correct baseline the alias table is cross-checked against.
 class CdfSampler : public Sampler {
  public:
   explicit CdfSampler(const Distribution& dist);
 
-  int64_t n() const override { return static_cast<int64_t>(cdf_.size()); }
+  int64_t n() const override { return n_; }
   int64_t Draw(Rng& rng) const override;
   std::vector<int64_t> DrawMany(int64_t m, Rng& rng) const override;
 
  private:
   int64_t DrawImpl(Rng& rng) const;
 
-  std::vector<double> cdf_;  // cdf_[i] = p([0, i]); cdf_.back() == 1
+  int64_t n_ = 0;
+  bool bucketed_ = false;
+  std::vector<double> cdf_;       // per element (dense) or per bucket;
+                                  // back() == 1
+  std::vector<int64_t> col_lo_;   // bucket mode: first element per bucket
+  std::vector<int64_t> col_len_;  // bucket mode: elements per bucket
+  std::vector<double> density_;   // bucket mode: per-element density
 };
 
 }  // namespace histk

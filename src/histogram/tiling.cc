@@ -93,6 +93,25 @@ double TilingHistogram::L2SquaredErrorTo(const Distribution& p) const {
 double TilingHistogram::L1ErrorTo(const Distribution& p) const {
   HISTK_CHECK(p.n() == n_);
   long double acc = 0.0L;
+  if (p.is_bucketed()) {
+    // Both sides are piecewise constant: walk the merged boundaries of the
+    // histogram's pieces and p's runs — O(k + k_p), so huge bucket-backed
+    // domains never trigger a per-element scan.
+    const std::vector<int64_t>& phi = p.bucket_right_ends();
+    const std::vector<double>& pd = p.bucket_densities();
+    size_t jh = 0, jp = 0;
+    int64_t pos = 0;
+    while (pos < n_) {
+      const int64_t end = std::min(pieces_[jh].hi, phi[jp]);
+      acc += static_cast<long double>(end - pos + 1) *
+             fabsl(static_cast<long double>(pd[jp]) -
+                   static_cast<long double>(values_[jh]));
+      if (pieces_[jh].hi == end) ++jh;
+      if (phi[jp] == end) ++jp;
+      pos = end + 1;
+    }
+    return static_cast<double>(acc);
+  }
   for (size_t j = 0; j < pieces_.size(); ++j) {
     for (int64_t i = pieces_[j].lo; i <= pieces_[j].hi; ++i) {
       acc += std::fabs(p.p(i) - values_[j]);
@@ -102,9 +121,18 @@ double TilingHistogram::L1ErrorTo(const Distribution& p) const {
 }
 
 Distribution TilingHistogram::ToDistribution() const {
-  std::vector<double> w = ToValues();
-  for (double& v : w) v = std::max(v, 0.0);
-  return Distribution::FromWeights(std::move(w));
+  // Hand the pieces to the distribution layer as runs: below the auto-bucket
+  // threshold this densifies exactly like the historical per-element path;
+  // above it the bucket backend is built in O(k) with no length-n vector.
+  std::vector<int64_t> ends;
+  std::vector<double> densities;
+  ends.reserve(pieces_.size());
+  densities.reserve(pieces_.size());
+  for (size_t j = 0; j < pieces_.size(); ++j) {
+    ends.push_back(pieces_[j].hi);
+    densities.push_back(std::max(values_[j], 0.0));
+  }
+  return Distribution::FromRunDensities(n_, ends, densities);
 }
 
 TilingHistogram TilingHistogram::Condensed(double value_tol) const {

@@ -1,0 +1,337 @@
+// Dense/bucket backend parity: the same pmf, built through both backends,
+// must answer every query identically (up to fp normalization residue),
+// and the sharded DrawMany path must be byte-identical at any shard count.
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/distribution.h"
+#include "dist/generators.h"
+#include "dist/quantiles.h"
+#include "dist/sampler.h"
+#include "histogram/tiling.h"
+#include "util/rng.h"
+
+namespace histk {
+namespace {
+
+/// A random run layout with occasional zero-mass buckets.
+struct RunSpec {
+  int64_t n = 0;
+  std::vector<int64_t> ends;
+  std::vector<double> weights;  // per-bucket relative masses
+};
+
+RunSpec RandomRuns(Rng& rng) {
+  RunSpec spec;
+  spec.n = 50 + static_cast<int64_t>(rng.UniformInt(2000));
+  const int64_t k =
+      1 + static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(
+              std::min<int64_t>(20, spec.n))));
+  spec.ends = rng.SampleDistinct(spec.n - 1, k - 1);
+  spec.ends.push_back(spec.n - 1);
+  spec.weights.resize(static_cast<size_t>(k));
+  bool any_positive = false;
+  for (auto& w : spec.weights) {
+    w = rng.Bernoulli(0.2) ? 0.0 : 0.05 + rng.NextDouble();
+    any_positive = any_positive || w > 0.0;
+  }
+  if (!any_positive) spec.weights.back() = 1.0;
+  return spec;
+}
+
+/// The same pmf through both backends.
+struct Pair {
+  Distribution dense;
+  Distribution bucket;
+};
+
+Pair BuildPair(const RunSpec& spec) {
+  std::vector<double> w(static_cast<size_t>(spec.n));
+  int64_t lo = 0;
+  for (size_t j = 0; j < spec.ends.size(); ++j) {
+    const double density =
+        spec.weights[j] / static_cast<double>(spec.ends[j] - lo + 1);
+    for (int64_t i = lo; i <= spec.ends[j]; ++i) w[static_cast<size_t>(i)] = density;
+    lo = spec.ends[j] + 1;
+  }
+  return {Distribution::FromWeights(std::move(w)),
+          Distribution::FromBucketWeights(spec.n, spec.ends, spec.weights)};
+}
+
+Interval RandomInterval(int64_t n, Rng& rng) {
+  // Mix of in-domain, clipped, and empty intervals.
+  const int64_t a = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n + 20))) - 10;
+  const int64_t b = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n + 20))) - 10;
+  return Interval(std::min(a, b), std::max(a, b));
+}
+
+TEST(BackendParityTest, PointAndIntervalQueriesAgree) {
+  Rng rng(0xB0B1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const RunSpec spec = RandomRuns(rng);
+    const Pair p = BuildPair(spec);
+    ASSERT_FALSE(p.dense.is_bucketed());
+    ASSERT_TRUE(p.bucket.is_bucketed());
+    ASSERT_EQ(p.dense.n(), p.bucket.n());
+    for (int64_t i = 0; i < spec.n; i += 1 + spec.n / 97) {
+      EXPECT_NEAR(p.dense.p(i), p.bucket.p(i), 1e-15) << "i=" << i;
+    }
+    EXPECT_NEAR(p.dense.L2NormSquared(), p.bucket.L2NormSquared(), 1e-12);
+    for (int q = 0; q < 60; ++q) {
+      const Interval I = RandomInterval(spec.n, rng);
+      EXPECT_NEAR(p.dense.Weight(I), p.bucket.Weight(I), 1e-12) << I.ToString();
+      EXPECT_NEAR(p.dense.SumSquares(I), p.bucket.SumSquares(I), 1e-12);
+      EXPECT_NEAR(p.dense.IntervalSse(I), p.bucket.IntervalSse(I), 1e-12);
+      EXPECT_EQ(p.dense.IsFlat(I, 1e-9), p.bucket.IsFlat(I, 1e-9)) << I.ToString();
+      if (!I.Intersect(Interval::Full(spec.n)).empty()) {
+        EXPECT_NEAR(p.dense.IntervalMean(I), p.bucket.IntervalMean(I), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(BackendParityTest, RestrictAgrees) {
+  Rng rng(0xB0B2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const RunSpec spec = RandomRuns(rng);
+    const Pair p = BuildPair(spec);
+    for (int q = 0; q < 10; ++q) {
+      const int64_t a = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(spec.n)));
+      const int64_t b = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(spec.n)));
+      const Interval I(std::min(a, b), std::max(a, b));
+      if (p.dense.Weight(I) <= 0.0) continue;
+      const Distribution rd = p.dense.Restrict(I);
+      const Distribution rb = p.bucket.Restrict(I);
+      ASSERT_EQ(rd.n(), rb.n());
+      EXPECT_TRUE(rb.is_bucketed());
+      for (int64_t i = 0; i < rd.n(); i += 1 + rd.n() / 53) {
+        EXPECT_NEAR(rd.p(i), rb.p(i), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(BackendParityTest, DistancesAgree) {
+  Rng rng(0xB0B3);
+  for (int trial = 0; trial < 20; ++trial) {
+    RunSpec sa = RandomRuns(rng);
+    RunSpec sb = RandomRuns(rng);
+    sb.n = sa.n;  // distances need matching domains
+    sb.ends = rng.SampleDistinct(sb.n - 1, static_cast<int64_t>(sb.weights.size()) - 1);
+    sb.ends.push_back(sb.n - 1);
+    const Pair a = BuildPair(sa);
+    const Pair b = BuildPair(sb);
+    EXPECT_NEAR(a.dense.L1DistanceTo(b.dense), a.bucket.L1DistanceTo(b.bucket), 1e-12);
+    EXPECT_NEAR(a.dense.L2DistanceTo(b.dense), a.bucket.L2DistanceTo(b.bucket), 1e-12);
+    // Mixed backends hit the run-walk fallbacks.
+    EXPECT_NEAR(a.dense.L1DistanceTo(b.bucket), a.dense.L1DistanceTo(b.dense), 1e-12);
+    EXPECT_NEAR(a.bucket.L2DistanceTo(b.dense), a.dense.L2DistanceTo(b.dense), 1e-12);
+    EXPECT_NEAR(KsDistance(a.dense, b.dense), KsDistance(a.bucket, b.bucket), 1e-12);
+    EXPECT_NEAR(KsDistance(a.dense, b.bucket), KsDistance(a.dense, b.dense), 1e-12);
+  }
+}
+
+TEST(BackendParityTest, TilingHistogramErrorsAgree) {
+  Rng rng(0xB0BA);
+  for (int trial = 0; trial < 10; ++trial) {
+    const RunSpec spec = RandomRuns(rng);
+    const Pair p = BuildPair(spec);
+    // An unrelated histogram over the same domain.
+    const int64_t hk = 1 + static_cast<int64_t>(rng.UniformInt(6));
+    std::vector<int64_t> hends = rng.SampleDistinct(spec.n - 1, hk - 1);
+    hends.push_back(spec.n - 1);
+    std::vector<double> hvals(static_cast<size_t>(hk));
+    for (auto& v : hvals) v = rng.NextDouble() / static_cast<double>(spec.n);
+    const TilingHistogram h = TilingHistogram::FromRightEnds(spec.n, hends, hvals);
+    EXPECT_NEAR(h.L1ErrorTo(p.dense), h.L1ErrorTo(p.bucket), 1e-12);
+    EXPECT_NEAR(h.L2SquaredErrorTo(p.dense), h.L2SquaredErrorTo(p.bucket), 1e-12);
+    EXPECT_NEAR(p.dense.L1DistanceToValues(h.ToValues()),
+                p.bucket.L1DistanceToValues(h.ToValues()), 1e-12);
+  }
+}
+
+TEST(BackendParityTest, CdfAndQuantilesAgree) {
+  Rng rng(0xB0B4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const RunSpec spec = RandomRuns(rng);
+    const Pair p = BuildPair(spec);
+    for (int64_t i = 0; i < spec.n; i += 1 + spec.n / 67) {
+      EXPECT_NEAR(CdfAt(p.dense, i), CdfAt(p.bucket, i), 1e-12);
+    }
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0, rng.NextDouble()}) {
+      const int64_t qd = Quantile(p.dense, q);
+      const int64_t qb = Quantile(p.bucket, q);
+      EXPECT_GT(p.dense.p(qd), 0.0);
+      EXPECT_GT(p.bucket.p(qb), 0.0);
+      // The two backends may disagree only when q lands within fp residue
+      // of a cdf step; the picked elements then carry the same cdf value.
+      if (qd != qb) {
+        EXPECT_NEAR(CdfAt(p.dense, qd), CdfAt(p.dense, qb), 1e-9)
+            << "q=" << q << " qd=" << qd << " qb=" << qb;
+      }
+    }
+    const auto ed = EquiDepthEnds(p.dense, 8);
+    const auto eb = EquiDepthEnds(p.bucket, 8);
+    EXPECT_EQ(ed, eb);
+  }
+}
+
+TEST(BackendParityTest, BucketAliasSamplerMatchesExactMasses) {
+  Rng rng(0xB0B5);
+  const RunSpec spec = RandomRuns(rng);
+  const Pair p = BuildPair(spec);
+  const AliasSampler sampler(p.bucket);
+  Rng draw_rng(77);
+  const auto draws = sampler.DrawMany(200000, draw_rng);
+  // Per-bucket empirical mass tracks the exact mass, and zero-density
+  // elements are never produced.
+  std::vector<int64_t> counts(spec.ends.size(), 0);
+  for (int64_t v : draws) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, spec.n);
+    EXPECT_GT(p.bucket.p(v), 0.0) << "sampled a zero-probability element";
+    const auto j = static_cast<size_t>(
+        std::lower_bound(spec.ends.begin(), spec.ends.end(), v) - spec.ends.begin());
+    ++counts[j];
+  }
+  int64_t lo = 0;
+  for (size_t j = 0; j < spec.ends.size(); ++j) {
+    const double exact = p.bucket.Weight(Interval(lo, spec.ends[j]));
+    const double empirical =
+        static_cast<double>(counts[j]) / static_cast<double>(draws.size());
+    EXPECT_NEAR(empirical, exact, 0.01) << "bucket " << j;
+    lo = spec.ends[j] + 1;
+  }
+}
+
+TEST(BackendParityTest, CdfSamplerDrawsAgreeAcrossBackends) {
+  Rng rng(0xB0B6);
+  for (int trial = 0; trial < 5; ++trial) {
+    const RunSpec spec = RandomRuns(rng);
+    const Pair p = BuildPair(spec);
+    const CdfSampler sd(p.dense);
+    const CdfSampler sb(p.bucket);
+    Rng r1(100 + trial), r2(100 + trial);
+    const auto da = sd.DrawMany(20000, r1);
+    const auto db = sb.DrawMany(20000, r2);
+    // Identical uniforms; the backends may round differently only when a
+    // uniform lands within an ulp of a bucket boundary.
+    int64_t mismatches = 0;
+    for (size_t i = 0; i < da.size(); ++i) {
+      if (da[i] != db[i]) {
+        ++mismatches;
+        EXPECT_LE(std::llabs(da[i] - db[i]), 1);
+      }
+    }
+    EXPECT_LE(mismatches, 20);
+  }
+}
+
+TEST(BackendParityTest, DrawManyShardedIsByteIdenticalAcrossShardCounts) {
+  Rng rng(0xB0B7);
+  const RunSpec spec = RandomRuns(rng);
+  const Pair p = BuildPair(spec);
+  for (const Distribution* d : {&p.dense, &p.bucket}) {
+    const AliasSampler sampler(*d);
+    // > 3 chunks so several streams and the tail chunk are exercised.
+    const int64_t m = 3 * Sampler::kShardChunk + 12345;
+    Rng r1(42), r2(42), r8(42), r0(42);
+    const auto out1 = sampler.DrawManySharded(m, r1, 1);
+    const auto out2 = sampler.DrawManySharded(m, r2, 2);
+    const auto out8 = sampler.DrawManySharded(m, r8, 8);
+    const auto out_auto = sampler.DrawManySharded(m, r0);
+    EXPECT_EQ(out1, out2);
+    EXPECT_EQ(out1, out8);
+    EXPECT_EQ(out1, out_auto);
+    // And the shard streams are a function of the rng state: a different
+    // seed yields a different batch.
+    Rng other(43);
+    EXPECT_NE(out1, sampler.DrawManySharded(m, other, 4));
+  }
+}
+
+TEST(BackendParityTest, HugeDomainConstructsAndAnswersInBucketTime) {
+  const int64_t n = int64_t{1} << 30;
+  const int64_t k = 100;
+  Rng rng(0xB0B8);
+  const HistogramSpec spec = MakeRandomKHistogram(n, k, rng, 25.0);
+  const Distribution& d = spec.dist;
+  ASSERT_TRUE(d.is_bucketed());
+  EXPECT_EQ(d.num_buckets(), k);
+  EXPECT_NEAR(d.Weight(Interval::Full(n)), 1.0, 1e-9);
+  EXPECT_GT(d.L2NormSquared(), 0.0);
+
+  const int64_t mid = Quantile(d, 0.5);
+  EXPECT_GE(mid, 0);
+  EXPECT_LT(mid, n);
+  EXPECT_NEAR(CdfAt(d, mid), 0.5, 1e-3);
+  const auto ends = EquiDepthEnds(d, 16);
+  EXPECT_LE(ends.size(), 16u);
+  EXPECT_EQ(ends.back(), n - 1);
+
+  const Distribution r = d.Restrict(Interval(n / 4, n / 2));
+  EXPECT_TRUE(r.is_bucketed());
+  EXPECT_NEAR(r.Weight(Interval::Full(r.n())), 1.0, 1e-9);
+
+  EXPECT_NEAR(d.L1DistanceTo(Distribution::Uniform(n)),
+              Distribution::Uniform(n).L1DistanceTo(d), 1e-12);
+
+  const AliasSampler sampler(d);
+  Rng draw_rng(7);
+  for (int64_t v : sampler.DrawMany(10000, draw_rng)) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, n);
+    EXPECT_GT(d.p(v), 0.0);
+  }
+  Rng ra(5), rb(5);
+  EXPECT_EQ(sampler.DrawManySharded(100000, ra, 1),
+            sampler.DrawManySharded(100000, rb, 8));
+}
+
+TEST(BackendParityTest, AutoBackendSelection) {
+  EXPECT_FALSE(Distribution::Uniform(1024).is_bucketed());
+  EXPECT_TRUE(Distribution::Uniform((int64_t{1} << 21) + 1).is_bucketed());
+  EXPECT_FALSE(Distribution::PointMass(1024, 7).is_bucketed());
+  const Distribution pm = Distribution::PointMass((int64_t{1} << 24), 12345);
+  EXPECT_TRUE(pm.is_bucketed());
+  EXPECT_DOUBLE_EQ(pm.p(12345), 1.0);
+  EXPECT_DOUBLE_EQ(pm.p(12344), 0.0);
+  EXPECT_DOUBLE_EQ(pm.Weight(Interval(12345, 12345)), 1.0);
+}
+
+TEST(BackendParityTest, TryFactoriesRejectMalformedRuns) {
+  // Non-ascending ends.
+  EXPECT_FALSE(Distribution::TryFromBucketPmf(10, {5, 5, 9}, {0.3, 0.3, 0.4}).has_value());
+  // Final end != n-1.
+  EXPECT_FALSE(Distribution::TryFromBucketPmf(10, {3, 8}, {0.5, 0.5}).has_value());
+  // End outside the domain.
+  EXPECT_FALSE(Distribution::TryFromBucketPmf(10, {4, 10}, {0.5, 0.5}).has_value());
+  // Arity mismatch.
+  EXPECT_FALSE(Distribution::TryFromBucketPmf(10, {4, 9}, {1.0}).has_value());
+  // Negative / non-finite masses.
+  EXPECT_FALSE(Distribution::TryFromBucketPmf(10, {4, 9}, {-0.1, 1.1}).has_value());
+  // Mass not summing to 1.
+  EXPECT_FALSE(Distribution::TryFromBucketPmf(10, {4, 9}, {0.3, 0.3}).has_value());
+  // All-zero weights.
+  EXPECT_FALSE(Distribution::TryFromBucketWeights(10, {4, 9}, {0.0, 0.0}).has_value());
+  // Valid input round-trips.
+  const auto d = Distribution::TryFromBucketPmf(10, {4, 9}, {0.25, 0.75});
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->is_bucketed());
+  EXPECT_NEAR(d->p(0), 0.05, 1e-15);
+  EXPECT_NEAR(d->p(9), 0.15, 1e-15);
+}
+
+TEST(BackendParityDeathTest, BucketFactoryAborts) {
+  EXPECT_DEATH(Distribution::FromBucketWeights(10, {4, 8}, {1.0, 1.0}),
+               "bucket runs");
+  EXPECT_DEATH(Distribution::FromBucketPmf(10, {4, 9}, {0.3, 0.3}),
+               "summing to 1");
+}
+
+}  // namespace
+}  // namespace histk

@@ -166,7 +166,7 @@ TEST(DistributionTest, L1LeqSqrtNTimesL2) {
 TEST(DistributionTest, DistanceToValuesMatchesDistribution) {
   const Distribution a = MakeTestDist();
   const Distribution b = Distribution::Uniform(10);
-  std::vector<double> vals(b.pmf());
+  std::vector<double> vals = b.DensePmf();
   EXPECT_NEAR(a.L1DistanceToValues(vals), a.L1DistanceTo(b), 1e-12);
   EXPECT_NEAR(a.L2SquaredDistanceToValues(vals),
               a.L2DistanceTo(b) * a.L2DistanceTo(b), 1e-12);

@@ -67,6 +67,44 @@ TEST(IoTest, RejectsHistogramWithBadEnds) {
   EXPECT_FALSE(ReadTilingHistogram(c).has_value());
 }
 
+TEST(IoTest, BucketDistributionRoundTripsWithoutDensifying) {
+  const Distribution d = Distribution::FromBucketWeights(
+      int64_t{1} << 30, {999, (int64_t{1} << 29) - 1, (int64_t{1} << 30) - 1},
+      {2.0, 1.0, 3.0});
+  std::stringstream ss;
+  WriteBucketDistribution(ss, d);
+  const auto back = ReadBucketDistribution(ss);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back->is_bucketed());
+  EXPECT_EQ(back->n(), d.n());
+  EXPECT_EQ(back->num_buckets(), d.num_buckets());
+  for (int64_t i : {int64_t{0}, int64_t{999}, int64_t{1000}, int64_t{1} << 29,
+                    (int64_t{1} << 30) - 1}) {
+    EXPECT_NEAR(back->p(i), d.p(i), 1e-18) << i;
+  }
+  EXPECT_NEAR(back->Weight(Interval(0, 999)), d.Weight(Interval(0, 999)), 1e-12);
+}
+
+TEST(IoTest, BucketDistributionWriterCompressesDensePmfs) {
+  const Distribution d = Distribution::FromPmf({0.125, 0.125, 0.125, 0.125, 0.5});
+  std::stringstream ss;
+  WriteBucketDistribution(ss, d);
+  const auto back = ReadBucketDistribution(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_buckets(), 2);  // the four equal entries merged
+  for (int64_t i = 0; i < 5; ++i) EXPECT_NEAR(back->p(i), d.p(i), 1e-15);
+}
+
+TEST(IoTest, BucketDistributionRejectsNonUnitMass) {
+  std::stringstream ss("histk-tiling-histogram v1\nn 10 k 2\n4 0.01\n9 0.01\n");
+  EXPECT_FALSE(ReadBucketDistribution(ss).has_value());
+}
+
+TEST(IoTest, BucketDistributionRejectsNegativeDensity) {
+  std::stringstream ss("histk-tiling-histogram v1\nn 4 k 2\n1 -0.1\n3 0.6\n");
+  EXPECT_FALSE(ReadBucketDistribution(ss).has_value());
+}
+
 TEST(IoTest, HandlesTinyProbabilitiesPrecisely) {
   std::vector<double> w(8, 1.0);
   w[3] = 1e-15;

@@ -7,11 +7,12 @@
 // Usage:
 //   histk_cli gen   --family khist|staircase|zipf|gauss|spikes|zigzag|uniform
 //                   [--n N] [--k K] [--samples M] [--seed X] [--skew S]
-//                   [--eps E] [--contrast C] [--pmf-out FILE] > items.txt
+//                   [--eps E] [--contrast C] [--threads T]
+//                   [--pmf-out FILE] > items.txt
 //   histk_cli learn --k 8 --eps 0.1 [--n N] [--scale S] [--full-enum]
-//                   [--reduce] [--seed X] < items.txt > histogram.txt
+//                   [--reduce] [--seed X] [--reservoir R] < items.txt
 //   histk_cli test  --k 8 --eps 0.3 --norm l2|l1 [--n N] [--scale S]
-//                   [--seed X] < items.txt
+//                   [--seed X] [--reservoir R] < items.txt
 //   histk_cli voptimal --k 8 [--n N] < items.txt > histogram.txt
 //
 // `gen` writes a synthetic data set (one item per line) drawn from the
@@ -19,7 +20,20 @@
 //   histk_cli gen --family khist --n 256 --k 8 | histk_cli learn --k 8
 // `learn` writes a histk-tiling-histogram v1 file to stdout; `test` prints
 // the verdict and the flat partition; `voptimal` runs the exact DP on the
-// empirical pmf (reads all of D; for reference, not sub-linear).
+// empirical pmf (streams D into per-element counts; for reference, not
+// sub-linear).
+//
+// Ingestion is streaming: stdin is consumed in fixed-size chunks that feed
+// either a bounded uniform reservoir (learn/test; --reservoir caps the
+// held items, 0 = keep everything) or a count table (voptimal), so the
+// full data set is never buffered in memory. Streams no longer than the
+// reservoir are kept verbatim, which reproduces the historical buffering
+// behavior exactly.
+//
+// The piecewise families (khist/staircase/spikes/uniform) build the O(k)
+// bucket Distribution backend above Distribution::kAutoBucketThreshold, so
+// `gen --n $((1<<30))` is cheap; sample emission uses the sharded DrawMany
+// path, whose output depends on --seed but not on --threads.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -45,11 +59,13 @@ struct Args {
   bool full_enum = false;
   bool reduce = false;
   uint64_t seed = 1;
+  int64_t reservoir = int64_t{1} << 20;  // learn/test held-item cap; 0 = unbounded
   // gen-only:
   std::string family = "khist";
   int64_t samples = 200000;
   double skew = 1.0;
   double contrast = 20.0;
+  int threads = 0;  // sharded DrawMany workers; 0 = hardware concurrency
   std::string pmf_out;
 };
 
@@ -57,11 +73,11 @@ void Usage() {
   std::fprintf(stderr,
                "usage: histk_cli <gen|learn|test|voptimal> [--k K] [--eps E] [--n N]\n"
                "                 [--scale S] [--norm l1|l2] [--full-enum]\n"
-               "                 [--reduce] [--seed X]   < items.txt\n"
+               "                 [--reduce] [--seed X] [--reservoir R] < items.txt\n"
                "       histk_cli gen --family khist|staircase|zipf|gauss|spikes|\n"
                "                 zigzag|uniform [--n N] [--k K] [--samples M]\n"
                "                 [--seed X] [--skew S] [--eps E] [--contrast C]\n"
-               "                 [--pmf-out FILE]        > items.txt\n");
+               "                 [--threads T] [--pmf-out FILE]  > items.txt\n");
 }
 
 bool Parse(int argc, char** argv, Args& args) {
@@ -117,6 +133,14 @@ bool Parse(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.contrast = std::stod(v);
+    } else if (flag == "--reservoir") {
+      const char* v = next();
+      if (!v) return false;
+      args.reservoir = std::stoll(v);
+    } else if (flag == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      args.threads = static_cast<int>(std::stol(v));
     } else if (flag == "--pmf-out") {
       const char* v = next();
       if (!v) return false;
@@ -130,32 +154,83 @@ bool Parse(int argc, char** argv, Args& args) {
          args.command == "test" || args.command == "voptimal";
 }
 
-std::vector<int64_t> ReadItems(std::istream& is, int64_t& n) {
-  std::vector<int64_t> items;
-  int64_t v = 0, max_seen = -1;
+// Streaming ingestion: stdin is consumed in fixed-size chunks and each
+// chunk is fed to the consumer immediately, so memory is bounded by the
+// chunk plus whatever the consumer retains (a capped reservoir for
+// learn/test, per-element counts for voptimal) — never the whole stream.
+constexpr int64_t kIngestChunk = int64_t{1} << 16;
+
+struct Ingested {
+  int64_t n = 0;            ///< resolved domain size
+  int64_t stream_items = 0; ///< valid items seen on the stream
+  std::vector<int64_t> items;   ///< reservoir sample (kReservoir mode)
+  std::vector<int64_t> counts;  ///< per-element occurrences (kCounts mode)
+};
+
+enum class IngestMode { kReservoir, kCounts };
+
+Ingested IngestStream(std::istream& is, int64_t explicit_n, IngestMode mode,
+                      int64_t reservoir_cap, uint64_t seed) {
+  Ingested out;
+  // The reservoir gets its own stream, derived from --seed, so the
+  // algorithms' Rng(seed) consumption is untouched by ingestion. Only the
+  // capped-reservoir mode actually needs one.
+  uint64_t state = seed ^ 0xC0FFEE5EEDF00DULL;
+  const bool unbounded = reservoir_cap <= 0;
+  std::optional<Reservoir> reservoir;
+  if (mode == IngestMode::kReservoir && !unbounded) {
+    reservoir.emplace(reservoir_cap, SplitMix64(state));
+  }
+
+  std::vector<int64_t> chunk;
+  chunk.reserve(static_cast<size_t>(kIngestChunk));
+  int64_t max_seen = -1;
+
+  auto consume = [&](const std::vector<int64_t>& batch) {
+    for (int64_t item : batch) {
+      ++out.stream_items;
+      if (mode == IngestMode::kCounts) {
+        if (item >= static_cast<int64_t>(out.counts.size())) {
+          out.counts.resize(static_cast<size_t>(item) + 1, 0);
+        }
+        ++out.counts[static_cast<size_t>(item)];
+      } else if (unbounded) {
+        out.items.push_back(item);
+      } else {
+        reservoir->Add(item);
+      }
+    }
+  };
+
+  int64_t v = 0;
   while (is >> v) {
     if (v < 0) {
       std::fprintf(stderr, "negative item %lld ignored\n", static_cast<long long>(v));
       continue;
     }
-    items.push_back(v);
+    if (explicit_n > 0 && v >= explicit_n) continue;  // outside an explicit domain
     max_seen = std::max(max_seen, v);
-  }
-  if (n == 0) n = max_seen + 1;
-  // Drop items outside an explicit domain.
-  if (!items.empty()) {
-    std::vector<int64_t> kept;
-    kept.reserve(items.size());
-    for (int64_t item : items) {
-      if (item < n) kept.push_back(item);
+    chunk.push_back(v);
+    if (static_cast<int64_t>(chunk.size()) == kIngestChunk) {
+      consume(chunk);
+      chunk.clear();
     }
-    items = std::move(kept);
   }
-  return items;
+  consume(chunk);
+
+  out.n = explicit_n > 0 ? explicit_n : max_seen + 1;
+  if (mode == IngestMode::kReservoir && !unbounded) {
+    out.items = reservoir->sample();
+  }
+  if (mode == IngestMode::kCounts && out.n > 0) {
+    out.counts.resize(static_cast<size_t>(out.n), 0);
+  }
+  return out;
 }
 
-int RunLearn(const Args& args, const std::vector<int64_t>& items, int64_t n) {
-  const DatasetSampler sampler(n, items);
+int RunLearn(const Args& args, const Ingested& in) {
+  const int64_t n = in.n;
+  const DatasetSampler sampler(n, in.items);
   Rng rng(args.seed);
   LearnOptions opt;
   opt.k = args.k;
@@ -167,6 +242,9 @@ int RunLearn(const Args& args, const std::vector<int64_t>& items, int64_t n) {
   const TilingHistogram out =
       args.reduce ? ReduceToKPieces(res.tiling, args.k) : res.tiling;
   WriteTilingHistogram(std::cout, out);
+  std::fprintf(stderr, "stream: %lld items, %lld held\n",
+               static_cast<long long>(in.stream_items),
+               static_cast<long long>(in.items.size()));
   std::fprintf(stderr, "drew %lld samples (l=%lld, r=%lld x m=%lld), %lld pieces\n",
                static_cast<long long>(res.total_samples),
                static_cast<long long>(res.params.l),
@@ -176,8 +254,9 @@ int RunLearn(const Args& args, const std::vector<int64_t>& items, int64_t n) {
   return 0;
 }
 
-int RunTest(const Args& args, const std::vector<int64_t>& items, int64_t n) {
-  const DatasetSampler sampler(n, items);
+int RunTest(const Args& args, const Ingested& in) {
+  const int64_t n = in.n;
+  const DatasetSampler sampler(n, in.items);
   Rng rng(args.seed);
   TestConfig cfg;
   cfg.k = args.k;
@@ -185,6 +264,9 @@ int RunTest(const Args& args, const std::vector<int64_t>& items, int64_t n) {
   cfg.norm = args.norm;
   cfg.sample_scale = args.scale;
   const TestOutcome out = TestKHistogram(sampler, cfg, rng);
+  std::fprintf(stderr, "stream: %lld items, %lld held\n",
+               static_cast<long long>(in.stream_items),
+               static_cast<long long>(in.items.size()));
   std::printf("%s\n", out.accepted ? "ACCEPT" : "REJECT");
   std::printf("samples: %lld (r=%lld x m=%lld), norm: %s\n",
               static_cast<long long>(out.total_samples),
@@ -243,19 +325,34 @@ int RunGen(const Args& args) {
       std::fprintf(stderr, "cannot open %s\n", args.pmf_out.c_str());
       return 2;
     }
-    WriteDistribution(f, *dist);
+    // Huge domains write the O(k) run form; dense ones keep the historical
+    // per-element format.
+    if (dist->is_bucketed()) {
+      WriteBucketDistribution(f, *dist);
+    } else {
+      WriteDistribution(f, *dist);
+    }
   }
   const AliasSampler sampler(*dist);
-  WriteDataset(std::cout, sampler.DrawMany(args.samples, rng));
-  std::fprintf(stderr, "gen: family=%s n=%lld items=%lld seed=%llu\n",
+  // Sharded emission: output depends on --seed only, not on --threads.
+  WriteDataset(std::cout, sampler.DrawManySharded(args.samples, rng, args.threads));
+  std::fprintf(stderr, "gen: family=%s n=%lld items=%lld seed=%llu backend=%s\n",
                args.family.c_str(), static_cast<long long>(n),
                static_cast<long long>(args.samples),
-               static_cast<unsigned long long>(args.seed));
+               static_cast<unsigned long long>(args.seed),
+               dist->is_bucketed() ? "bucket" : "dense");
   return 0;
 }
 
-int RunVOptimal(const Args& args, const std::vector<int64_t>& items, int64_t n) {
-  const auto res = VOptimalFromSamples(n, args.k, items);
+int RunVOptimal(const Args& args, const Ingested& in) {
+  // Counts came off the stream; the DP runs on the empirical pmf without
+  // the item list ever being materialized.
+  std::vector<double> weights(in.counts.size());
+  for (size_t i = 0; i < in.counts.size(); ++i) {
+    weights[i] = static_cast<double>(in.counts[i]);
+  }
+  const Distribution p = Distribution::FromWeights(std::move(weights));
+  const auto res = VOptimalHistogram(p, args.k);
   WriteTilingHistogram(std::cout, res.histogram);
   std::fprintf(stderr, "empirical v-optimal SSE: %.6e\n", res.sse);
   return 0;
@@ -270,13 +367,14 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (args.command == "gen") return RunGen(args);
-  int64_t n = args.n;
-  const std::vector<int64_t> items = ReadItems(std::cin, n);
-  if (items.empty() || n < 1) {
+  const IngestMode mode =
+      args.command == "voptimal" ? IngestMode::kCounts : IngestMode::kReservoir;
+  const Ingested in = IngestStream(std::cin, args.n, mode, args.reservoir, args.seed);
+  if (in.stream_items == 0 || in.n < 1) {
     std::fprintf(stderr, "no items in [0, n) on stdin\n");
     return 2;
   }
-  if (args.command == "learn") return RunLearn(args, items, n);
-  if (args.command == "test") return RunTest(args, items, n);
-  return RunVOptimal(args, items, n);
+  if (args.command == "learn") return RunLearn(args, in);
+  if (args.command == "test") return RunTest(args, in);
+  return RunVOptimal(args, in);
 }
