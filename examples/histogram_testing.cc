@@ -1,5 +1,6 @@
 // Property-testing demo: decide from samples alone whether a data
-// distribution is (close to) a small histogram — Algorithm 2 in both norms.
+// distribution is (close to) a small histogram — Algorithm 2 in both norms,
+// driven through the engine facade.
 //
 // Scenario: a data-quality audit wants to know if an attribute's
 // distribution is "simple" (piecewise constant with few pieces) before
@@ -36,26 +37,37 @@ int main() {
   const auto spikes = MakeL2FarSpikes(kN, kK, 0.2);
   if (spikes) cases.push_back({"isolated spikes (L2-far)", spikes->dist, "NO (L2)"});
 
-  TestConfig l2;
-  l2.k = kK;
-  l2.eps = 0.2;
-  l2.norm = Norm::kL2;
-  l2.r_override = 9;
+  // Two test specs per case; the engine validates them and meters draws.
+  TestSpec l2;
+  l2.seed = 1234;
+  l2.config.k = kK;
+  l2.config.eps = 0.2;
+  l2.config.norm = Norm::kL2;
+  l2.config.r_override = 9;
 
-  TestConfig l1 = l2;
-  l1.norm = Norm::kL1;
-  l1.eps = 0.4;
-  l1.sample_scale = 0.002;  // the 2^13/eps^5 constant is union-bound slack
+  TestSpec l1 = l2;
+  l1.config.norm = Norm::kL1;
+  l1.config.eps = 0.4;
+  l1.config.sample_scale = 0.002;  // the 2^13/eps^5 constant is union-bound slack
 
   Table table({"distribution", "truth", "L2 verdict", "L1 verdict", "L2 samples",
                "L1 samples"});
   for (const auto& c : cases) {
     const AliasSampler sampler(c.dist);
-    const TestOutcome r2 = TestKHistogram(sampler, l2, rng);
-    const TestOutcome r1 = TestKHistogram(sampler, l1, rng);
-    table.AddRow({c.name, c.truth, r2.accepted ? "accept" : "reject",
-                  r1.accepted ? "accept" : "reject", FmtI(r2.total_samples),
-                  FmtI(r1.total_samples)});
+    const Engine engine(sampler);
+    const Result<Report> run2 = engine.Run(l2);
+    const Result<Report> run1 = engine.Run(l1);
+    if (!run2.ok() || !run1.ok()) {
+      std::printf("spec rejected: %s\n",
+                  (!run2.ok() ? run2 : run1).status().ToString().c_str());
+      return 1;
+    }
+    const Report& r2 = *run2;
+    const Report& r1 = *run1;
+    table.AddRow({c.name, c.truth,
+                  r2.outcome == TaskOutcome::kAccepted ? "accept" : "reject",
+                  r1.outcome == TaskOutcome::kAccepted ? "accept" : "reject",
+                  FmtI(r2.telemetry.samples_drawn), FmtI(r1.telemetry.samples_drawn)});
   }
   table.Print(std::cout);
   std::printf(

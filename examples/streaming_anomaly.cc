@@ -1,6 +1,8 @@
 // Drift detection on a sampled stream: re-test a "simple histogram" null
 // hypothesis over sliding batches and flag when the distribution stops
-// looking like a small histogram.
+// looking like a small histogram. Each batch is one budgeted TestSpec run
+// against that batch's oracle — the per-batch sample bill is right in the
+// report, which is what a monitoring deployment meters and pays for.
 //
 // Scenario: a latency-bucket distribution is normally piecewise-flat
 // (SLO tiers). A regression scatters probability mass inside one tier
@@ -45,12 +47,12 @@ int main() {
   // many buckets, so it is far in L1 (distance ~ tier weight) but NOT far
   // in L2 (distance ~ weight/sqrt(tier length)) — exactly the regime where
   // the paper's L1 tester (Theorem 4) is the right tool.
-  TestConfig cfg;
-  cfg.k = kTiers;
-  cfg.eps = 0.2;
-  cfg.norm = Norm::kL1;
-  cfg.sample_scale = 5e-4;  // of the 2^13/eps^5 union-bound formula
-  cfg.r_override = 9;
+  TestSpec spec;
+  spec.config.k = kTiers;
+  spec.config.eps = 0.2;
+  spec.config.norm = Norm::kL1;
+  spec.config.sample_scale = 5e-4;  // of the 2^13/eps^5 union-bound formula
+  spec.config.r_override = 9;
 
   std::printf("tier weights healthy vs degraded (counters see nothing):\n");
   int64_t lo = 0;
@@ -61,17 +63,25 @@ int main() {
     lo = end + 1;
   }
 
-  Table table({"batch", "source", "tester verdict", "flat pieces found"});
+  Table table({"batch", "source", "tester verdict", "samples", "flat pieces"});
   int false_alarms = 0, caught = 0;
   for (int64_t b = 0; b < kBatches; ++b) {
     const bool anomalous = b >= kRegressionAt;
     const AliasSampler sampler(anomalous ? degraded : healthy.dist);
-    const TestOutcome out = TestKHistogram(sampler, cfg, rng);
-    if (anomalous && !out.accepted) ++caught;
-    if (!anomalous && !out.accepted) ++false_alarms;
+    const Engine engine(sampler);
+    spec.seed = 99 + static_cast<uint64_t>(b);  // fresh draws per batch
+    const Result<Report> run = engine.Run(spec);
+    if (!run.ok()) {
+      std::printf("spec rejected: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    const Report& report = *run;
+    const bool accepted = report.outcome == TaskOutcome::kAccepted;
+    if (anomalous && !accepted) ++caught;
+    if (!anomalous && !accepted) ++false_alarms;
     table.AddRow({std::to_string(b), anomalous ? "DEGRADED" : "healthy",
-                  out.accepted ? "ok" : "ALERT",
-                  std::to_string(out.flat_partition.size())});
+                  accepted ? "ok" : "ALERT", FmtI(report.telemetry.samples_drawn),
+                  std::to_string(report.test->flat_partition.size())});
   }
   table.Print(std::cout);
   std::printf("\ncaught %d/%d anomalous batches, %d false alarms on %d healthy\n",

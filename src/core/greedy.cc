@@ -119,9 +119,12 @@ class GreedyState {
 
 /// Candidate endpoint list for Theorem 2: distinct samples and their +-1
 /// neighbours, clamped to the domain, optionally thinned to respect
-/// max_candidates.
+/// max_candidates. Reports the pre/post-thinning endpoint counts so the
+/// caller can surface the (previously silent) truncation.
 std::vector<int64_t> SampleEndpointList(const GreedyEstimator& est, int64_t n,
-                                        int64_t max_candidates, bool with_neighbors) {
+                                        int64_t max_candidates, bool with_neighbors,
+                                        int64_t& before_thinning,
+                                        int64_t& after_thinning) {
   std::vector<int64_t> pts;
   for (int64_t v : est.main().distinct_values()) {
     if (with_neighbors && v - 1 >= 0) pts.push_back(v - 1);
@@ -130,6 +133,7 @@ std::vector<int64_t> SampleEndpointList(const GreedyEstimator& est, int64_t n,
   }
   std::sort(pts.begin(), pts.end());
   pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  before_thinning = static_cast<int64_t>(pts.size());
   if (max_candidates > 0) {
     // Candidates are all pairs a <= b: d(d+1)/2 <= max_candidates.
     const auto limit = static_cast<size_t>(
@@ -147,6 +151,7 @@ std::vector<int64_t> SampleEndpointList(const GreedyEstimator& est, int64_t n,
       pts = std::move(thinned);
     }
   }
+  after_thinning = static_cast<int64_t>(pts.size());
   return pts;
 }
 
@@ -170,9 +175,12 @@ LearnResult LearnHistogramWithEstimator(const GreedyEstimator& estimator,
       options.iterations_override > 0 ? options.iterations_override : params.iterations;
 
   std::vector<int64_t> endpoints;
+  int64_t endpoints_before = 0;
+  int64_t endpoints_after = 0;
   if (options.strategy == CandidateStrategy::kSampleEndpoints) {
     endpoints = SampleEndpointList(estimator, n, options.max_candidates,
-                                   options.include_endpoint_neighbors);
+                                   options.include_endpoint_neighbors,
+                                   endpoints_before, endpoints_after);
   }
 
   int64_t candidates = 0;
@@ -209,16 +217,50 @@ LearnResult LearnHistogramWithEstimator(const GreedyEstimator& estimator,
     state.Apply(best_j, priority);
   }
 
-  LearnResult result{std::move(priority), state.ToTiling(), params,
-                     estimator.TotalSamples(), candidates, state.total_cost()};
+  LearnResult result{std::move(priority), state.ToTiling(),   params,
+                     estimator.TotalSamples(), candidates,    state.total_cost(),
+                     endpoints_before,         endpoints_after};
   return result;
+}
+
+Status ValidateLearnOptions(int64_t n, const LearnOptions& options) {
+  if (n < 2) return Status::InvalidArgument("learn needs a domain of n >= 2");
+  if (options.k < 1 || options.k > n) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  if (!(options.eps > 0.0 && options.eps < 1.0)) {
+    return Status::InvalidArgument("eps must be in (0, 1)");
+  }
+  if (!(options.sample_scale > 0.0)) {
+    return Status::InvalidArgument("sample_scale must be positive");
+  }
+  if (options.max_candidates < 0) {
+    return Status::InvalidArgument("max_candidates must be >= 0 (0 = off)");
+  }
+  if (options.iterations_override < 0) {
+    return Status::InvalidArgument("iterations_override must be >= 0 (0 = paper)");
+  }
+  if (options.r_override < 0) {
+    return Status::InvalidArgument("r_override must be >= 0 (0 = paper)");
+  }
+  if (!GreedyParamsRepresentable(n, options.k, options.eps, options.sample_scale)) {
+    return Status::InvalidArgument(
+        "eps/sample_scale imply a sample count beyond int64 (the formulas "
+        "scale as eps^-2 per k ln(1/eps) step)");
+  }
+  return Status::Ok();
+}
+
+GreedyParams ComputeLearnParams(int64_t n, const LearnOptions& options) {
+  GreedyParams params =
+      ComputeGreedyParams(n, options.k, options.eps, options.sample_scale);
+  if (options.r_override > 0) params.r = options.r_override;
+  return params;
 }
 
 LearnResult LearnHistogram(const Sampler& sampler, const LearnOptions& options,
                            Rng& rng) {
-  GreedyParams params =
-      ComputeGreedyParams(sampler.n(), options.k, options.eps, options.sample_scale);
-  if (options.r_override > 0) params.r = options.r_override;
+  const GreedyParams params = ComputeLearnParams(sampler.n(), options);
   const GreedyEstimator estimator = GreedyEstimator::Draw(sampler, params, rng);
   return LearnHistogramWithEstimator(estimator, options, params);
 }

@@ -25,6 +25,7 @@
 #include "stats/bounds.h"
 #include "stats/estimators.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace histk {
 
@@ -67,7 +68,26 @@ struct LearnResult {
   int64_t total_samples = 0;       ///< samples drawn
   int64_t candidates_per_iter = 0; ///< candidate intervals enumerated
   double estimated_cost = 0.0;     ///< final estimated SSE (c of the tiling)
+  /// Candidate-endpoint accounting for the kSampleEndpoints strategy: the
+  /// endpoint count before and after max_candidates thinning. Equal when no
+  /// thinning happened; both 0 under kAllIntervals. A gap between them is
+  /// the thinning event surfaced in the Engine report telemetry — it used
+  /// to be silent.
+  int64_t endpoints_before_thinning = 0;
+  int64_t endpoints_after_thinning = 0;
 };
+
+/// Non-aborting validation of everything LearnHistogram would otherwise
+/// HISTK_CHECK — including that the derived sample counts are finite and
+/// representable (extreme eps/sample_scale can blow the formulas up to
+/// inf). The facade calls this before touching the oracle, so no
+/// user-supplied spec can reach an abort.
+Status ValidateLearnOptions(int64_t n, const LearnOptions& options);
+
+/// The options' derived Algorithm 1 parameters (paper formulas + the
+/// r_override knob). The single source both LearnHistogram and the engine
+/// facade draw from — parity depends on there being exactly one derivation.
+GreedyParams ComputeLearnParams(int64_t n, const LearnOptions& options);
 
 /// Runs Algorithm 1 end to end: derives parameters from (n, k, eps), draws
 /// samples from the oracle, and greedily builds the histogram.

@@ -1,7 +1,18 @@
 // Umbrella header: the public API of histk.
 //
 // histk reproduces "Approximating and Testing k-Histogram Distributions in
-// Sub-linear Time" (Indyk, Levi, Rubinfeld, PODS 2012):
+// Sub-linear Time" (Indyk, Levi, Rubinfeld, PODS 2012). The primary entry
+// point is the engine facade (engine/engine.h):
+//
+//   * Engine::Run(TaskSpec)  — budgeted oracle sessions running LearnSpec /
+//                              TestSpec / CompareSpec / EstimateSpec tasks,
+//                              returning a Result<Report> with uniform
+//                              telemetry; invalid specs and exhausted
+//                              budgets are typed outcomes, never aborts.
+//
+// The historical free functions remain available and byte-compatible but
+// are DEPRECATED as entry points (new code, the CLI, and the examples go
+// through Engine; see the README migration table):
 //
 //   * LearnHistogram        — Algorithm 1 / Theorem 2 greedy learner
 //   * TestKHistogram        — Algorithm 2 property testers (L1 and L2)
@@ -31,6 +42,8 @@
 #include "dist/io.h"
 #include "dist/quantiles.h"
 #include "dist/sampler.h"
+#include "engine/budget.h"
+#include "engine/engine.h"
 #include "histogram/ops.h"
 #include "histogram/priority.h"
 #include "histogram/tiling.h"
@@ -43,5 +56,6 @@
 #include "util/ascii_plot.h"
 #include "util/interval.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 #endif  // HISTK_CORE_HISTK_H_

@@ -48,13 +48,44 @@ TestOutcome TestKHistogramOnGroup(const SampleSetGroup& group, const TestConfig&
   return out;
 }
 
-TestOutcome TestKHistogram(const Sampler& sampler, const TestConfig& config, Rng& rng) {
+Status ValidateTestConfig(int64_t n, const TestConfig& config) {
+  if (n < 2) return Status::InvalidArgument("test needs a domain of n >= 2");
+  if (config.k < 1 || config.k > n) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  if (!(config.eps > 0.0 && config.eps < 1.0)) {
+    return Status::InvalidArgument("eps must be in (0, 1)");
+  }
+  if (!(config.sample_scale > 0.0)) {
+    return Status::InvalidArgument("sample_scale must be positive");
+  }
+  if (config.r_override < 0) {
+    return Status::InvalidArgument("r_override must be >= 0 (0 = paper)");
+  }
+  const bool representable =
+      config.norm == Norm::kL2
+          ? L2TesterParamsRepresentable(n, config.eps, config.sample_scale)
+          : L1TesterParamsRepresentable(n, config.k, config.eps,
+                                        config.sample_scale);
+  if (!representable) {
+    return Status::InvalidArgument(
+        "eps/sample_scale imply a sample count beyond int64 (the formulas "
+        "scale as eps^-4 (L2) / eps^-5 (L1))");
+  }
+  return Status::Ok();
+}
+
+TesterParams ComputeTesterParams(int64_t n, const TestConfig& config) {
   TesterParams params =
       config.norm == Norm::kL2
-          ? ComputeL2TesterParams(sampler.n(), config.eps, config.sample_scale)
-          : ComputeL1TesterParams(sampler.n(), config.k, config.eps,
-                                  config.sample_scale);
+          ? ComputeL2TesterParams(n, config.eps, config.sample_scale)
+          : ComputeL1TesterParams(n, config.k, config.eps, config.sample_scale);
   if (config.r_override > 0) params.r = config.r_override;
+  return params;
+}
+
+TestOutcome TestKHistogram(const Sampler& sampler, const TestConfig& config, Rng& rng) {
+  const TesterParams params = ComputeTesterParams(sampler.n(), config);
   const SampleSetGroup group = SampleSetGroup::Draw(sampler, params.r, params.m, rng);
   TestOutcome out = TestKHistogramOnGroup(group, config);
   out.params = params;

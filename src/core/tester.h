@@ -21,6 +21,7 @@
 #include "stats/bounds.h"
 #include "util/interval.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace histk {
 
@@ -45,6 +46,19 @@ struct TestOutcome {
   TesterParams params;
   int64_t total_samples = 0;
 };
+
+/// Non-aborting validation of everything TestKHistogram would otherwise
+/// HISTK_CHECK — including that the derived sample counts are finite and
+/// representable (extreme eps/sample_scale can blow the eps^-4 / eps^-5
+/// formulas up to inf). The facade calls this before touching the oracle,
+/// so no user-supplied spec can reach an abort.
+Status ValidateTestConfig(int64_t n, const TestConfig& config);
+
+/// The config's derived Algorithm 2 parameters (norm-dependent paper
+/// formula + the r_override knob). The single source both TestKHistogram
+/// and the engine facade draw from — parity depends on there being exactly
+/// one derivation.
+TesterParams ComputeTesterParams(int64_t n, const TestConfig& config);
 
 /// Runs Algorithm 2 end to end: derives (r, m) from the config, draws
 /// samples, and decides.

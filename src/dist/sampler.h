@@ -61,8 +61,11 @@ class Sampler {
   /// only on (sampler, m, rng state) — NOT on the thread count — so seeded
   /// runs replay byte-identically at any parallelism. Exactly one NextU64()
   /// is consumed from `rng` regardless of m; the resulting sample stream is
-  /// distinct from DrawMany's.
-  std::vector<int64_t> DrawManySharded(int64_t m, Rng& rng, int num_threads = 0) const;
+  /// distinct from DrawMany's. Virtual so decorators (engine/budget.h) can
+  /// account for the whole batch on the caller's thread before fan-out;
+  /// overrides must preserve the thread-count invariance.
+  virtual std::vector<int64_t> DrawManySharded(int64_t m, Rng& rng,
+                                               int num_threads = 0) const;
 
   /// Draws per derived stream in DrawManySharded.
   static constexpr int64_t kShardChunk = int64_t{1} << 16;

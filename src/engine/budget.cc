@@ -1,0 +1,57 @@
+#include "engine/budget.h"
+
+#include <limits>
+
+#include "util/common.h"
+
+namespace histk {
+
+BudgetExhaustedError::BudgetExhaustedError(int64_t requested, int64_t drawn,
+                                           int64_t budget)
+    : requested_(requested), drawn_(drawn), budget_(budget) {
+  what_ = "oracle budget exhausted: " + std::to_string(drawn_) + " drawn of " +
+          std::to_string(budget_) + ", request for " + std::to_string(requested_) +
+          " more rejected";
+}
+
+BudgetedSampler::BudgetedSampler(const Sampler& inner, int64_t budget)
+    : inner_(inner), budget_(budget < 0 ? kUnlimited : budget) {}
+
+void BudgetedSampler::BeginPhase(std::string name) const {
+  phases_.push_back(PhaseDraws{std::move(name), 0});
+}
+
+int64_t BudgetedSampler::remaining() const {
+  if (unlimited()) return std::numeric_limits<int64_t>::max();
+  return budget_ - drawn_;
+}
+
+void BudgetedSampler::Charge(int64_t m) const {
+  HISTK_CHECK(m >= 0);
+  if (!unlimited() && drawn_ + m > budget_) {
+    throw BudgetExhaustedError(m, drawn_, budget_);
+  }
+  drawn_ += m;
+  if (phases_.empty()) phases_.push_back(PhaseDraws{"oracle", 0});
+  phases_.back().samples += m;
+}
+
+int64_t BudgetedSampler::Draw(Rng& rng) const {
+  Charge(1);
+  return inner_.Draw(rng);
+}
+
+std::vector<int64_t> BudgetedSampler::DrawMany(int64_t m, Rng& rng) const {
+  Charge(m);
+  return inner_.DrawMany(m, rng);
+}
+
+std::vector<int64_t> BudgetedSampler::DrawManySharded(int64_t m, Rng& rng,
+                                                      int num_threads) const {
+  // Whole-batch admission on the caller's thread, then the inner sampler's
+  // thread-invariant fan-out: the exception can never cross a worker.
+  Charge(m);
+  return inner_.DrawManySharded(m, rng, num_threads);
+}
+
+}  // namespace histk

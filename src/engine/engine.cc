@@ -1,0 +1,474 @@
+#include "engine/engine.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <type_traits>
+#include <utility>
+
+#include "baseline/classic_histograms.h"
+#include "baseline/voptimal_dp.h"
+#include "dist/quantiles.h"
+#include "histogram/ops.h"
+#include "sample/sample_set.h"
+#include "stats/bounds.h"
+#include "stats/estimators.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace histk {
+
+namespace {
+
+/// One sample set under the session's draw policy: the sequential DrawMany
+/// path (threads = 0, byte-identical to the legacy free functions) or the
+/// sharded path (threads >= 1, byte-identical at any worker count).
+SampleSet DrawSessionSet(const BudgetedSampler& bs, int64_t m, Rng& rng, int threads) {
+  if (threads <= 0) return SampleSet::Draw(bs, m, rng);
+  return SampleSet::FromDraws(bs.n(), bs.DrawManySharded(m, rng, threads));
+}
+
+SampleSetGroup DrawSessionGroup(const BudgetedSampler& bs, int64_t r, int64_t m,
+                                Rng& rng, int threads) {
+  if (threads <= 0) return SampleSetGroup::Draw(bs, r, m, rng);
+  std::vector<SampleSet> sets;
+  sets.reserve(static_cast<size_t>(r));
+  for (int64_t i = 0; i < r; ++i) {
+    sets.push_back(SampleSet::FromDraws(bs.n(), bs.DrawManySharded(m, rng, threads)));
+  }
+  return SampleSetGroup(std::move(sets));
+}
+
+/// Algorithm 1 under the session: identical draw order to LearnHistogram
+/// (main set of l, then r collision sets of m), with phase attribution.
+LearnResult LearnOnSession(const BudgetedSampler& bs, const LearnOptions& options,
+                           Rng& rng, int threads) {
+  const GreedyParams params = ComputeLearnParams(bs.n(), options);
+  bs.BeginPhase("learn-main");
+  SampleSet main = DrawSessionSet(bs, params.l, rng, threads);
+  bs.BeginPhase("learn-collisions");
+  SampleSetGroup group = DrawSessionGroup(bs, params.r, params.m, rng, threads);
+  const GreedyEstimator estimator(std::move(main), std::move(group));
+  return LearnHistogramWithEstimator(estimator, options, params);
+}
+
+void FillSessionTelemetry(Report& report, const BudgetedSampler& bs) {
+  report.telemetry.budget = bs.budget();
+  report.telemetry.samples_drawn = bs.samples_drawn();
+  report.telemetry.phases = bs.phases();
+}
+
+void FillLearnTelemetry(Report& report, const LearnResult& result) {
+  report.telemetry.candidates_per_iter = result.candidates_per_iter;
+  report.telemetry.endpoints_before_thinning = result.endpoints_before_thinning;
+  report.telemetry.endpoints_after_thinning = result.endpoints_after_thinning;
+}
+
+Status ValidateCommon(const SpecCommon& common) {
+  if (common.draw_threads < 0) {
+    return Status::InvalidArgument("draw_threads must be >= 0 (0 = sequential)");
+  }
+  return Status::Ok();
+}
+
+Status ValidateSynopsisKnobs(int64_t n, int64_t k, double eps, double sample_scale) {
+  LearnOptions options;
+  options.k = k;
+  options.eps = eps;
+  options.sample_scale = sample_scale;
+  return ValidateLearnOptions(n, options);
+}
+
+}  // namespace
+
+const char* TaskOutcomeName(TaskOutcome outcome) {
+  switch (outcome) {
+    case TaskOutcome::kOk:
+      return "ok";
+    case TaskOutcome::kAccepted:
+      return "accepted";
+    case TaskOutcome::kRejected:
+      return "rejected";
+    case TaskOutcome::kBudgetExhausted:
+      return "budget-exhausted";
+  }
+  return "unknown";
+}
+
+Engine::Engine(const Sampler& oracle) : oracle_(oracle) {}
+
+Engine::Engine(const Sampler& oracle, Distribution truth)
+    : oracle_(oracle), truth_(std::move(truth)) {}
+
+const Distribution& Engine::truth() const {
+  HISTK_CHECK_MSG(truth_.has_value(), "Engine::truth() on a session without one");
+  return *truth_;
+}
+
+Result<Report> Engine::Run(const TaskSpec& spec) const {
+  return std::visit(
+      [this](const auto& task) -> Result<Report> {
+        using T = std::decay_t<decltype(task)>;
+        if constexpr (std::is_same_v<T, LearnSpec>) return RunLearn(task);
+        else if constexpr (std::is_same_v<T, TestSpec>) return RunTest(task);
+        else if constexpr (std::is_same_v<T, CompareSpec>) return RunCompare(task);
+        else return RunEstimate(task);
+      },
+      spec);
+}
+
+Result<Report> Engine::RunLearn(const LearnSpec& spec) const {
+  if (Status s = ValidateCommon(spec); !s.ok()) return s;
+  if (Status s = ValidateLearnOptions(oracle_.n(), spec.options); !s.ok()) return s;
+  if (spec.reduce_to < 0) {
+    return Status::InvalidArgument("reduce_to must be >= 0 (0 = off)");
+  }
+
+  const WallTimer timer;
+  Report report;
+  report.task = "learn";
+  const BudgetedSampler bs(oracle_, spec.budget);
+  Rng rng(spec.seed);
+  try {
+    LearnResult result = LearnOnSession(bs, spec.options, rng, spec.draw_threads);
+    FillLearnTelemetry(report, result);
+    if (spec.reduce_to > 0) {
+      report.reduced = ReduceToKPieces(result.tiling, spec.reduce_to);
+    }
+    report.learn = std::move(result);
+    report.outcome = TaskOutcome::kOk;
+  } catch (const BudgetExhaustedError&) {
+    report.outcome = TaskOutcome::kBudgetExhausted;
+  }
+  FillSessionTelemetry(report, bs);
+  report.telemetry.wall_ms = timer.ElapsedMillis();
+  return report;
+}
+
+Result<Report> Engine::RunTest(const TestSpec& spec) const {
+  if (Status s = ValidateCommon(spec); !s.ok()) return s;
+  if (Status s = ValidateTestConfig(oracle_.n(), spec.config); !s.ok()) return s;
+
+  const WallTimer timer;
+  Report report;
+  report.task = "test";
+  const BudgetedSampler bs(oracle_, spec.budget);
+  Rng rng(spec.seed);
+  try {
+    const TestConfig& config = spec.config;
+    const TesterParams params = ComputeTesterParams(bs.n(), config);
+    bs.BeginPhase("test-draw");
+    const SampleSetGroup group =
+        DrawSessionGroup(bs, params.r, params.m, rng, spec.draw_threads);
+    TestOutcome outcome = TestKHistogramOnGroup(group, config);
+    outcome.params = params;
+    report.outcome = outcome.accepted ? TaskOutcome::kAccepted : TaskOutcome::kRejected;
+    report.test = std::move(outcome);
+  } catch (const BudgetExhaustedError&) {
+    report.outcome = TaskOutcome::kBudgetExhausted;
+  }
+  FillSessionTelemetry(report, bs);
+  report.telemetry.wall_ms = timer.ElapsedMillis();
+  return report;
+}
+
+Result<Report> Engine::RunCompare(const CompareSpec& spec) const {
+  if (Status s = ValidateCommon(spec); !s.ok()) return s;
+  if (Status s = ValidateSynopsisKnobs(oracle_.n(), spec.k, spec.eps,
+                                       spec.sample_scale);
+      !s.ok()) {
+    return s;
+  }
+  if (!truth_) {
+    return Status::InvalidArgument(
+        "compare task needs a session ground-truth distribution");
+  }
+  if (truth_->n() != oracle_.n()) {
+    return Status::InvalidArgument("session truth domain differs from the oracle's");
+  }
+  if (spec.max_dp_domain < 1) {
+    return Status::InvalidArgument("max_dp_domain must be >= 1");
+  }
+
+  const WallTimer timer;
+  Report report;
+  report.task = "compare";
+  const BudgetedSampler bs(oracle_, spec.budget);
+  Rng rng(spec.seed);
+  try {
+    LearnOptions options;
+    options.k = spec.k;
+    options.eps = spec.eps;
+    options.sample_scale = spec.sample_scale;
+    options.strategy = spec.strategy;
+    LearnResult result = LearnOnSession(bs, options, rng, spec.draw_threads);
+    FillLearnTelemetry(report, result);
+    TilingHistogram reduced = ReduceToKPieces(result.tiling, spec.k);
+
+    auto row = [&](const char* method, const TilingHistogram& h, int64_t samples) {
+      report.compare.push_back(
+          CompareRow{method, h.k(), h.L2SquaredErrorTo(*truth_), samples});
+    };
+    row("paper", reduced, result.total_samples);
+    row("paper-raw", result.tiling, result.total_samples);
+
+    // Classic sampling histograms from a fresh sample of the same size the
+    // learner consumed — the E7 apples-to-apples protocol.
+    bs.BeginPhase("baselines");
+    const SampleSet baseline_sample =
+        DrawSessionSet(bs, result.total_samples, rng, spec.draw_threads);
+    row("equi-width", EquiWidthFromSamples(spec.k, baseline_sample),
+        baseline_sample.m());
+    row("equi-depth", EquiDepthFromSamples(spec.k, baseline_sample),
+        baseline_sample.m());
+    row("compressed", CompressedFromSamples(spec.k, baseline_sample),
+        baseline_sample.m());
+
+    // The exact optimum the paper's guarantee is stated against. Reads the
+    // full pmf (zero oracle draws) and runs the O(n^2 k) DP, so it is gated
+    // on the truth's domain size.
+    if (spec.include_voptimal && truth_->n() <= spec.max_dp_domain) {
+      const VOptimalResult opt = VOptimalHistogram(*truth_, spec.k);
+      row("v-optimal", opt.histogram, 0);
+    }
+
+    report.reduced = std::move(reduced);
+    report.learn = std::move(result);
+    report.outcome = TaskOutcome::kOk;
+  } catch (const BudgetExhaustedError&) {
+    report.outcome = TaskOutcome::kBudgetExhausted;
+    // Keep the kBudgetExhausted contract uniform — telemetry only. Rows
+    // pushed before the baselines phase ran out would otherwise read as a
+    // complete (but baseline-less) comparison.
+    report.compare.clear();
+  }
+  FillSessionTelemetry(report, bs);
+  report.telemetry.wall_ms = timer.ElapsedMillis();
+  return report;
+}
+
+Result<Report> Engine::RunEstimate(const EstimateSpec& spec) const {
+  if (Status s = ValidateCommon(spec); !s.ok()) return s;
+  if (Status s = ValidateSynopsisKnobs(oracle_.n(), spec.k, spec.eps,
+                                       spec.sample_scale);
+      !s.ok()) {
+    return s;
+  }
+  for (double q : spec.quantile_levels) {
+    if (!(q >= 0.0 && q <= 1.0)) {
+      return Status::InvalidArgument("quantile levels must be in [0, 1]");
+    }
+  }
+  const Interval domain = Interval::Full(oracle_.n());
+  for (const Interval& range : spec.ranges) {
+    if (range.empty() || !domain.Contains(range)) {
+      return Status::InvalidArgument("ranges must be non-empty and within [0, n)");
+    }
+  }
+  if (truth_ && truth_->n() != oracle_.n()) {
+    return Status::InvalidArgument("session truth domain differs from the oracle's");
+  }
+
+  const WallTimer timer;
+  Report report;
+  report.task = "estimate";
+  const BudgetedSampler bs(oracle_, spec.budget);
+  Rng rng(spec.seed);
+  try {
+    LearnOptions options;
+    options.k = spec.k;
+    options.eps = spec.eps;
+    options.sample_scale = spec.sample_scale;
+    LearnResult result = LearnOnSession(bs, options, rng, spec.draw_threads);
+    FillLearnTelemetry(report, result);
+    TilingHistogram synopsis = ReduceToKPieces(result.tiling, spec.k);
+
+    EstimateAnswers answers;
+    if (!spec.quantile_levels.empty()) {
+      // Quantiles need a proper distribution; the synopsis can carry zero
+      // mass only if the learner saw no samples at all.
+      double mass = 0.0;
+      for (int64_t j = 0; j < synopsis.k(); ++j) {
+        mass += std::max(synopsis.values()[static_cast<size_t>(j)], 0.0) *
+                static_cast<double>(synopsis.pieces()[static_cast<size_t>(j)].length());
+      }
+      if (mass <= 0.0) {
+        return Status::Internal("learned synopsis has zero mass; cannot answer quantiles");
+      }
+      const Distribution synopsis_dist = synopsis.ToDistribution();
+      for (double q : spec.quantile_levels) {
+        answers.quantiles.push_back(
+            EstimateAnswers::QuantileAnswer{q, Quantile(synopsis_dist, q)});
+      }
+    }
+    for (const Interval& range : spec.ranges) {
+      EstimateAnswers::SelectivityAnswer answer;
+      answer.range = range;
+      answer.estimate = synopsis.Mass(range);
+      if (truth_) answer.truth = truth_->Weight(range);
+      answers.selectivity.push_back(answer);
+    }
+
+    report.estimate = std::move(answers);
+    report.reduced = std::move(synopsis);
+    report.learn = std::move(result);
+    report.outcome = TaskOutcome::kOk;
+  } catch (const BudgetExhaustedError&) {
+    report.outcome = TaskOutcome::kBudgetExhausted;
+  }
+  FillSessionTelemetry(report, bs);
+  report.telemetry.wall_ms = timer.ElapsedMillis();
+  return report;
+}
+
+// ------------------------------------------------------------- JSON output
+
+namespace {
+
+void JsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void JsonDouble(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.*g", std::numeric_limits<double>::max_digits10, v);
+  os << buf;
+}
+
+void JsonTiling(std::ostream& os, const TilingHistogram& h) {
+  os << "{\"n\": " << h.n() << ", \"k\": " << h.k() << ", \"right_ends\": [";
+  for (int64_t j = 0; j < h.k(); ++j) {
+    if (j > 0) os << ", ";
+    os << h.pieces()[static_cast<size_t>(j)].hi;
+  }
+  os << "], \"values\": [";
+  for (int64_t j = 0; j < h.k(); ++j) {
+    if (j > 0) os << ", ";
+    JsonDouble(os, h.values()[static_cast<size_t>(j)]);
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void WriteReportJson(std::ostream& os, const Report& report) {
+  os << "{\"histk_report\": 1, \"task\": ";
+  JsonString(os, report.task);
+  os << ", \"outcome\": ";
+  JsonString(os, TaskOutcomeName(report.outcome));
+
+  const ReportTelemetry& t = report.telemetry;
+  os << ", \"telemetry\": {\"budget\": " << t.budget
+     << ", \"samples_drawn\": " << t.samples_drawn << ", \"wall_ms\": ";
+  JsonDouble(os, t.wall_ms);
+  os << ", \"candidates_per_iter\": " << t.candidates_per_iter
+     << ", \"endpoints_before_thinning\": " << t.endpoints_before_thinning
+     << ", \"endpoints_after_thinning\": " << t.endpoints_after_thinning
+     << ", \"phases\": [";
+  for (size_t i = 0; i < t.phases.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "{\"phase\": ";
+    JsonString(os, t.phases[i].phase);
+    os << ", \"samples\": " << t.phases[i].samples << "}";
+  }
+  os << "]}";
+
+  if (report.learn) {
+    const LearnResult& r = *report.learn;
+    os << ", \"learn\": {\"params\": {\"l\": " << r.params.l
+       << ", \"r\": " << r.params.r << ", \"m\": " << r.params.m
+       << ", \"iterations\": " << r.params.iterations << "}, \"total_samples\": "
+       << r.total_samples << ", \"estimated_cost\": ";
+    JsonDouble(os, r.estimated_cost);
+    os << ", \"priority_entries\": " << r.priority.size() << ", \"tiling\": ";
+    JsonTiling(os, r.tiling);
+    os << "}";
+  }
+  if (report.reduced) {
+    os << ", \"reduced\": ";
+    JsonTiling(os, *report.reduced);
+  }
+  if (report.test) {
+    const TestOutcome& t2 = *report.test;
+    os << ", \"test\": {\"accepted\": " << (t2.accepted ? "true" : "false")
+       << ", \"params\": {\"r\": " << t2.params.r << ", \"m\": " << t2.params.m
+       << "}, \"total_samples\": " << t2.total_samples << ", \"flat_partition\": [";
+    for (size_t i = 0; i < t2.flat_partition.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "[" << t2.flat_partition[i].lo << ", " << t2.flat_partition[i].hi << "]";
+    }
+    os << "]}";
+  }
+  if (!report.compare.empty()) {
+    os << ", \"compare\": [";
+    for (size_t i = 0; i < report.compare.size(); ++i) {
+      if (i > 0) os << ", ";
+      const CompareRow& row = report.compare[i];
+      os << "{\"method\": ";
+      JsonString(os, row.method);
+      os << ", \"pieces\": " << row.pieces << ", \"sse\": ";
+      JsonDouble(os, row.sse);
+      os << ", \"samples\": " << row.samples << "}";
+    }
+    os << "]";
+  }
+  if (report.estimate) {
+    const EstimateAnswers& e = *report.estimate;
+    os << ", \"estimate\": {\"quantiles\": [";
+    for (size_t i = 0; i < e.quantiles.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "{\"q\": ";
+      JsonDouble(os, e.quantiles[i].q);
+      os << ", \"value\": " << e.quantiles[i].value << "}";
+    }
+    os << "], \"selectivity\": [";
+    for (size_t i = 0; i < e.selectivity.size(); ++i) {
+      if (i > 0) os << ", ";
+      const auto& sel = e.selectivity[i];
+      os << "{\"lo\": " << sel.range.lo << ", \"hi\": " << sel.range.hi
+         << ", \"estimate\": ";
+      JsonDouble(os, sel.estimate);
+      os << ", \"truth\": ";
+      if (sel.truth) {
+        JsonDouble(os, *sel.truth);
+      } else {
+        os << "null";
+      }
+      os << "}";
+    }
+    os << "]}";
+  }
+  os << "}\n";
+}
+
+}  // namespace histk

@@ -16,44 +16,111 @@ void CheckCommon(int64_t n, double eps, double scale) {
   HISTK_CHECK_MSG(scale > 0.0, "scale must be positive");
 }
 
+bool CommonLegal(int64_t n, double eps, double scale) {
+  return n >= 2 && eps > 0.0 && eps < 1.0 && scale > 0.0;
+}
+
+// The raw (double-valued) sample-count formulas. ComputeGreedyParams and
+// GreedyParamsRepresentable share these, so the representability guard can
+// never drift from what the calculator actually computes.
+struct GreedyFormulas {
+  double xi = 0.0;
+  double iterations = 0.0;
+  double l = 0.0;
+  double r = 0.0;
+  double m = 0.0;
+};
+
+GreedyFormulas GreedyRaw(int64_t n, int64_t k, double eps, double scale) {
+  GreedyFormulas f;
+  const double nd = static_cast<double>(n);
+  // q = k ln(1/eps), at least 1 step (eps close to 1 makes ln(1/eps) tiny).
+  f.iterations = static_cast<double>(k) * std::log(1.0 / eps);
+  f.xi = eps / std::max(static_cast<double>(k) * std::log(1.0 / eps), 1e-12);
+  // Keep xi <= eps so the union-bound algebra stays meaningful for eps
+  // near 1 (where ln(1/eps) < 1 would make xi > eps).
+  f.xi = std::min(f.xi, eps);
+  f.l = scale * std::log(12.0 * nd * nd) / (2.0 * f.xi * f.xi);
+  f.r = std::log(6.0 * nd * nd);
+  f.m = scale * 24.0 / (f.xi * f.xi);
+  return f;
+}
+
+struct TesterFormulas {
+  double r = 0.0;
+  double m = 0.0;
+};
+
+TesterFormulas L2TesterRaw(int64_t n, double eps, double scale) {
+  const double nd = static_cast<double>(n);
+  return {16.0 * std::log(6.0 * nd * nd),
+          scale * 64.0 * std::log(nd) / std::pow(eps, 4.0)};
+}
+
+TesterFormulas L1TesterRaw(int64_t n, int64_t k, double eps, double scale) {
+  const double nd = static_cast<double>(n);
+  return {16.0 * std::log(6.0 * nd * nd),
+          scale * 8192.0 * std::sqrt(static_cast<double>(k) * nd) /
+              std::pow(eps, 5.0)};
+}
+
+/// Finite and strictly below 2^62: safely ceil-able into int64 (2^62 also
+/// leaves headroom for l + r*m style sums downstream).
+bool Representable(double x) {
+  return std::isfinite(x) && x < 4.6e18;
+}
+
 }  // namespace
 
 GreedyParams ComputeGreedyParams(int64_t n, int64_t k, double eps, double scale) {
   CheckCommon(n, eps, scale);
   HISTK_CHECK(k >= 1);
+  const GreedyFormulas f = GreedyRaw(n, k, eps, scale);
   GreedyParams gp;
-  const double nd = static_cast<double>(n);
-  // q = k ln(1/eps), at least 1 step (eps close to 1 makes ln(1/eps) tiny).
-  const double q = static_cast<double>(k) * std::log(1.0 / eps);
-  gp.iterations = CeilToInt64(q, 1);
-  gp.xi = eps / std::max(static_cast<double>(k) * std::log(1.0 / eps), 1e-12);
-  // Keep xi <= eps so the union-bound algebra stays meaningful for eps
-  // near 1 (where ln(1/eps) < 1 would make xi > eps).
-  gp.xi = std::min(gp.xi, eps);
-  gp.l = CeilToInt64(scale * std::log(12.0 * nd * nd) / (2.0 * gp.xi * gp.xi), 2);
-  gp.r = CeilToInt64(std::log(6.0 * nd * nd), 1);
-  gp.m = CeilToInt64(scale * 24.0 / (gp.xi * gp.xi), 2);
+  gp.xi = f.xi;
+  gp.iterations = CeilToInt64(f.iterations, 1);
+  gp.l = CeilToInt64(f.l, 2);
+  gp.r = CeilToInt64(f.r, 1);
+  gp.m = CeilToInt64(f.m, 2);
   return gp;
+}
+
+bool GreedyParamsRepresentable(int64_t n, int64_t k, double eps, double scale) {
+  if (!CommonLegal(n, eps, scale) || k < 1) return false;
+  const GreedyFormulas f = GreedyRaw(n, k, eps, scale);
+  return Representable(f.iterations) && Representable(f.l) && Representable(f.r) &&
+         Representable(f.m);
 }
 
 TesterParams ComputeL2TesterParams(int64_t n, double eps, double scale) {
   CheckCommon(n, eps, scale);
+  const TesterFormulas f = L2TesterRaw(n, eps, scale);
   TesterParams tp;
-  const double nd = static_cast<double>(n);
-  tp.r = CeilToInt64(16.0 * std::log(6.0 * nd * nd), 1);
-  tp.m = CeilToInt64(scale * 64.0 * std::log(nd) / std::pow(eps, 4.0), 2);
+  tp.r = CeilToInt64(f.r, 1);
+  tp.m = CeilToInt64(f.m, 2);
   return tp;
+}
+
+bool L2TesterParamsRepresentable(int64_t n, double eps, double scale) {
+  if (!CommonLegal(n, eps, scale)) return false;
+  const TesterFormulas f = L2TesterRaw(n, eps, scale);
+  return Representable(f.r) && Representable(f.m);
 }
 
 TesterParams ComputeL1TesterParams(int64_t n, int64_t k, double eps, double scale) {
   CheckCommon(n, eps, scale);
   HISTK_CHECK(k >= 1);
+  const TesterFormulas f = L1TesterRaw(n, k, eps, scale);
   TesterParams tp;
-  const double nd = static_cast<double>(n);
-  tp.r = CeilToInt64(16.0 * std::log(6.0 * nd * nd), 1);
-  tp.m = CeilToInt64(
-      scale * 8192.0 * std::sqrt(static_cast<double>(k) * nd) / std::pow(eps, 5.0), 2);
+  tp.r = CeilToInt64(f.r, 1);
+  tp.m = CeilToInt64(f.m, 2);
   return tp;
+}
+
+bool L1TesterParamsRepresentable(int64_t n, int64_t k, double eps, double scale) {
+  if (!CommonLegal(n, eps, scale) || k < 1) return false;
+  const TesterFormulas f = L1TesterRaw(n, k, eps, scale);
+  return Representable(f.r) && Representable(f.m);
 }
 
 double LowerBoundBudget(int64_t n, int64_t k) {

@@ -28,6 +28,16 @@ struct GreedyParams {
 /// (0, 1); k >= 1; n >= 2.
 GreedyParams ComputeGreedyParams(int64_t n, int64_t k, double eps, double scale = 1.0);
 
+/// Non-aborting guards for the calculators below/above: true iff the inputs
+/// are legal AND every derived count is finite and fits in int64. Extreme
+/// but technically in-range knobs (eps = 1e-80 explodes the eps^-5 term to
+/// inf; scale = 1e308 overflows l) would otherwise trip the calculators'
+/// HISTK_CHECKs — the engine facade validates with these first so no spec
+/// can reach an abort.
+bool GreedyParamsRepresentable(int64_t n, int64_t k, double eps, double scale = 1.0);
+bool L2TesterParamsRepresentable(int64_t n, double eps, double scale = 1.0);
+bool L1TesterParamsRepresentable(int64_t n, int64_t k, double eps, double scale = 1.0);
+
 /// Parameters of the Algorithm 2 testers.
 struct TesterParams {
   int64_t r = 0;  ///< number of sample sets: 16 ln(6 n^2)

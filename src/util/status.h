@@ -1,0 +1,129 @@
+// histk::Status / Result<T>: the non-aborting error channel of the facade.
+//
+// The library's historical policy (util/common.h) reserves HISTK_CHECK
+// aborts for programmer errors. Everything reachable from *user input* —
+// task specs handed to the Engine, text streams handed to the dist/io
+// parsers, budgets — flows through Status instead: a small value type
+// carrying a code and a human-readable message, plus Result<T>, the
+// status-or-value union returned by fallible constructors and parsers.
+//
+// Codes mirror the facade's outcomes:
+//   kInvalidArgument — a spec or parameter fails validation
+//   kParseError      — malformed text input (message carries the line)
+//   kBudgetExhausted — an oracle budget was hit (see engine/budget.h)
+//   kInternal        — an invariant the facade could not uphold
+#ifndef HISTK_UTIL_STATUS_H_
+#define HISTK_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/common.h"
+
+namespace histk {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kBudgetExhausted,
+  kInternal,
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kParseError:
+      return "parse-error";
+    case StatusCode::kBudgetExhausted:
+      return "budget-exhausted";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+/// Success-or-error. Cheap to copy on the success path (no allocation).
+class Status {
+ public:
+  Status() = default;  ///< ok
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status ParseError(std::string message) {
+    return Status(StatusCode::kParseError, std::move(message));
+  }
+  static Status BudgetExhausted(std::string message) {
+    return Status(StatusCode::kBudgetExhausted, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "invalid-argument: k must be >= 1"
+  std::string ToString() const {
+    if (ok()) return "ok";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A Status or a T. Implicitly constructible from either, so fallible
+/// functions `return Status::InvalidArgument(...)` or `return value;`
+/// directly. Accessing value() on an error aborts (programmer error —
+/// check ok() first).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}         // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    HISTK_CHECK_MSG(!status_.ok(), "Result constructed from an ok Status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    HISTK_CHECK_MSG(ok(), "Result::value() on an error result");
+    return *value_;
+  }
+  T& value() & {
+    HISTK_CHECK_MSG(ok(), "Result::value() on an error result");
+    return *value_;
+  }
+  T&& value() && {
+    HISTK_CHECK_MSG(ok(), "Result::value() on an error result");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  // optional, so T needs no default constructor (LearnResult, Distribution,
+  // ... are not default-constructible).
+  std::optional<T> value_;
+};
+
+}  // namespace histk
+
+#endif  // HISTK_UTIL_STATUS_H_

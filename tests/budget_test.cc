@@ -1,0 +1,138 @@
+// BudgetedSampler semantics: metering, phase attribution, all-or-nothing
+// admission against the cap, and stream parity with the wrapped sampler on
+// every draw path (single / batched / sharded at any thread count).
+#include "engine/budget.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/distribution.h"
+#include "dist/generators.h"
+#include "dist/sampler.h"
+#include "util/rng.h"
+
+namespace histk {
+namespace {
+
+Distribution TestDist() {
+  Rng rng(404);
+  return MakeRandomKHistogram(/*n=*/64, /*k=*/4, rng, 10.0).dist;
+}
+
+TEST(BudgetedSamplerTest, MetersAllDrawPaths) {
+  const Distribution d = TestDist();
+  const AliasSampler inner(d);
+  const BudgetedSampler bs(inner);
+
+  Rng rng(1);
+  EXPECT_EQ(bs.samples_drawn(), 0);
+  bs.Draw(rng);
+  EXPECT_EQ(bs.samples_drawn(), 1);
+  bs.DrawMany(100, rng);
+  EXPECT_EQ(bs.samples_drawn(), 101);
+  bs.DrawManySharded(50, rng, 2);
+  EXPECT_EQ(bs.samples_drawn(), 151);
+  EXPECT_TRUE(bs.unlimited());
+}
+
+TEST(BudgetedSamplerTest, AttributesDrawsToPhases) {
+  const Distribution d = TestDist();
+  const AliasSampler inner(d);
+  const BudgetedSampler bs(inner);
+
+  Rng rng(1);
+  bs.Draw(rng);  // before any phase: implicit "oracle"
+  bs.BeginPhase("main");
+  bs.DrawMany(10, rng);
+  bs.BeginPhase("collisions");
+  bs.DrawMany(20, rng);
+  bs.DrawMany(5, rng);
+  bs.BeginPhase("empty");
+
+  ASSERT_EQ(bs.phases().size(), 4u);
+  EXPECT_EQ(bs.phases()[0].phase, "oracle");
+  EXPECT_EQ(bs.phases()[0].samples, 1);
+  EXPECT_EQ(bs.phases()[1].phase, "main");
+  EXPECT_EQ(bs.phases()[1].samples, 10);
+  EXPECT_EQ(bs.phases()[2].phase, "collisions");
+  EXPECT_EQ(bs.phases()[2].samples, 25);
+  EXPECT_EQ(bs.phases()[3].phase, "empty");
+  EXPECT_EQ(bs.phases()[3].samples, 0);
+}
+
+TEST(BudgetedSamplerTest, RejectsRequestsBeyondBudgetWholesale) {
+  const Distribution d = TestDist();
+  const AliasSampler inner(d);
+  const BudgetedSampler bs(inner, /*budget=*/50);
+
+  Rng rng(1);
+  bs.DrawMany(40, rng);
+  EXPECT_EQ(bs.remaining(), 10);
+  // A request that does not fit is rejected whole: nothing is drawn, the
+  // meter does not move, and the error names the numbers.
+  try {
+    bs.DrawMany(11, rng);
+    FAIL() << "expected BudgetExhaustedError";
+  } catch (const BudgetExhaustedError& e) {
+    EXPECT_EQ(e.requested(), 11);
+    EXPECT_EQ(e.drawn(), 40);
+    EXPECT_EQ(e.budget(), 50);
+  }
+  EXPECT_EQ(bs.samples_drawn(), 40);
+  // What still fits is still admitted.
+  bs.DrawMany(10, rng);
+  EXPECT_EQ(bs.samples_drawn(), 50);
+  EXPECT_THROW(bs.Draw(rng), BudgetExhaustedError);
+  EXPECT_EQ(bs.samples_drawn(), 50);
+}
+
+TEST(BudgetedSamplerTest, ZeroBudgetRejectsFirstDraw) {
+  const Distribution d = TestDist();
+  const AliasSampler inner(d);
+  const BudgetedSampler bs(inner, /*budget=*/0);
+  Rng rng(1);
+  EXPECT_THROW(bs.Draw(rng), BudgetExhaustedError);
+  EXPECT_EQ(bs.samples_drawn(), 0);
+}
+
+TEST(BudgetedSamplerTest, ShardedRequestBeyondBudgetDrawsNothing) {
+  const Distribution d = TestDist();
+  const AliasSampler inner(d);
+  const BudgetedSampler bs(inner, /*budget=*/100);
+  Rng rng(1);
+  EXPECT_THROW(bs.DrawManySharded(101, rng, 4), BudgetExhaustedError);
+  EXPECT_EQ(bs.samples_drawn(), 0);
+}
+
+TEST(BudgetedSamplerTest, ForwardsStreamsByteIdentically) {
+  const Distribution d = TestDist();
+  const AliasSampler inner(d);
+  const BudgetedSampler bs(inner, /*budget=*/100000);
+
+  Rng rng_inner(42);
+  Rng rng_budgeted(42);
+  EXPECT_EQ(inner.DrawMany(1000, rng_inner), bs.DrawMany(1000, rng_budgeted));
+  EXPECT_EQ(inner.Draw(rng_inner), bs.Draw(rng_budgeted));
+  EXPECT_EQ(inner.DrawManySharded(5000, rng_inner, 2),
+            bs.DrawManySharded(5000, rng_budgeted, 2));
+}
+
+TEST(BudgetedSamplerTest, ShardedIsThreadCountInvariant) {
+  const Distribution d = TestDist();
+  const AliasSampler inner(d);
+  const BudgetedSampler bs(inner, /*budget=*/1000000);
+
+  // Spans multiple shard chunks so more than one derived stream is in play.
+  const int64_t m = 3 * Sampler::kShardChunk + 17;
+  Rng rng1(7);
+  Rng rng2(7);
+  Rng rng4(7);
+  const auto draws1 = bs.DrawManySharded(m, rng1, 1);
+  const auto draws2 = bs.DrawManySharded(m, rng2, 2);
+  const auto draws4 = bs.DrawManySharded(m, rng4, 4);
+  EXPECT_EQ(draws1, draws2);
+  EXPECT_EQ(draws1, draws4);
+  EXPECT_EQ(bs.samples_drawn(), 3 * m);
+}
+
+}  // namespace
+}  // namespace histk

@@ -116,5 +116,94 @@ TEST(IoTest, HandlesTinyProbabilitiesPrecisely) {
   EXPECT_DOUBLE_EQ(back->p(3), d.p(3));
 }
 
+// ---------------------------------------------------------- Parse* statuses
+
+bool MessageContains(const Status& s, const std::string& needle) {
+  return s.message().find(needle) != std::string::npos;
+}
+
+TEST(IoParseTest, AgreesWithReadOnGoodInput) {
+  Rng rng(702);
+  const Distribution d = MakeNoisy(MakeZipf(16, 0.8), 0.2, rng);
+  std::stringstream ss;
+  WriteDistribution(ss, d);
+  const Result<Distribution> parsed = ParseDistribution(ss);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  for (int64_t i = 0; i < d.n(); ++i) EXPECT_DOUBLE_EQ(parsed->p(i), d.p(i));
+}
+
+TEST(IoParseTest, NamesTheLineOfABadPmfEntry) {
+  // Line 3 holds the entries; the third one is not a number.
+  std::stringstream ss("histk-distribution v1\nn 3\n0.5 0.25 oops\n");
+  const Result<Distribution> parsed = ParseDistribution(ss);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_TRUE(MessageContains(parsed.status(), "line 3"))
+      << parsed.status().ToString();
+  EXPECT_TRUE(MessageContains(parsed.status(), "oops")) << parsed.status().ToString();
+}
+
+TEST(IoParseTest, NamesTheLineOfTruncation) {
+  std::stringstream ss("histk-distribution v1\nn 4\n0.5 0.5\n");
+  const Result<Distribution> parsed = ParseDistribution(ss);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_TRUE(MessageContains(parsed.status(), "end of input"))
+      << parsed.status().ToString();
+}
+
+TEST(IoParseTest, NamesTheLineOfANonAscendingEnd) {
+  // Piece ends 5 then 3: the offending token is on line 4.
+  std::stringstream ss("histk-tiling-histogram v1\nn 10 k 3\n5 0.1\n3 0.1\n9 0.0\n");
+  const Result<TilingHistogram> parsed = ParseTilingHistogram(ss);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(MessageContains(parsed.status(), "line 4"))
+      << parsed.status().ToString();
+  EXPECT_TRUE(MessageContains(parsed.status(), "ascending"))
+      << parsed.status().ToString();
+}
+
+TEST(IoParseTest, NamesTheLineOfANonFinitePieceValue) {
+  // inf sits on line 3; the error must not point at the end of the body.
+  std::stringstream ss("histk-tiling-histogram v1\nn 10 k 3\n4 inf\n7 0.1\n9 0.0\n");
+  const Result<TilingHistogram> parsed = ParseTilingHistogram(ss);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(MessageContains(parsed.status(), "line 3"))
+      << parsed.status().ToString();
+  EXPECT_TRUE(MessageContains(parsed.status(), "finite"))
+      << parsed.status().ToString();
+}
+
+TEST(IoParseTest, BucketDistributionDiagnosesBadMass) {
+  std::stringstream ss("histk-tiling-histogram v1\nn 10 k 2\n4 0.01\n9 0.01\n");
+  const Result<Distribution> parsed = ParseBucketDistribution(ss);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_TRUE(MessageContains(parsed.status(), "mass"))
+      << parsed.status().ToString();
+}
+
+TEST(IoParseTest, DatasetNamesTheLineOfABadItem) {
+  std::stringstream ss("0\n1\n2\nxyz\n3\n");
+  const Result<std::vector<int64_t>> parsed = ParseDataset(ss);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_TRUE(MessageContains(parsed.status(), "line 4"))
+      << parsed.status().ToString();
+}
+
+TEST(IoParseTest, DatasetRejectsOutOfDomainWithLine) {
+  std::stringstream ss("0\n1\n9\n");
+  const Result<std::vector<int64_t>> parsed = ParseDataset(ss, /*n=*/5);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(MessageContains(parsed.status(), "line 3"))
+      << parsed.status().ToString();
+
+  std::stringstream ok_ss("0\n1\n4\n");
+  const Result<std::vector<int64_t>> parsed_ok = ParseDataset(ok_ss, /*n=*/5);
+  ASSERT_TRUE(parsed_ok.ok());
+  EXPECT_EQ(parsed_ok->size(), 3u);
+}
+
 }  // namespace
 }  // namespace histk

@@ -1,0 +1,71 @@
+#include "util/status.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace histk {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status invalid = Status::InvalidArgument("k must be >= 1");
+  EXPECT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(invalid.message(), "k must be >= 1");
+  EXPECT_EQ(invalid.ToString(), "invalid-argument: k must be >= 1");
+
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::BudgetExhausted("x").code(), StatusCode::kBudgetExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument), "invalid-argument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "parse-error");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kBudgetExhausted), "budget-exhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "internal");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good = ParsePositive(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  EXPECT_EQ(good.value(), 7);
+
+  const Result<int> bad = ParsePositive(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, WorksWithoutDefaultConstructor) {
+  struct NoDefault {
+    explicit NoDefault(int v) : v(v) {}
+    int v;
+  };
+  Result<NoDefault> r = NoDefault(3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->v, 3);
+}
+
+TEST(ResultTest, MovesOutOfRvalue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  const std::vector<int> moved = *std::move(r);
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+}  // namespace
+}  // namespace histk

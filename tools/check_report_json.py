@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Schema check for histk Engine reports (`histk_cli ... --json`).
+
+Usage: check_report_json.py REPORT.json [TASK]
+
+Validates the structural contract of WriteReportJson (src/engine/engine.cc):
+required top-level fields, the telemetry block, and the per-task payload.
+TASK, when given, must match the report's "task" field. Exits nonzero with a
+message on the first violation, so CI can assert on structured output
+instead of grepping text.
+"""
+import json
+import sys
+
+OUTCOMES = {"ok", "accepted", "rejected", "budget-exhausted"}
+TASKS = {"learn", "test", "compare", "estimate"}
+
+
+def fail(msg):
+    print(f"check_report_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_tiling(t, where):
+    require(isinstance(t, dict), f"{where} must be an object")
+    for key in ("n", "k", "right_ends", "values"):
+        require(key in t, f"{where}.{key} missing")
+    require(len(t["right_ends"]) == t["k"], f"{where}: k != len(right_ends)")
+    require(len(t["values"]) == t["k"], f"{where}: k != len(values)")
+    require(t["right_ends"][-1] == t["n"] - 1, f"{where}: last end != n-1")
+    require(
+        all(b > a for a, b in zip(t["right_ends"], t["right_ends"][1:])),
+        f"{where}: right_ends not ascending",
+    )
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_report_json.py REPORT.json [TASK]")
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+
+    require(report.get("histk_report") == 1, "histk_report != 1")
+    task = report.get("task")
+    require(task in TASKS, f"unknown task {task!r}")
+    if len(sys.argv) > 2:
+        require(task == sys.argv[2], f"task {task!r} != expected {sys.argv[2]!r}")
+    require(report.get("outcome") in OUTCOMES, f"bad outcome {report.get('outcome')!r}")
+
+    tel = report.get("telemetry")
+    require(isinstance(tel, dict), "telemetry missing")
+    for key in (
+        "budget",
+        "samples_drawn",
+        "wall_ms",
+        "candidates_per_iter",
+        "endpoints_before_thinning",
+        "endpoints_after_thinning",
+        "phases",
+    ):
+        require(key in tel, f"telemetry.{key} missing")
+    require(isinstance(tel["phases"], list), "telemetry.phases must be a list")
+    for phase in tel["phases"]:
+        require("phase" in phase and "samples" in phase, "malformed phase entry")
+        require(phase["samples"] >= 0, "negative phase samples")
+    require(
+        sum(p["samples"] for p in tel["phases"]) == tel["samples_drawn"],
+        "phase samples do not sum to samples_drawn",
+    )
+    if tel["budget"] >= 0:
+        require(tel["samples_drawn"] <= tel["budget"], "samples_drawn exceeds budget")
+
+    if report["outcome"] == "budget-exhausted":
+        # Payload intentionally absent; telemetry already checked.
+        print(f"check_report_json: {task} report ok (budget-exhausted)")
+        return
+
+    if task in ("learn", "compare", "estimate"):
+        learn = report.get("learn")
+        require(isinstance(learn, dict), "learn payload missing")
+        for key in ("params", "total_samples", "estimated_cost", "tiling"):
+            require(key in learn, f"learn.{key} missing")
+        check_tiling(learn["tiling"], "learn.tiling")
+    if task == "test":
+        test = report.get("test")
+        require(isinstance(test, dict), "test payload missing")
+        for key in ("accepted", "params", "total_samples", "flat_partition"):
+            require(key in test, f"test.{key} missing")
+        expected = "accepted" if test["accepted"] else "rejected"
+        require(report["outcome"] == expected, "outcome disagrees with test.accepted")
+    if task == "compare":
+        rows = report.get("compare")
+        require(isinstance(rows, list) and rows, "compare rows missing")
+        methods = {row["method"] for row in rows}
+        for needed in ("paper", "equi-width", "equi-depth", "compressed"):
+            require(needed in methods, f"compare row {needed!r} missing")
+        for row in rows:
+            require(row["sse"] >= 0, f"negative sse in {row['method']!r}")
+    if task == "estimate":
+        est = report.get("estimate")
+        require(isinstance(est, dict), "estimate payload missing")
+        require("quantiles" in est and "selectivity" in est, "estimate keys missing")
+
+    print(f"check_report_json: {task} report ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,41 +1,56 @@
-// histk_cli — generate data sets, learn, or test histogram structure.
+// histk_cli — generate data sets, then learn / test / compare histogram
+// structure through the engine facade.
 //
 // The input is a data set D: one integer item per line (values in [0, n)).
 // Following the paper's model, p = empirical distribution of D and the
 // algorithms draw i.i.d. samples by picking random elements of D.
 //
 // Usage:
-//   histk_cli gen   --family khist|staircase|zipf|gauss|spikes|zigzag|uniform
-//                   [--n N] [--k K] [--samples M] [--seed X] [--skew S]
-//                   [--eps E] [--contrast C] [--threads T]
-//                   [--pmf-out FILE] > items.txt
-//   histk_cli learn --k 8 --eps 0.1 [--n N] [--scale S] [--full-enum]
-//                   [--reduce] [--seed X] [--reservoir R] < items.txt
-//   histk_cli test  --k 8 --eps 0.3 --norm l2|l1 [--n N] [--scale S]
-//                   [--seed X] [--reservoir R] < items.txt
+//   histk_cli gen     --family khist|staircase|zipf|gauss|spikes|zigzag|uniform
+//                     [--n N] [--k K] [--samples M] [--seed X] [--skew S]
+//                     [--eps E] [--contrast C] [--threads T]
+//                     [--pmf-out FILE] > items.txt
+//   histk_cli learn   --k 8 --eps 0.1 [--n N] [--scale S] [--full-enum]
+//                     [--reduce] [--seed X] [--reservoir R] [--budget B]
+//                     [--json] < items.txt
+//   histk_cli test    --k 8 --eps 0.3 --norm l2|l1 [--n N] [--scale S]
+//                     [--seed X] [--reservoir R] [--budget B] [--json] < items.txt
+//   histk_cli compare --k 8 --eps 0.1 [--n N] [--scale S] [--seed X]
+//                     [--budget B] [--json] < items.txt
 //   histk_cli voptimal --k 8 [--n N] < items.txt > histogram.txt
 //
-// `gen` writes a synthetic data set (one item per line) drawn from the
-// chosen family, so learn/test are exercisable end to end:
-//   histk_cli gen --family khist --n 256 --k 8 | histk_cli learn --k 8
-// `learn` writes a histk-tiling-histogram v1 file to stdout; `test` prints
-// the verdict and the flat partition; `voptimal` runs the exact DP on the
-// empirical pmf (streams D into per-element counts; for reference, not
-// sub-linear).
+// learn/test/compare are thin clients of histk::Engine: the session wraps
+// the data-set oracle in a BudgetedSampler (--budget B caps oracle draws;
+// absent = unlimited) and --json replaces the text output with the Engine's
+// machine-readable Report (schema checked by tools/check_report_json.py).
+// `compare` learns a k-histogram and scores it against equi-width /
+// equi-depth / compressed baselines built from the same sample budget, plus
+// the exact v-optimal DP on the empirical pmf when the domain is small.
 //
-// Ingestion is streaming: stdin is consumed in fixed-size chunks that feed
-// either a bounded uniform reservoir (learn/test; --reservoir caps the
-// held items, 0 = keep everything) or a count table (voptimal), so the
-// full data set is never buffered in memory. Streams no longer than the
-// reservoir are kept verbatim, which reproduces the historical buffering
-// behavior exactly.
+// Exit codes (distinct per outcome so scripts can branch):
+//   0  success (test: ACCEPT)
+//   1  test: REJECT
+//   2  usage error or invalid arguments (engine spec validation)
+//   3  malformed input (parse error; message names the line)
+//   4  oracle budget exhausted before the task finished
+//
+// Ingestion is streaming: stdin is consumed line by line in fixed-size
+// chunks that feed either a bounded uniform reservoir (learn/test;
+// --reservoir caps the held items, 0 = keep everything) or a count table
+// (compare/voptimal), so the full data set is never buffered in memory.
+// Malformed tokens are a parse error (exit 3) with the offending line
+// number; negative items are warned about and ignored; items outside an
+// explicit --n domain are skipped.
 //
 // The piecewise families (khist/staircase/spikes/uniform) build the O(k)
 // bucket Distribution backend above Distribution::kAutoBucketThreshold, so
 // `gen --n $((1<<30))` is cheap; sample emission uses the sharded DrawMany
 // path, whose output depends on --seed but not on --threads.
 #include <algorithm>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -44,6 +59,7 @@
 #include <vector>
 
 #include "core/histk.h"
+#include "util/table.h"
 
 namespace {
 
@@ -60,6 +76,8 @@ struct Args {
   bool reduce = false;
   uint64_t seed = 1;
   int64_t reservoir = int64_t{1} << 20;  // learn/test held-item cap; 0 = unbounded
+  int64_t budget = BudgetedSampler::kUnlimited;  // oracle-draw cap; < 0 = unlimited
+  bool json = false;
   // gen-only:
   std::string family = "khist";
   int64_t samples = 200000;
@@ -69,15 +87,54 @@ struct Args {
   std::string pmf_out;
 };
 
+// Exit codes, one per outcome class (see file comment).
+constexpr int kExitOk = 0;
+constexpr int kExitReject = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitParse = 3;
+constexpr int kExitBudget = 4;
+
 void Usage() {
-  std::fprintf(stderr,
-               "usage: histk_cli <gen|learn|test|voptimal> [--k K] [--eps E] [--n N]\n"
-               "                 [--scale S] [--norm l1|l2] [--full-enum]\n"
-               "                 [--reduce] [--seed X] [--reservoir R] < items.txt\n"
-               "       histk_cli gen --family khist|staircase|zipf|gauss|spikes|\n"
-               "                 zigzag|uniform [--n N] [--k K] [--samples M]\n"
-               "                 [--seed X] [--skew S] [--eps E] [--contrast C]\n"
-               "                 [--threads T] [--pmf-out FILE]  > items.txt\n");
+  std::fprintf(
+      stderr,
+      "usage: histk_cli <gen|learn|test|compare|voptimal> [flags] < items.txt\n"
+      "       histk_cli learn   --k K --eps E [--n N] [--scale S] [--full-enum]\n"
+      "                 [--reduce] [--seed X] [--reservoir R] [--budget B] [--json]\n"
+      "       histk_cli test    --k K --eps E --norm l1|l2 [--n N] [--scale S]\n"
+      "                 [--seed X] [--reservoir R] [--budget B] [--json]\n"
+      "       histk_cli compare --k K --eps E [--n N] [--scale S] [--seed X]\n"
+      "                 [--budget B] [--json]\n"
+      "       histk_cli gen --family khist|staircase|zipf|gauss|spikes|\n"
+      "                 zigzag|uniform [--n N] [--k K] [--samples M]\n"
+      "                 [--seed X] [--skew S] [--eps E] [--contrast C]\n"
+      "                 [--threads T] [--pmf-out FILE]  > items.txt\n"
+      "exit codes: 0 ok/accept, 1 reject, 2 usage/invalid, 3 parse error,\n"
+      "            4 budget exhausted\n");
+}
+
+// Full-token numeric flag parses: a typo must be a usage error (exit 2)
+// with a message, never an uncaught std::sto* exception. Integer/double
+// parsing is dist/io's TokenTo* (the same grammar the dataset readers use);
+// only the unsigned-seed case needs its own wrapper.
+bool ToI64(const char* s, int64_t& out) { return TokenToI64(s, out); }
+
+bool ToF64(const char* s, double& out) { return TokenToF64(s, out); }
+
+bool ToU64(const char* s, uint64_t& out) {
+  if (*s == '-') return false;  // strtoull silently wraps negatives
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ToInt(const char* s, int& out) {
+  int64_t wide = 0;
+  if (!ToI64(s, wide) || wide < INT_MIN || wide > INT_MAX) return false;
+  out = static_cast<int>(wide);
+  return true;
 }
 
 bool Parse(int argc, char** argv, Args& args) {
@@ -89,61 +146,68 @@ bool Parse(int argc, char** argv, Args& args) {
       if (i + 1 >= argc) return nullptr;
       return argv[++i];
     };
+    auto bad = [&]() {
+      std::fprintf(stderr, "bad or missing value for %s\n", flag.c_str());
+      return false;
+    };
     if (flag == "--k") {
       const char* v = next();
-      if (!v) return false;
-      args.k = std::stoll(v);
+      if (!v || !ToI64(v, args.k)) return bad();
     } else if (flag == "--eps") {
       const char* v = next();
-      if (!v) return false;
-      args.eps = std::stod(v);
+      if (!v || !ToF64(v, args.eps)) return bad();
     } else if (flag == "--n") {
       const char* v = next();
-      if (!v) return false;
-      args.n = std::stoll(v);
+      if (!v || !ToI64(v, args.n)) return bad();
     } else if (flag == "--scale") {
       const char* v = next();
-      if (!v) return false;
-      args.scale = std::stod(v);
+      if (!v || !ToF64(v, args.scale)) return bad();
     } else if (flag == "--seed") {
       const char* v = next();
-      if (!v) return false;
-      args.seed = static_cast<uint64_t>(std::stoull(v));
+      if (!v || !ToU64(v, args.seed)) return bad();
     } else if (flag == "--norm") {
       const char* v = next();
-      if (!v) return false;
-      args.norm = std::strcmp(v, "l1") == 0 ? Norm::kL1 : Norm::kL2;
+      if (!v) return bad();
+      // Strict: a typo ("l3") must not silently run the other tester — the
+      // L1-far/L2-close regime makes that a wrong ACCEPT, not a nuisance.
+      if (std::strcmp(v, "l1") == 0) {
+        args.norm = Norm::kL1;
+      } else if (std::strcmp(v, "l2") == 0) {
+        args.norm = Norm::kL2;
+      } else {
+        return bad();
+      }
     } else if (flag == "--full-enum") {
       args.full_enum = true;
     } else if (flag == "--reduce") {
       args.reduce = true;
+    } else if (flag == "--json") {
+      args.json = true;
+    } else if (flag == "--budget") {
+      const char* v = next();
+      if (!v || !ToI64(v, args.budget)) return bad();
     } else if (flag == "--family") {
       const char* v = next();
-      if (!v) return false;
+      if (!v) return bad();
       args.family = v;
     } else if (flag == "--samples") {
       const char* v = next();
-      if (!v) return false;
-      args.samples = std::stoll(v);
+      if (!v || !ToI64(v, args.samples)) return bad();
     } else if (flag == "--skew") {
       const char* v = next();
-      if (!v) return false;
-      args.skew = std::stod(v);
+      if (!v || !ToF64(v, args.skew)) return bad();
     } else if (flag == "--contrast") {
       const char* v = next();
-      if (!v) return false;
-      args.contrast = std::stod(v);
+      if (!v || !ToF64(v, args.contrast)) return bad();
     } else if (flag == "--reservoir") {
       const char* v = next();
-      if (!v) return false;
-      args.reservoir = std::stoll(v);
+      if (!v || !ToI64(v, args.reservoir)) return bad();
     } else if (flag == "--threads") {
       const char* v = next();
-      if (!v) return false;
-      args.threads = static_cast<int>(std::stol(v));
+      if (!v || !ToInt(v, args.threads)) return bad();
     } else if (flag == "--pmf-out") {
       const char* v = next();
-      if (!v) return false;
+      if (!v) return bad();
       args.pmf_out = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
@@ -151,13 +215,14 @@ bool Parse(int argc, char** argv, Args& args) {
     }
   }
   return args.command == "gen" || args.command == "learn" ||
-         args.command == "test" || args.command == "voptimal";
+         args.command == "test" || args.command == "compare" ||
+         args.command == "voptimal";
 }
 
-// Streaming ingestion: stdin is consumed in fixed-size chunks and each
-// chunk is fed to the consumer immediately, so memory is bounded by the
-// chunk plus whatever the consumer retains (a capped reservoir for
-// learn/test, per-element counts for voptimal) — never the whole stream.
+// Streaming ingestion: stdin is consumed line by line and fed to the
+// consumer in fixed-size chunks, so memory is bounded by the chunk plus
+// whatever the consumer retains (a capped reservoir for learn/test,
+// per-element counts for compare/voptimal) — never the whole stream.
 constexpr int64_t kIngestChunk = int64_t{1} << 16;
 
 struct Ingested {
@@ -169,8 +234,13 @@ struct Ingested {
 
 enum class IngestMode { kReservoir, kCounts };
 
-Ingested IngestStream(std::istream& is, int64_t explicit_n, IngestMode mode,
-                      int64_t reservoir_cap, uint64_t seed) {
+// kCounts ingestion (compare/voptimal) materializes a dense per-element
+// table, so the domain must stay RAM-sized — one stray huge item must not
+// become a multi-GB resize. learn/test (bounded reservoir) have no cap.
+constexpr int64_t kMaxCountsDomain = int64_t{1} << 24;
+
+Result<Ingested> IngestStream(std::istream& is, int64_t explicit_n, IngestMode mode,
+                              int64_t reservoir_cap, uint64_t seed) {
   Ingested out;
   // The reservoir gets its own stream, derived from --seed, so the
   // algorithms' Rng(seed) consumption is untouched by ingestion. Only the
@@ -202,20 +272,31 @@ Ingested IngestStream(std::istream& is, int64_t explicit_n, IngestMode mode,
     }
   };
 
-  int64_t v = 0;
-  while (is >> v) {
+  // One dataset grammar: the same ScanDataset that backs ParseDataset, so
+  // the CLI and the library can never disagree on what parses. Filtering
+  // (warn-and-drop negatives, skip out-of-domain) is CLI policy, applied in
+  // the callback.
+  const Status scan = ScanDataset(is, [&](int64_t v, int64_t line) -> Status {
     if (v < 0) {
       std::fprintf(stderr, "negative item %lld ignored\n", static_cast<long long>(v));
-      continue;
+      return Status::Ok();
     }
-    if (explicit_n > 0 && v >= explicit_n) continue;  // outside an explicit domain
-    max_seen = std::max(max_seen, v);
+    if (explicit_n > 0 && v >= explicit_n) return Status::Ok();  // outside domain
+    if (mode == IngestMode::kCounts && v >= kMaxCountsDomain) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line) + ": item " + std::to_string(v) +
+          " exceeds the dense-counts cap (2^24) for compare/voptimal — pass "
+          "--n to bound the domain, or use learn/test");
+    }
+    max_seen = std::max<int64_t>(max_seen, v);
     chunk.push_back(v);
     if (static_cast<int64_t>(chunk.size()) == kIngestChunk) {
       consume(chunk);
       chunk.clear();
     }
-  }
+    return Status::Ok();
+  });
+  if (!scan.ok()) return scan;
   consume(chunk);
 
   out.n = explicit_n > 0 ? explicit_n : max_seen + 1;
@@ -228,45 +309,89 @@ Ingested IngestStream(std::istream& is, int64_t explicit_n, IngestMode mode,
   return out;
 }
 
+/// Shared unhappy-path handling for the Engine-backed subcommands: invalid
+/// specs exit 2, exhausted budgets exit 4 (after emitting the JSON report
+/// when asked — the report documents the partial telemetry).
+int ReportFailure(const Result<Report>& result, bool json) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return kExitUsage;
+  }
+  const Report& report = *result;
+  if (report.outcome == TaskOutcome::kBudgetExhausted) {
+    if (json) WriteReportJson(std::cout, report);
+    std::fprintf(stderr,
+                 "budget exhausted after %lld of %lld oracle draws; partial "
+                 "telemetry in the report\n",
+                 static_cast<long long>(report.telemetry.samples_drawn),
+                 static_cast<long long>(report.telemetry.budget));
+    return kExitBudget;
+  }
+  return -1;  // no failure; caller handles the success path
+}
+
 int RunLearn(const Args& args, const Ingested& in) {
-  const int64_t n = in.n;
-  const DatasetSampler sampler(n, in.items);
-  Rng rng(args.seed);
-  LearnOptions opt;
-  opt.k = args.k;
-  opt.eps = args.eps;
-  opt.sample_scale = args.scale;
-  opt.strategy = args.full_enum ? CandidateStrategy::kAllIntervals
-                                : CandidateStrategy::kSampleEndpoints;
-  const LearnResult res = LearnHistogram(sampler, opt, rng);
-  const TilingHistogram out =
-      args.reduce ? ReduceToKPieces(res.tiling, args.k) : res.tiling;
+  const DatasetSampler sampler(in.n, in.items);
+  const Engine engine(sampler);
+
+  LearnSpec spec;
+  spec.seed = args.seed;
+  spec.budget = args.budget;
+  spec.options.k = args.k;
+  spec.options.eps = args.eps;
+  spec.options.sample_scale = args.scale;
+  spec.options.strategy = args.full_enum ? CandidateStrategy::kAllIntervals
+                                         : CandidateStrategy::kSampleEndpoints;
+  if (args.reduce) spec.reduce_to = args.k;
+
+  const Result<Report> result = engine.Run(spec);
+  if (const int failure = ReportFailure(result, args.json); failure >= 0) {
+    return failure;
+  }
+  const Report& report = *result;
+  if (args.json) {
+    WriteReportJson(std::cout, report);
+    return kExitOk;
+  }
+  const TilingHistogram& out = args.reduce ? *report.reduced : report.learn->tiling;
   WriteTilingHistogram(std::cout, out);
   std::fprintf(stderr, "stream: %lld items, %lld held\n",
                static_cast<long long>(in.stream_items),
                static_cast<long long>(in.items.size()));
   std::fprintf(stderr, "drew %lld samples (l=%lld, r=%lld x m=%lld), %lld pieces\n",
-               static_cast<long long>(res.total_samples),
-               static_cast<long long>(res.params.l),
-               static_cast<long long>(res.params.r),
-               static_cast<long long>(res.params.m),
+               static_cast<long long>(report.learn->total_samples),
+               static_cast<long long>(report.learn->params.l),
+               static_cast<long long>(report.learn->params.r),
+               static_cast<long long>(report.learn->params.m),
                static_cast<long long>(out.k()));
-  return 0;
+  return kExitOk;
 }
 
 int RunTest(const Args& args, const Ingested& in) {
-  const int64_t n = in.n;
-  const DatasetSampler sampler(n, in.items);
-  Rng rng(args.seed);
-  TestConfig cfg;
-  cfg.k = args.k;
-  cfg.eps = args.eps;
-  cfg.norm = args.norm;
-  cfg.sample_scale = args.scale;
-  const TestOutcome out = TestKHistogram(sampler, cfg, rng);
+  const DatasetSampler sampler(in.n, in.items);
+  const Engine engine(sampler);
+
+  TestSpec spec;
+  spec.seed = args.seed;
+  spec.budget = args.budget;
+  spec.config.k = args.k;
+  spec.config.eps = args.eps;
+  spec.config.norm = args.norm;
+  spec.config.sample_scale = args.scale;
+
+  const Result<Report> result = engine.Run(spec);
+  if (const int failure = ReportFailure(result, args.json); failure >= 0) {
+    return failure;
+  }
+  const Report& report = *result;
+  if (args.json) {
+    WriteReportJson(std::cout, report);
+    return report.test->accepted ? kExitOk : kExitReject;
+  }
   std::fprintf(stderr, "stream: %lld items, %lld held\n",
                static_cast<long long>(in.stream_items),
                static_cast<long long>(in.items.size()));
+  const TestOutcome& out = *report.test;
   std::printf("%s\n", out.accepted ? "ACCEPT" : "REJECT");
   std::printf("samples: %lld (r=%lld x m=%lld), norm: %s\n",
               static_cast<long long>(out.total_samples),
@@ -277,7 +402,48 @@ int RunTest(const Args& args, const Ingested& in) {
     std::printf(" %s", piece.ToString().c_str());
   }
   std::printf("\n");
-  return out.accepted ? 0 : 1;
+  return out.accepted ? kExitOk : kExitReject;
+}
+
+int RunCompare(const Args& args, const Ingested& in) {
+  // Counts came off the stream; the empirical pmf doubles as the session's
+  // oracle (sampling it = drawing random elements of D) and its truth.
+  std::vector<double> weights(in.counts.size());
+  for (size_t i = 0; i < in.counts.size(); ++i) {
+    weights[i] = static_cast<double>(in.counts[i]);
+  }
+  const Distribution truth = Distribution::FromWeights(std::move(weights));
+  const AliasSampler sampler(truth);
+  const Engine engine(sampler, truth);
+
+  CompareSpec spec;
+  spec.seed = args.seed;
+  spec.budget = args.budget;
+  spec.k = args.k;
+  spec.eps = args.eps;
+  spec.sample_scale = args.scale;
+  spec.strategy = args.full_enum ? CandidateStrategy::kAllIntervals
+                                 : CandidateStrategy::kSampleEndpoints;
+
+  const Result<Report> result = engine.Run(spec);
+  if (const int failure = ReportFailure(result, args.json); failure >= 0) {
+    return failure;
+  }
+  const Report& report = *result;
+  if (args.json) {
+    WriteReportJson(std::cout, report);
+    return kExitOk;
+  }
+  std::fprintf(stderr, "stream: %lld items over domain [0, %lld)\n",
+               static_cast<long long>(in.stream_items),
+               static_cast<long long>(in.n));
+  Table table({"method", "pieces", "SSE vs empirical", "samples"});
+  for (const CompareRow& row : report.compare) {
+    table.AddRow({row.method, std::to_string(row.pieces), FmtE(row.sse),
+                  FmtI(row.samples)});
+  }
+  table.Print(std::cout);
+  return kExitOk;
 }
 
 int RunGen(const Args& args) {
@@ -286,7 +452,7 @@ int RunGen(const Args& args) {
   // not trip a library HISTK_CHECK abort.
   auto reject = [](const char* why) {
     std::fprintf(stderr, "gen: %s\n", why);
-    return 2;
+    return kExitUsage;
   };
   if (args.samples < 1) return reject("--samples must be >= 1");
   if (args.k < 1 || args.k > n) return reject("--k must be in [1, n]");
@@ -317,13 +483,13 @@ int RunGen(const Args& args) {
   const std::optional<Distribution> dist = make();
   if (!dist) {
     std::fprintf(stderr, "unknown family: %s\n", args.family.c_str());
-    return 2;
+    return kExitUsage;
   }
   if (!args.pmf_out.empty()) {
     std::ofstream f(args.pmf_out);
     if (!f) {
       std::fprintf(stderr, "cannot open %s\n", args.pmf_out.c_str());
-      return 2;
+      return kExitUsage;
     }
     // Huge domains write the O(k) run form; dense ones keep the historical
     // per-element format.
@@ -341,7 +507,7 @@ int RunGen(const Args& args) {
                static_cast<long long>(args.samples),
                static_cast<unsigned long long>(args.seed),
                dist->is_bucketed() ? "bucket" : "dense");
-  return 0;
+  return kExitOk;
 }
 
 int RunVOptimal(const Args& args, const Ingested& in) {
@@ -355,7 +521,7 @@ int RunVOptimal(const Args& args, const Ingested& in) {
   const auto res = VOptimalHistogram(p, args.k);
   WriteTilingHistogram(std::cout, res.histogram);
   std::fprintf(stderr, "empirical v-optimal SSE: %.6e\n", res.sse);
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
@@ -364,17 +530,33 @@ int main(int argc, char** argv) {
   Args args;
   if (!Parse(argc, argv, args)) {
     Usage();
-    return 2;
+    return kExitUsage;
   }
   if (args.command == "gen") return RunGen(args);
   const IngestMode mode =
-      args.command == "voptimal" ? IngestMode::kCounts : IngestMode::kReservoir;
-  const Ingested in = IngestStream(std::cin, args.n, mode, args.reservoir, args.seed);
+      args.command == "voptimal" || args.command == "compare" ? IngestMode::kCounts
+                                                              : IngestMode::kReservoir;
+  if (mode == IngestMode::kCounts && args.n > kMaxCountsDomain) {
+    std::fprintf(stderr,
+                 "%s needs a dense counts table: --n must be <= 2^24 "
+                 "(use learn/test for huge domains)\n",
+                 args.command.c_str());
+    return kExitUsage;
+  }
+  const Result<Ingested> ingested =
+      IngestStream(std::cin, args.n, mode, args.reservoir, args.seed);
+  if (!ingested.ok()) {
+    std::fprintf(stderr, "%s\n", ingested.status().ToString().c_str());
+    return ingested.status().code() == StatusCode::kParseError ? kExitParse
+                                                               : kExitUsage;
+  }
+  const Ingested& in = *ingested;
   if (in.stream_items == 0 || in.n < 1) {
     std::fprintf(stderr, "no items in [0, n) on stdin\n");
-    return 2;
+    return kExitUsage;
   }
   if (args.command == "learn") return RunLearn(args, in);
   if (args.command == "test") return RunTest(args, in);
+  if (args.command == "compare") return RunCompare(args, in);
   return RunVOptimal(args, in);
 }
