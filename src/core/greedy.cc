@@ -261,6 +261,9 @@ GreedyParams ComputeLearnParams(int64_t n, const LearnOptions& options) {
 LearnResult LearnHistogram(const Sampler& sampler, const LearnOptions& options,
                            Rng& rng) {
   const GreedyParams params = ComputeLearnParams(sampler.n(), options);
+  // All l + r*m draws ride the fused draw→count pipeline inside
+  // GreedyEstimator::Draw; the rng consumption matches the historical
+  // per-vector path, so seeded runs replay.
   const GreedyEstimator estimator = GreedyEstimator::Draw(sampler, params, rng);
   return LearnHistogramWithEstimator(estimator, options, params);
 }

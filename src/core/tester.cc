@@ -86,6 +86,8 @@ TesterParams ComputeTesterParams(int64_t n, const TestConfig& config) {
 
 TestOutcome TestKHistogram(const Sampler& sampler, const TestConfig& config, Rng& rng) {
   const TesterParams params = ComputeTesterParams(sampler.n(), config);
+  // Fused draw→count per set: the tester's r*m draws go straight into
+  // collision counts without materializing draw vectors.
   const SampleSetGroup group = SampleSetGroup::Draw(sampler, params.r, params.m, rng);
   TestOutcome out = TestKHistogramOnGroup(group, config);
   out.params = params;

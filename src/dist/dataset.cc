@@ -18,11 +18,9 @@ DatasetSampler::DatasetSampler(int64_t n, std::vector<int64_t> items)
 
 int64_t DatasetSampler::Draw(Rng& rng) const { return DrawImpl(rng); }
 
-std::vector<int64_t> DatasetSampler::DrawMany(int64_t m, Rng& rng) const {
+void DatasetSampler::DrawManyInto(int64_t* out, int64_t m, Rng& rng) const {
   HISTK_CHECK(m >= 0);
-  std::vector<int64_t> draws(static_cast<size_t>(m));
-  for (auto& d : draws) d = DrawImpl(rng);
-  return draws;
+  for (int64_t i = 0; i < m; ++i) out[i] = DrawImpl(rng);
 }
 
 Distribution DatasetSampler::EmpiricalDist() const {

@@ -26,7 +26,7 @@ class DatasetSampler : public Sampler {
 
   int64_t n() const override { return n_; }
   int64_t Draw(Rng& rng) const override;
-  std::vector<int64_t> DrawMany(int64_t m, Rng& rng) const override;
+  void DrawManyInto(int64_t* out, int64_t m, Rng& rng) const override;
 
   /// Number of items |D|.
   int64_t size() const { return static_cast<int64_t>(items_.size()); }

@@ -61,13 +61,61 @@ void BuildVose(std::vector<long double> scaled, size_t heaviest,
   }
 }
 
+/// Shared chunk fan-out of the sharded paths: derives chunk c's Rng stream
+/// from (root, c) and hands (chunk_rng, lo, len) to a chunk callable on up
+/// to `num_threads` workers (0 = hardware concurrency). `make_chunk_fn` is
+/// invoked once per worker (thread-safely) and may capture per-worker
+/// scratch — e.g. a reusable draw buffer — by value in the callable it
+/// returns. The chunk→stream map is a pure function of root, so results
+/// are worker-count invariant as long as the chunk work is (write to
+/// disjoint slices, or accumulate commutatively).
+template <typename MakeChunkFn>
+void RunShardedChunks(int64_t m, uint64_t root, int num_threads,
+                      const MakeChunkFn& make_chunk_fn) {
+  if (m == 0) return;
+  const int64_t num_chunks =
+      (m + Sampler::kShardChunk - 1) / Sampler::kShardChunk;
+  if (num_threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  num_threads = static_cast<int>(
+      std::min<int64_t>(static_cast<int64_t>(num_threads), num_chunks));
+
+  std::atomic<int64_t> next{0};
+  auto worker = [&]() {
+    auto chunk_fn = make_chunk_fn();
+    for (int64_t c; (c = next.fetch_add(1, std::memory_order_relaxed)) < num_chunks;) {
+      uint64_t state =
+          root ^ (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(c) + 1));
+      Rng chunk_rng(SplitMix64(state));
+      const int64_t lo = c * Sampler::kShardChunk;
+      const int64_t len = std::min<int64_t>(Sampler::kShardChunk, m - lo);
+      chunk_fn(chunk_rng, lo, len);
+    }
+  };
+
+  if (num_threads <= 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) workers.emplace_back(worker);
+  for (auto& w : workers) w.join();
+}
+
 }  // namespace
+
+void Sampler::DrawManyInto(int64_t* out, int64_t m, Rng& rng) const {
+  HISTK_CHECK(m >= 0);
+  for (int64_t i = 0; i < m; ++i) out[i] = Draw(rng);
+}
 
 std::vector<int64_t> Sampler::DrawMany(int64_t m, Rng& rng) const {
   HISTK_CHECK(m >= 0);
-  std::vector<int64_t> draws;
-  draws.reserve(static_cast<size_t>(m));
-  for (int64_t i = 0; i < m; ++i) draws.push_back(Draw(rng));
+  std::vector<int64_t> draws(static_cast<size_t>(m));
+  DrawManyInto(draws.data(), m, rng);
   return draws;
 }
 
@@ -79,56 +127,66 @@ std::vector<int64_t> Sampler::DrawManySharded(int64_t m, Rng& rng,
   // invariant under the worker count.
   const uint64_t root = rng.NextU64();
   std::vector<int64_t> out(static_cast<size_t>(m));
-  if (m == 0) return out;
-  const int64_t num_chunks = (m + kShardChunk - 1) / kShardChunk;
-  if (num_threads <= 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    num_threads = hw == 0 ? 1 : static_cast<int>(hw);
-  }
-  num_threads = static_cast<int>(
-      std::min<int64_t>(static_cast<int64_t>(num_threads), num_chunks));
-
-  std::atomic<int64_t> next{0};
-  auto worker = [&]() {
-    for (int64_t c; (c = next.fetch_add(1, std::memory_order_relaxed)) < num_chunks;) {
-      uint64_t state =
-          root ^ (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(c) + 1));
-      Rng chunk_rng(SplitMix64(state));
-      const int64_t lo = c * kShardChunk;
-      const int64_t len = std::min<int64_t>(kShardChunk, m - lo);
-      const std::vector<int64_t> draws = DrawMany(len, chunk_rng);
-      std::copy(draws.begin(), draws.end(), out.begin() + static_cast<ptrdiff_t>(lo));
-    }
-  };
-
-  if (num_threads <= 1) {
-    worker();
-    return out;
-  }
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(num_threads));
-  for (int t = 0; t < num_threads; ++t) workers.emplace_back(worker);
-  for (auto& w : workers) w.join();
+  RunShardedChunks(m, root, num_threads, [&]() {
+    return [&](Rng& chunk_rng, int64_t lo, int64_t len) {
+      // Straight into the output slice: no per-chunk vector, no copy.
+      DrawManyInto(out.data() + lo, len, chunk_rng);
+    };
+  });
   return out;
 }
 
-AliasSampler::AliasSampler(const Distribution& dist)
-    : n_(dist.n()), bucketed_(dist.is_bucketed()) {
+void Sampler::DrawCounts(int64_t m, Rng& rng, CountSink& sink) const {
+  HISTK_CHECK(m >= 0);
+  std::vector<int64_t> buf(static_cast<size_t>(std::min(m, kShardChunk)));
+  for (int64_t done = 0; done < m;) {
+    const int64_t len = std::min<int64_t>(kShardChunk, m - done);
+    DrawManyInto(buf.data(), len, rng);
+    sink.Consume(buf.data(), len);
+    done += len;
+  }
+}
+
+void Sampler::DrawCountsSharded(int64_t m, Rng& rng, CountSink& sink,
+                                int num_threads) const {
+  HISTK_CHECK(m >= 0);
+  const uint64_t root = rng.NextU64();  // same stream derivation as DrawManySharded
+  const int64_t buf_len = std::min(m, kShardChunk);
+  RunShardedChunks(m, root, num_threads, [&]() {
+    // One draw buffer per worker, reused across all its chunks.
+    return [this, &sink, buf = std::vector<int64_t>(static_cast<size_t>(buf_len))](
+               Rng& chunk_rng, int64_t, int64_t len) mutable {
+      DrawManyInto(buf.data(), len, chunk_rng);
+      sink.Consume(buf.data(), len);
+    };
+  });
+}
+
+AliasSampler::AliasSampler(const Distribution& dist, AliasKernel kernel)
+    : n_(dist.n()), bucketed_(dist.is_bucketed()), kernel_(kernel) {
+  std::vector<double> prob;
+  std::vector<int64_t> alias;
   if (!bucketed_) {
     const size_t n = static_cast<size_t>(n_);
     // Column heights scaled so the average is 1. Kept in long double: the
     // mass shuffled out of large columns must not drift, or near-boundary
-    // columns would mis-split by more than an ulp.
+    // columns would mis-split by more than an ulp. p(i) is read exactly
+    // once per element (it is a virtual-free but branchy accessor, and the
+    // historical loop paid it three times).
     std::vector<long double> scaled(n);
     size_t heaviest = 0;
+    double heaviest_p = -1.0;
     for (size_t i = 0; i < n; ++i) {
-      scaled[i] = static_cast<long double>(dist.p(static_cast<int64_t>(i))) *
-                  static_cast<long double>(n_);
-      if (dist.p(static_cast<int64_t>(i)) > dist.p(static_cast<int64_t>(heaviest))) {
+      const double pi = dist.p(static_cast<int64_t>(i));
+      scaled[i] = static_cast<long double>(pi) * static_cast<long double>(n_);
+      if (pi > heaviest_p) {
+        heaviest_p = pi;
         heaviest = i;
       }
     }
-    BuildVose(std::move(scaled), heaviest, prob_, alias_);
+    BuildVose(std::move(scaled), heaviest, prob, alias);
+    dense_cols_.resize(n);
+    for (size_t i = 0; i < n; ++i) dense_cols_[i] = {prob[i], alias[i]};
     return;
   }
 
@@ -138,16 +196,15 @@ AliasSampler::AliasSampler(const Distribution& dist)
   const std::vector<int64_t>& hi = dist.bucket_right_ends();
   const std::vector<double>& density = dist.bucket_densities();
   const size_t k = hi.size();
-  col_lo_.resize(k);
-  col_len_.resize(k);
+  std::vector<int64_t> col_lo(k), col_len(k);
   std::vector<long double> scaled(k);
   size_t heaviest = 0;
   long double heaviest_mass = -1.0L;
   int64_t lo = 0;
   for (size_t j = 0; j < k; ++j) {
     const int64_t len = hi[j] - lo + 1;
-    col_lo_[j] = lo;
-    col_len_[j] = len;
+    col_lo[j] = lo;
+    col_len[j] = len;
     const long double mass =
         static_cast<long double>(density[j]) * static_cast<long double>(len);
     scaled[j] = mass * static_cast<long double>(k);
@@ -157,16 +214,111 @@ AliasSampler::AliasSampler(const Distribution& dist)
     }
     lo = hi[j] + 1;
   }
-  BuildVose(std::move(scaled), heaviest, prob_, alias_);
+  BuildVose(std::move(scaled), heaviest, prob, alias);
+  // Fuse each column with its alias target's run: the draw loop then needs
+  // exactly one table entry per draw, never a second dependent lookup.
+  bucket_cols_.resize(k);
+  for (size_t j = 0; j < k; ++j) {
+    const size_t a = static_cast<size_t>(alias[j]);
+    bucket_cols_[j] = {prob[j], col_lo[j], col_len[j], col_lo[a], col_len[a]};
+  }
 }
 
-int64_t AliasSampler::Draw(Rng& rng) const { return DrawImpl(rng); }
+void AliasSampler::ReplayDenseInto(int64_t* out, int64_t m, Rng& rng) const {
+  const DenseCol* const cols = dense_cols_.data();
+  const uint64_t ncols = static_cast<uint64_t>(dense_cols_.size());
+  for (int64_t i = 0; i < m; ++i) {
+    const auto c = static_cast<size_t>(rng.UniformInt(ncols));
+    const double u = rng.NextDouble();
+    const DenseCol& col = cols[c];
+    out[i] = u < col.prob ? static_cast<int64_t>(c) : col.alias;
+  }
+}
 
-std::vector<int64_t> AliasSampler::DrawMany(int64_t m, Rng& rng) const {
+void AliasSampler::ReplayBucketInto(int64_t* out, int64_t m, Rng& rng) const {
+  const BucketCol* const cols = bucket_cols_.data();
+  const uint64_t ncols = static_cast<uint64_t>(bucket_cols_.size());
+  for (int64_t i = 0; i < m; ++i) {
+    const auto c = static_cast<size_t>(rng.UniformInt(ncols));
+    const double u = rng.NextDouble();
+    const BucketCol& col = cols[c];
+    const bool self = u < col.prob;
+    const int64_t run_lo = self ? col.lo_self : col.lo_alias;
+    const int64_t run_len = self ? col.len_self : col.len_alias;
+    // Single-element runs skip the offset draw; multi-element runs spend
+    // one extra UniformInt to place the sample. (The branch is required for
+    // byte-compatibility with the historical stream, not a perf choice.)
+    out[i] = run_len == 1
+                 ? run_lo
+                 : run_lo + static_cast<int64_t>(
+                                rng.UniformInt(static_cast<uint64_t>(run_len)));
+  }
+}
+
+void AliasSampler::PackedDenseInto(int64_t* out, int64_t m, Rng& rng) const {
+  const DenseCol* const cols = dense_cols_.data();
+  const uint64_t ncols = static_cast<uint64_t>(dense_cols_.size());
+  // One u64 per draw: the top of the 128-bit product picks the column, the
+  // low half is (conditionally) uniform inside it and becomes the accept
+  // variate. Branchless; unrolled 4-wide so the four independent table
+  // loads overlap the serial rng chain.
+  const auto pick = [cols, ncols](uint64_t x) {
+    const __uint128_t mm = static_cast<__uint128_t>(x) * ncols;
+    const auto c = static_cast<size_t>(mm >> 64);
+    const double u01 =
+        static_cast<double>(static_cast<uint64_t>(mm) >> 11) * 0x1.0p-53;
+    const DenseCol& col = cols[c];
+    return u01 < col.prob ? static_cast<int64_t>(c) : col.alias;
+  };
+  int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const uint64_t x0 = rng.NextU64();
+    const uint64_t x1 = rng.NextU64();
+    const uint64_t x2 = rng.NextU64();
+    const uint64_t x3 = rng.NextU64();
+    out[i] = pick(x0);
+    out[i + 1] = pick(x1);
+    out[i + 2] = pick(x2);
+    out[i + 3] = pick(x3);
+  }
+  for (; i < m; ++i) out[i] = pick(rng.NextU64());
+}
+
+void AliasSampler::PackedBucketInto(int64_t* out, int64_t m, Rng& rng) const {
+  const BucketCol* const cols = bucket_cols_.data();
+  const uint64_t ncols = static_cast<uint64_t>(bucket_cols_.size());
+  // Exactly two u64 per draw (the offset draw is unconditional — a
+  // multiply-shift over len 1 is just 0), so the loop is fully branchless.
+  for (int64_t i = 0; i < m; ++i) {
+    const uint64_t x = rng.NextU64();
+    const __uint128_t mm = static_cast<__uint128_t>(x) * ncols;
+    const auto c = static_cast<size_t>(mm >> 64);
+    const double u01 =
+        static_cast<double>(static_cast<uint64_t>(mm) >> 11) * 0x1.0p-53;
+    const BucketCol& col = cols[c];
+    const bool self = u01 < col.prob;
+    const int64_t run_lo = self ? col.lo_self : col.lo_alias;
+    const int64_t run_len = self ? col.len_self : col.len_alias;
+    const uint64_t y = rng.NextU64();
+    const auto off = static_cast<int64_t>(
+        (static_cast<__uint128_t>(y) * static_cast<uint64_t>(run_len)) >> 64);
+    out[i] = run_lo + off;
+  }
+}
+
+int64_t AliasSampler::Draw(Rng& rng) const {
+  int64_t v;
+  DrawManyInto(&v, 1, rng);
+  return v;
+}
+
+void AliasSampler::DrawManyInto(int64_t* out, int64_t m, Rng& rng) const {
   HISTK_CHECK(m >= 0);
-  std::vector<int64_t> draws(static_cast<size_t>(m));
-  for (auto& d : draws) d = DrawImpl(rng);
-  return draws;
+  if (kernel_ == AliasKernel::kPacked) {
+    bucketed_ ? PackedBucketInto(out, m, rng) : PackedDenseInto(out, m, rng);
+  } else {
+    bucketed_ ? ReplayBucketInto(out, m, rng) : ReplayDenseInto(out, m, rng);
+  }
 }
 
 CdfSampler::CdfSampler(const Distribution& dist)
@@ -231,11 +383,9 @@ int64_t CdfSampler::DrawImpl(Rng& rng) const {
 
 int64_t CdfSampler::Draw(Rng& rng) const { return DrawImpl(rng); }
 
-std::vector<int64_t> CdfSampler::DrawMany(int64_t m, Rng& rng) const {
+void CdfSampler::DrawManyInto(int64_t* out, int64_t m, Rng& rng) const {
   HISTK_CHECK(m >= 0);
-  std::vector<int64_t> draws(static_cast<size_t>(m));
-  for (auto& d : draws) d = DrawImpl(rng);
-  return draws;
+  for (int64_t i = 0; i < m; ++i) out[i] = DrawImpl(rng);
 }
 
 }  // namespace histk

@@ -1,25 +1,46 @@
 // Sample oracles: the access model of the paper.
 //
 // Every algorithm in histk sees the unknown distribution only through a
-// Sampler — the abstract i.i.d. sample oracle. Three draw paths exist:
-// single Draw(rng), the batched DrawMany(m, rng) hot path (benches draw
-// 10^5–10^7 samples per run; implementations keep the batch loop free of
-// virtual dispatch), and the sharded DrawManySharded(m, rng, threads) path
-// that splits a batch into fixed-size chunks on deterministically derived
-// Rng streams and fans the chunks out over worker threads. Samplers are
-// immutable after construction and hold no rng state, so one sampler can
-// serve many threads as long as each thread draws from its own Rng (fork
-// streams with Rng::Fork()).
+// Sampler — the abstract i.i.d. sample oracle. Four draw paths exist:
+//
+//   * Draw(rng)                    — one sample.
+//   * DrawMany(m, rng)             — m samples as a vector; a thin wrapper
+//                                    over DrawManyInto.
+//   * DrawManyInto(out, m, rng)    — the batched kernel every other path
+//                                    bottoms out in: one virtual dispatch
+//                                    per batch, then a dispatch-free inner
+//                                    loop writing into caller-owned memory.
+//   * DrawCounts(m, rng, sink)     — the fused draw→count path: draws are
+//                                    produced in kShardChunk-sized chunks
+//                                    (cache-resident) and handed to a
+//                                    CountSink instead of being materialized
+//                                    as one m-element vector. At m = 10^8
+//                                    this skips gigabytes of memory traffic.
+//
+// DrawManySharded / DrawCountsSharded split a batch into fixed-size chunks
+// on deterministically derived Rng streams and fan the chunks out over
+// worker threads; their results depend only on (sampler, m, rng state),
+// never on the thread count.
+//
+// Determinism invariant (relied on by the engine parity suites): for a given
+// sampler every sequential path — Draw loops, DrawMany, DrawManyInto,
+// DrawCounts — consumes the rng identically, so seeded runs replay
+// regardless of which path a caller uses; the sharded paths consume exactly
+// one NextU64 and replay at any worker count. AliasSampler's default kernel
+// is additionally byte-identical to the historical (PR 2/3) per-draw
+// sequence; the reordered fast kernel is opt-in (AliasKernel::kPacked).
+//
+// Samplers are immutable after construction and hold no rng state, so one
+// sampler can serve many threads as long as each thread draws from its own
+// Rng (fork streams with Rng::Fork()).
 //
 // Implementations:
-//   * AliasSampler  — Walker/Vose alias method. For a dense Distribution
-//                     the table has one column per element (O(n) build,
-//                     O(1)/draw, byte-identical to the historical sampler).
-//                     For a bucket-backed Distribution the table has one
-//                     column per *bucket* (O(k) build); a draw picks a
-//                     bucket via the alias table and then a uniform offset
-//                     inside it — O(1)/draw independent of n, so domains of
-//                     2^30+ sample at dense speeds.
+//   * AliasSampler  — Walker/Vose alias method over a cache-line-friendly
+//                     fused column table. Dense Distribution: one column per
+//                     element (O(n) build, O(1)/draw). Bucket-backed: one
+//                     column per *bucket* (O(k) build) carrying both its own
+//                     and its alias target's run, so a draw touches exactly
+//                     one table entry — O(1)/draw independent of n.
 //   * CdfSampler    — binary search over the cdf, per element (dense,
 //                     O(log n)/draw) or per bucket (bucket-backed,
 //                     O(log k)/draw + O(1) within-bucket inversion); the
@@ -37,6 +58,22 @@
 
 namespace histk {
 
+/// Destination of the fused draw→count path. DrawCounts feeds it draws in
+/// chunks (each at most Sampler::kShardChunk long, values in [0, n)).
+/// Chunks may arrive in any order, and DrawCountsSharded calls Consume
+/// concurrently from worker threads — implementations must synchronize and
+/// must be order-insensitive (counting is commutative, so any accumulator of
+/// per-value occurrence counts qualifies). sample/counter.h provides the
+/// standard SampleSet-building implementation.
+class CountSink {
+ public:
+  virtual ~CountSink() = default;
+
+  /// Accumulates `len` draws. The buffer is owned by the caller and invalid
+  /// after return.
+  virtual void Consume(const int64_t* draws, int64_t len) = 0;
+};
+
 /// Abstract i.i.d. sample oracle for a distribution on [0, n).
 class Sampler {
  public:
@@ -48,11 +85,15 @@ class Sampler {
   /// One draw.
   virtual int64_t Draw(Rng& rng) const = 0;
 
-  /// `m` draws. The default loops Draw; implementations override with a
-  /// dispatch-free batch loop. Every implementation consumes the rng
-  /// identically in both paths, so seeded runs replay regardless of which
-  /// path a caller uses.
-  virtual std::vector<int64_t> DrawMany(int64_t m, Rng& rng) const;
+  /// The batched kernel: writes `m` draws to `out` (caller-allocated, at
+  /// least m elements). The default loops Draw; implementations override
+  /// with a dispatch-free batch loop consuming the rng identically, so
+  /// seeded runs replay regardless of which path a caller uses. Decorators
+  /// (engine/budget.h) override to meter the batch.
+  virtual void DrawManyInto(int64_t* out, int64_t m, Rng& rng) const;
+
+  /// `m` draws as a vector: allocates and delegates to DrawManyInto.
+  std::vector<int64_t> DrawMany(int64_t m, Rng& rng) const;
 
   /// `m` draws, sharded: the batch is split into kShardChunk-sized chunks,
   /// chunk c drawn from its own Rng stream derived deterministically from
@@ -67,8 +108,41 @@ class Sampler {
   virtual std::vector<int64_t> DrawManySharded(int64_t m, Rng& rng,
                                                int num_threads = 0) const;
 
-  /// Draws per derived stream in DrawManySharded.
+  /// Fused draw→count: feeds `m` draws to `sink` in kShardChunk-sized
+  /// chunks from one reused buffer, never materializing the batch. Consumes
+  /// the rng identically to DrawMany(m), so the two paths are
+  /// interchangeable under a fixed seed. Virtual only so decorators can
+  /// meter the batch whole (all-or-nothing); the draw kernel itself is
+  /// always DrawManyInto.
+  virtual void DrawCounts(int64_t m, Rng& rng, CountSink& sink) const;
+
+  /// Sharded fused draw→count: the chunk/stream structure of
+  /// DrawManySharded (same derived Rng streams, one NextU64 consumed, same
+  /// multiset of draws at any worker count) with each chunk handed to
+  /// `sink` from its worker instead of written to a shared vector. Sink
+  /// calls may be concurrent and arrive in any chunk order.
+  virtual void DrawCountsSharded(int64_t m, Rng& rng, CountSink& sink,
+                                 int num_threads = 0) const;
+
+  /// Draws per derived stream in the sharded paths.
   static constexpr int64_t kShardChunk = int64_t{1} << 16;
+};
+
+/// Inner-loop strategy of AliasSampler.
+enum class AliasKernel {
+  /// Default: per-draw rng consumption byte-identical to the historical
+  /// sampler (UniformInt(columns), NextDouble, and — bucket mode, length
+  /// > 1 only — UniformInt(len)). Every seeded experiment replays.
+  kReplay,
+  /// Opt-in fast path with a REORDERED rng stream: one NextU64 per draw
+  /// (dense) or exactly two (bucket mode, even for singleton runs), with
+  /// column and offset picked by 128-bit multiply-shift instead of
+  /// rejection. Fully branchless. Still deterministic per seed and
+  /// thread-count invariant, but NOT byte-compatible with kReplay streams.
+  /// The multiply-shift pick carries a relative bias below columns/2^64
+  /// (< 2^-40 for any realistic table) — far under sampling noise, but not
+  /// the exactly-unbiased Lemire pick, which is why this is opt-in.
+  kPacked,
 };
 
 /// Walker/Vose alias method: O(columns) preprocessing, O(1) amortized per
@@ -77,35 +151,44 @@ class Sampler {
 /// are never returned (not even with fp-residue probability).
 class AliasSampler : public Sampler {
  public:
-  explicit AliasSampler(const Distribution& dist);
+  explicit AliasSampler(const Distribution& dist,
+                        AliasKernel kernel = AliasKernel::kReplay);
 
   int64_t n() const override { return n_; }
+  AliasKernel kernel() const { return kernel_; }
   int64_t Draw(Rng& rng) const override;
-  std::vector<int64_t> DrawMany(int64_t m, Rng& rng) const override;
+  void DrawManyInto(int64_t* out, int64_t m, Rng& rng) const override;
 
  private:
-  int64_t DrawImpl(Rng& rng) const {
-    const auto c =
-        static_cast<size_t>(rng.UniformInt(static_cast<uint64_t>(prob_.size())));
-    const size_t col =
-        rng.NextDouble() < prob_[c] ? c : static_cast<size_t>(alias_[c]);
-    if (!bucketed_) return static_cast<int64_t>(col);
-    const int64_t len = col_len_[col];
-    // Single-element buckets skip the offset draw; multi-element buckets
-    // spend one extra UniformInt to place the sample inside the run.
-    return len == 1
-               ? col_lo_[col]
-               : col_lo_[col] +
-                     static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(len)));
-  }
+  /// Dense column: acceptance threshold and reject target, interleaved so a
+  /// draw touches one 16-byte entry (the historical layout touched two
+  /// arrays a cache line apart).
+  struct DenseCol {
+    double prob;    // acceptance threshold; strict <, so prob 0 never accepts
+    int64_t alias;  // element drawn on reject
+  };
+
+  /// Bucket column: the acceptance threshold plus BOTH candidate runs (own
+  /// and alias target), so a draw resolves lo/len with one table load and a
+  /// branchless select instead of a second dependent lookup.
+  struct BucketCol {
+    double prob;
+    int64_t lo_self;
+    int64_t len_self;
+    int64_t lo_alias;
+    int64_t len_alias;
+  };
+
+  void ReplayDenseInto(int64_t* out, int64_t m, Rng& rng) const;
+  void ReplayBucketInto(int64_t* out, int64_t m, Rng& rng) const;
+  void PackedDenseInto(int64_t* out, int64_t m, Rng& rng) const;
+  void PackedBucketInto(int64_t* out, int64_t m, Rng& rng) const;
 
   int64_t n_ = 0;
   bool bucketed_ = false;
-  std::vector<double> prob_;     // acceptance threshold per column; strict <
-                                 // comparison, so prob 0 never accepts
-  std::vector<int64_t> alias_;   // column drawn on reject
-  std::vector<int64_t> col_lo_;  // bucket mode: first element per column
-  std::vector<int64_t> col_len_;  // bucket mode: elements per column
+  AliasKernel kernel_ = AliasKernel::kReplay;
+  std::vector<DenseCol> dense_cols_;
+  std::vector<BucketCol> bucket_cols_;
 };
 
 /// Inverse-cdf sampling by binary search: O(columns) preprocessing,
@@ -117,7 +200,7 @@ class CdfSampler : public Sampler {
 
   int64_t n() const override { return n_; }
   int64_t Draw(Rng& rng) const override;
-  std::vector<int64_t> DrawMany(int64_t m, Rng& rng) const override;
+  void DrawManyInto(int64_t* out, int64_t m, Rng& rng) const override;
 
  private:
   int64_t DrawImpl(Rng& rng) const;

@@ -41,9 +41,11 @@ int64_t BudgetedSampler::Draw(Rng& rng) const {
   return inner_.Draw(rng);
 }
 
-std::vector<int64_t> BudgetedSampler::DrawMany(int64_t m, Rng& rng) const {
+void BudgetedSampler::DrawManyInto(int64_t* out, int64_t m, Rng& rng) const {
+  // Every batched entry point (DrawMany included — the base class routes it
+  // here) admits the batch whole before the first sample exists.
   Charge(m);
-  return inner_.DrawMany(m, rng);
+  inner_.DrawManyInto(out, m, rng);
 }
 
 std::vector<int64_t> BudgetedSampler::DrawManySharded(int64_t m, Rng& rng,
@@ -52,6 +54,19 @@ std::vector<int64_t> BudgetedSampler::DrawManySharded(int64_t m, Rng& rng,
   // thread-invariant fan-out: the exception can never cross a worker.
   Charge(m);
   return inner_.DrawManySharded(m, rng, num_threads);
+}
+
+void BudgetedSampler::DrawCounts(int64_t m, Rng& rng, CountSink& sink) const {
+  // All-or-nothing: the base implementation would charge chunk by chunk and
+  // could reject mid-batch with part of the draws already consumed.
+  Charge(m);
+  inner_.DrawCounts(m, rng, sink);
+}
+
+void BudgetedSampler::DrawCountsSharded(int64_t m, Rng& rng, CountSink& sink,
+                                        int num_threads) const {
+  Charge(m);
+  inner_.DrawCountsSharded(m, rng, sink, num_threads);
 }
 
 }  // namespace histk

@@ -5,8 +5,9 @@
 // oracle access a first-class, auditable resource. BudgetedSampler wraps
 // any Sampler and
 //
-//   * meters every draw (single, batched, sharded), attributed to the
-//     phase the engine is currently in ("learn-main", "test-draw", ...),
+//   * meters every draw (single, batched, sharded, and the fused
+//     draw→count paths), attributed to the phase the engine is currently
+//     in ("learn-main", "test-draw", ...),
 //   * enforces a hard cap: a draw request that would exceed the budget is
 //     rejected whole by throwing BudgetExhaustedError BEFORE any sample is
 //     drawn, so samples_drawn() never exceeds the budget.
@@ -76,9 +77,12 @@ class BudgetedSampler : public Sampler {
 
   int64_t n() const override { return inner_.n(); }
   int64_t Draw(Rng& rng) const override;
-  std::vector<int64_t> DrawMany(int64_t m, Rng& rng) const override;
+  void DrawManyInto(int64_t* out, int64_t m, Rng& rng) const override;
   std::vector<int64_t> DrawManySharded(int64_t m, Rng& rng,
                                        int num_threads = 0) const override;
+  void DrawCounts(int64_t m, Rng& rng, CountSink& sink) const override;
+  void DrawCountsSharded(int64_t m, Rng& rng, CountSink& sink,
+                         int num_threads = 0) const override;
 
   /// Starts attributing subsequent draws to `name`. Phases are recorded in
   /// call order; a phase with zero draws is kept (it documents that the

@@ -21,23 +21,20 @@ namespace histk {
 
 namespace {
 
-/// One sample set under the session's draw policy: the sequential DrawMany
-/// path (threads = 0, byte-identical to the legacy free functions) or the
-/// sharded path (threads >= 1, byte-identical at any worker count).
+/// One sample set under the session's draw policy: the sequential path
+/// (threads = 0, rng-identical to the legacy free functions) or the sharded
+/// path (threads >= 1, identical at any worker count). Both ride the fused
+/// draw→count pipeline — no session ever materializes a draw vector — and
+/// BudgetedSampler meters the batch whole before the first sample exists.
 SampleSet DrawSessionSet(const BudgetedSampler& bs, int64_t m, Rng& rng, int threads) {
   if (threads <= 0) return SampleSet::Draw(bs, m, rng);
-  return SampleSet::FromDraws(bs.n(), bs.DrawManySharded(m, rng, threads));
+  return SampleSet::DrawSharded(bs, m, rng, threads);
 }
 
 SampleSetGroup DrawSessionGroup(const BudgetedSampler& bs, int64_t r, int64_t m,
                                 Rng& rng, int threads) {
   if (threads <= 0) return SampleSetGroup::Draw(bs, r, m, rng);
-  std::vector<SampleSet> sets;
-  sets.reserve(static_cast<size_t>(r));
-  for (int64_t i = 0; i < r; ++i) {
-    sets.push_back(SampleSet::FromDraws(bs.n(), bs.DrawManySharded(m, rng, threads)));
-  }
-  return SampleSetGroup(std::move(sets));
+  return SampleSetGroup::DrawSharded(bs, r, m, rng, threads);
 }
 
 /// Algorithm 1 under the session: identical draw order to LearnHistogram

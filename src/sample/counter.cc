@@ -1,0 +1,153 @@
+#include "sample/counter.h"
+
+#include <algorithm>
+
+#include "sample/sample_set.h"
+#include "util/common.h"
+
+namespace histk {
+
+namespace {
+
+/// Partition count for the sparse backend. The scatter pass keeps one
+/// active write stream per partition, so the count is capped at 2^8 — past
+/// that, the streams outgrow the TLB and the scatter dominates (measured:
+/// 8192 partitions at m = 10^7 cost more than they saved in sort time).
+/// Within a partition, RadixSortLowBits is cache- and skew-immune anyway,
+/// so partitions do not need to be L1-sized. Power of two, so the partition
+/// of a value is one shift.
+int64_t PickPartitions(int64_t expected) {
+  int64_t target = expected / 4096;
+  target = std::max<int64_t>(target, int64_t{1} << 6);
+  target = std::min<int64_t>(target, int64_t{1} << 8);
+  int64_t pow2 = 1;
+  while (pow2 < target) pow2 <<= 1;
+  return pow2;
+}
+
+int BitWidth(int64_t v) {
+  int bits = 0;
+  while (v > 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+/// LSD radix sort of `v` over its low `low_bits` bits only (all values in a
+/// partition share the high bits). Skew-immune: a pmf that funnels most
+/// draws into one partition costs the same O(passes * n) as a balanced one,
+/// where comparison sorting would fall out of cache and pay O(n log n) cold
+/// comparisons — that skew is exactly what a k-histogram pmf produces.
+void RadixSortLowBits(std::vector<int64_t>& v, int low_bits,
+                      std::vector<int64_t>& scratch) {
+  const size_t n = v.size();
+  scratch.resize(n);
+  int64_t* src = v.data();
+  int64_t* dst = scratch.data();
+  for (int shift = 0; shift < low_bits; shift += 8) {
+    size_t count[256] = {};
+    for (size_t i = 0; i < n; ++i) {
+      ++count[(static_cast<uint64_t>(src[i]) >> shift) & 0xFF];
+    }
+    size_t pos[256];
+    size_t acc = 0;
+    for (int b = 0; b < 256; ++b) {
+      pos[b] = acc;
+      acc += count[b];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      dst[pos[(static_cast<uint64_t>(src[i]) >> shift) & 0xFF]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != v.data()) std::copy(src, src + n, v.data());
+}
+
+/// Below this size the fixed per-pass work of radix sorting outweighs a
+/// cache-resident std::sort.
+constexpr size_t kRadixMinPartition = 2048;
+
+}  // namespace
+
+SampleCounter::SampleCounter(int64_t n, int64_t expected_draws) : n_(n) {
+  HISTK_CHECK(n >= 1 && expected_draws >= 0);
+  dense_ = n <= SampleSet::kDenseDomainLimit;
+  if (dense_) {
+    counts_.assign(static_cast<size_t>(n), 0);
+    return;
+  }
+  const int64_t parts = PickPartitions(expected_draws);
+  const int value_bits = BitWidth(n - 1);
+  int part_bits = BitWidth(parts - 1);
+  shift_ = value_bits > part_bits ? value_bits - part_bits : 0;
+  parts_.resize(static_cast<size_t>(((n - 1) >> shift_) + 1));
+  if (expected_draws > 0) {
+    // Pre-size for a uniform spread plus slack: the scatter loop then almost
+    // never reallocates (skewed pmfs overflow a few partitions, which just
+    // grow geometrically like any vector).
+    const size_t per_part = static_cast<size_t>(
+        expected_draws / static_cast<int64_t>(parts_.size()));
+    for (auto& part : parts_) part.reserve(per_part + per_part / 4 + 16);
+  }
+}
+
+void SampleCounter::Consume(const int64_t* draws, int64_t len) {
+  HISTK_CHECK(len >= 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dense_) {
+    int64_t* const counts = counts_.data();
+    for (int64_t i = 0; i < len; ++i) {
+      const int64_t v = draws[i];
+      HISTK_CHECK_MSG(v >= 0 && v < n_, "draw out of domain");
+      ++counts[v];
+    }
+  } else {
+    for (int64_t i = 0; i < len; ++i) {
+      const int64_t v = draws[i];
+      HISTK_CHECK_MSG(v >= 0 && v < n_, "draw out of domain");
+      parts_[static_cast<size_t>(v >> shift_)].push_back(v);
+    }
+  }
+  total_ += len;
+}
+
+SampleSet SampleCounter::Build() {
+  if (dense_) {
+    SampleSet s = SampleSet::FromCounts(n_, counts_);
+    counts_ = {};
+    return s;
+  }
+  // Sort each partition independently (cache-resident), then run-length
+  // encode in ascending partition order — the concatenation is globally
+  // sorted, so the runs arrive exactly as FromDraws would emit them.
+  std::vector<int64_t> values;
+  std::vector<int64_t> counts;
+  // Worst case every draw is distinct; reserving that keeps the encode loop
+  // allocation-free at the cost of one transient m-element pair of arrays
+  // (still far under the two m-element vectors the materialized path held).
+  values.reserve(static_cast<size_t>(total_));
+  counts.reserve(static_cast<size_t>(total_));
+  std::vector<int64_t> scratch;
+  for (auto& part : parts_) {
+    if (shift_ > 0 && part.size() >= kRadixMinPartition) {
+      RadixSortLowBits(part, shift_, scratch);
+    } else if (shift_ > 0) {
+      std::sort(part.begin(), part.end());
+    }
+    // shift_ == 0: every value in the partition is identical already.
+    for (size_t i = 0; i < part.size();) {
+      const int64_t v = part[i];
+      size_t j = i;
+      while (j < part.size() && part[j] == v) ++j;
+      values.push_back(v);
+      counts.push_back(static_cast<int64_t>(j - i));
+      i = j;
+    }
+    part = {};  // release as we go: peak memory stays ~one batch
+  }
+  parts_ = {};
+  return SampleSet::FromRuns(n_, std::move(values), counts);
+}
+
+}  // namespace histk

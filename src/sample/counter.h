@@ -1,0 +1,75 @@
+// SampleCounter: the standard CountSink of the fused draw→SampleSet path.
+//
+// The historical pipeline materialized every batch twice: DrawMany built an
+// m-element vector, and SampleSet::FromDraws re-scanned it (and, for sparse
+// domains, copied AND globally sorted it). SampleCounter instead accumulates
+// the chunks Sampler::DrawCounts / DrawCountsSharded hands it:
+//
+//   * dense domains (n <= SampleSet::kDenseDomainLimit): straight into a
+//     per-element count array — no draw vector exists at any point, and the
+//     working set per chunk is one cache-resident buffer.
+//   * sparse domains: draws are scattered into value-range partitions sized
+//     to stay cache-resident, and Build() sorts each partition independently
+//     and run-length encodes them in ascending order. That replaces one cold
+//     O(m log m) sort over gigabytes with many small sorts over L1/L2-sized
+//     slices (plus it never copies the batch), which is where the fused
+//     pipeline's ≥2x over materialize-then-count comes from.
+//
+// Consume is thread-safe (the sharded path calls it concurrently); chunks
+// may arrive in any order because counting is commutative. Build() is a
+// one-shot terminal operation.
+//
+// Known scaling limit: Consume serializes the counting half of the pipeline
+// under one mutex, so DrawCountsSharded currently parallelizes only draw
+// generation. Exact results are unaffected. The fix — per-worker counters
+// merged once in Build() — is queued behind access to a multi-core host
+// where the speedup curve can actually be measured (see ROADMAP).
+#ifndef HISTK_SAMPLE_COUNTER_H_
+#define HISTK_SAMPLE_COUNTER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "dist/sampler.h"
+
+namespace histk {
+
+class SampleSet;
+
+/// Accumulates draws into per-element occurrence counts and finalizes them
+/// as a SampleSet identical to the one FromDraws would have built from the
+/// same multiset.
+class SampleCounter : public CountSink {
+ public:
+  /// `expected_draws` is a sizing hint (the engine always knows m); 0 is
+  /// valid and merely costs regrowth.
+  explicit SampleCounter(int64_t n, int64_t expected_draws = 0);
+
+  /// Thread-safe; draws must lie in [0, n).
+  void Consume(const int64_t* draws, int64_t len) override;
+
+  /// Draws accumulated so far.
+  int64_t total() const { return total_; }
+
+  /// Finalizes into a SampleSet. One-shot: the counter's storage is moved
+  /// out, and further Consume/Build calls on this instance are invalid.
+  SampleSet Build();
+
+ private:
+  int64_t n_ = 0;
+  int64_t total_ = 0;
+  std::mutex mu_;
+
+  // Dense backend.
+  bool dense_ = false;
+  std::vector<int64_t> counts_;
+
+  // Sparse backend: value-range partitions (partition of v = v >> shift_).
+  int shift_ = 0;
+  std::vector<std::vector<int64_t>> parts_;
+};
+
+}  // namespace histk
+
+#endif  // HISTK_SAMPLE_COUNTER_H_

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <utility>
 
+#include "sample/counter.h"
 #include "util/common.h"
 #include "util/math_util.h"
 
@@ -21,10 +23,18 @@ SampleSet SampleSet::FromDraws(int64_t n, const std::vector<int64_t>& draws) {
     }
     return FromCounts(n, counts);
   }
-  // Sparse: sort a copy, then run-length encode.
-  SampleSet s(n, static_cast<int64_t>(draws.size()));
+  // Sparse: the sort must not mutate the caller's vector, so copy first
+  // (callers that can part with the batch use the move-in overload).
   std::vector<int64_t> sorted = draws;
+  return FromDraws(n, std::move(sorted));
+}
+
+SampleSet SampleSet::FromDraws(int64_t n, std::vector<int64_t>&& draws) {
+  if (n <= kDenseDomainLimit) return FromDraws(n, draws);
+  // Sparse: sort in place, then run-length encode.
+  std::vector<int64_t> sorted = std::move(draws);
   std::sort(sorted.begin(), sorted.end());
+  SampleSet s(n, static_cast<int64_t>(sorted.size()));
   s.sparse_prefix_count_.push_back(0);
   s.sparse_prefix_coll_.push_back(0);
   for (size_t i = 0; i < sorted.size();) {
@@ -39,6 +49,44 @@ SampleSet SampleSet::FromDraws(int64_t n, const std::vector<int64_t>& draws) {
     s.sparse_prefix_coll_.push_back(s.sparse_prefix_coll_.back() + PairCount(occ));
     i = j;
   }
+  return s;
+}
+
+SampleSet SampleSet::FromRuns(int64_t n, std::vector<int64_t> values,
+                              const std::vector<int64_t>& counts) {
+  HISTK_CHECK(values.size() == counts.size());
+  if (n <= kDenseDomainLimit) {
+    // Dense domains keep the dense backend (same policy as FromDraws, so
+    // the two construction paths yield indistinguishable sets).
+    std::vector<int64_t> full(static_cast<size_t>(n), 0);
+    for (size_t i = 0; i < values.size(); ++i) {
+      const int64_t v = values[i];
+      HISTK_CHECK_MSG(v >= 0 && v < n, "run value out of domain");
+      HISTK_CHECK_MSG(counts[i] > 0, "run count must be positive");
+      HISTK_CHECK_MSG(i == 0 || values[i - 1] < v, "run values must be increasing");
+      full[static_cast<size_t>(v)] = counts[i];
+    }
+    return FromCounts(n, full);
+  }
+  int64_t m = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const int64_t v = values[i];
+    HISTK_CHECK_MSG(v >= 0 && v < n, "run value out of domain");
+    HISTK_CHECK_MSG(counts[i] > 0, "run count must be positive");
+    HISTK_CHECK_MSG(i == 0 || values[i - 1] < v, "run values must be increasing");
+    m += counts[i];
+  }
+  SampleSet s(n, m);
+  s.sparse_prefix_count_.reserve(values.size() + 1);
+  s.sparse_prefix_coll_.reserve(values.size() + 1);
+  s.sparse_prefix_count_.push_back(0);
+  s.sparse_prefix_coll_.push_back(0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    const uint64_t occ = static_cast<uint64_t>(counts[i]);
+    s.sparse_prefix_count_.push_back(s.sparse_prefix_count_.back() + counts[i]);
+    s.sparse_prefix_coll_.push_back(s.sparse_prefix_coll_.back() + PairCount(occ));
+  }
+  s.distinct_ = std::move(values);
   return s;
 }
 
@@ -65,7 +113,16 @@ SampleSet SampleSet::FromCounts(int64_t n, const std::vector<int64_t>& counts) {
 }
 
 SampleSet SampleSet::Draw(const Sampler& sampler, int64_t m, Rng& rng) {
-  return FromDraws(sampler.n(), sampler.DrawMany(m, rng));
+  SampleCounter counter(sampler.n(), m);
+  sampler.DrawCounts(m, rng, counter);
+  return counter.Build();
+}
+
+SampleSet SampleSet::DrawSharded(const Sampler& sampler, int64_t m, Rng& rng,
+                                 int num_threads) {
+  SampleCounter counter(sampler.n(), m);
+  sampler.DrawCountsSharded(m, rng, counter, num_threads);
+  return counter.Build();
 }
 
 int64_t SampleSet::Count(Interval I) const {
@@ -115,6 +172,17 @@ SampleSetGroup SampleSetGroup::Draw(const Sampler& sampler, int64_t r, int64_t m
   std::vector<SampleSet> sets;
   sets.reserve(static_cast<size_t>(r));
   for (int64_t i = 0; i < r; ++i) sets.push_back(SampleSet::Draw(sampler, m, rng));
+  return SampleSetGroup(std::move(sets));
+}
+
+SampleSetGroup SampleSetGroup::DrawSharded(const Sampler& sampler, int64_t r,
+                                           int64_t m, Rng& rng, int num_threads) {
+  HISTK_CHECK(r >= 1 && m >= 2);
+  std::vector<SampleSet> sets;
+  sets.reserve(static_cast<size_t>(r));
+  for (int64_t i = 0; i < r; ++i) {
+    sets.push_back(SampleSet::DrawSharded(sampler, m, rng, num_threads));
+  }
   return SampleSetGroup(std::move(sets));
 }
 

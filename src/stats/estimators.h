@@ -19,7 +19,9 @@ class GreedyEstimator {
  public:
   GreedyEstimator(SampleSet main, SampleSetGroup group);
 
-  /// Draws l main samples and r sets of m samples per `params`.
+  /// Draws l main samples and r sets of m samples per `params`, each set
+  /// through the fused draw→count pipeline (no draw vector is ever
+  /// materialized; see SampleSet::Draw).
   static GreedyEstimator Draw(const Sampler& sampler, const GreedyParams& params,
                               Rng& rng);
 

@@ -16,30 +16,63 @@ namespace histk {
 
 /// xoshiro256** generator. Not thread-safe; fork independent streams with
 /// Fork() for parallel or nested use.
+///
+/// The per-step methods (NextU64, NextDouble, UniformInt, UniformInRange,
+/// Bernoulli) are defined inline: the batched sampler kernels consume two to
+/// three of them per draw, and an out-of-line call per step would dominate
+/// the draw itself.
 class Rng {
  public:
   /// Seeds the 256-bit state from a 64-bit seed via splitmix64.
   explicit Rng(uint64_t seed);
 
   /// Uniform on [0, 2^64).
-  uint64_t NextU64();
+  uint64_t NextU64() {
+    const uint64_t result = Rotl_(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl_(s_[3], 45);
+    return result;
+  }
 
   /// Uniform on [0, 1) with 53 bits of precision.
-  double NextDouble();
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
 
   /// Uniform on {0, ..., bound-1}; bound must be positive. Unbiased
   /// (Lemire's nearly-divisionless rejection method).
-  uint64_t UniformInt(uint64_t bound);
+  uint64_t UniformInt(uint64_t bound) {
+    HISTK_CHECK(bound > 0);
+    // Lemire's method: multiply-shift with rejection of the biased low range.
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = -bound % bound;
+      while (l < t) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
 
   /// Uniform on {lo, ..., hi} inclusive.
-  int64_t UniformInRange(int64_t lo, int64_t hi);
+  int64_t UniformInRange(int64_t lo, int64_t hi) {
+    HISTK_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+  }
 
   /// Standard normal via Box–Muller (no cached spare: keeps state replayable
   /// regardless of call pattern).
   double Normal();
 
   /// Bernoulli(p).
-  bool Bernoulli(double p);
+  bool Bernoulli(double p) { return NextDouble() < p; }
 
   /// A new generator with state derived from (but independent of) this one.
   Rng Fork();
@@ -58,6 +91,8 @@ class Rng {
   std::vector<int64_t> SampleDistinct(int64_t n, int64_t count);
 
  private:
+  static uint64_t Rotl_(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
   uint64_t s_[4];
 };
 

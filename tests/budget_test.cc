@@ -116,6 +116,52 @@ TEST(BudgetedSamplerTest, ForwardsStreamsByteIdentically) {
             bs.DrawManySharded(5000, rng_budgeted, 2));
 }
 
+TEST(BudgetedSamplerTest, MetersFusedCountPaths) {
+  const Distribution d = TestDist();
+  const AliasSampler inner(d);
+  const BudgetedSampler bs(inner);
+
+  // A sink that records how many draws actually happened.
+  struct TallySink : CountSink {
+    int64_t seen = 0;
+    void Consume(const int64_t*, int64_t len) override { seen += len; }
+  };
+
+  Rng rng(1);
+  TallySink sink;
+  bs.DrawCounts(200, rng, sink);
+  EXPECT_EQ(bs.samples_drawn(), 200);
+  EXPECT_EQ(sink.seen, 200);
+  bs.DrawCountsSharded(300, rng, sink, 2);
+  EXPECT_EQ(bs.samples_drawn(), 500);
+  EXPECT_EQ(sink.seen, 500);
+  // DrawManyInto is itself a metered entry point.
+  std::vector<int64_t> buf(25);
+  bs.DrawManyInto(buf.data(), 25, rng);
+  EXPECT_EQ(bs.samples_drawn(), 525);
+}
+
+TEST(BudgetedSamplerTest, FusedRequestBeyondBudgetDrawsNothing) {
+  const Distribution d = TestDist();
+  const AliasSampler inner(d);
+  // Request spans several chunks: the base implementation would admit the
+  // first chunks before failing; the decorator must reject the batch whole
+  // before a single draw reaches the sink.
+  const BudgetedSampler bs(inner, /*budget=*/100000);
+  struct TallySink : CountSink {
+    int64_t seen = 0;
+    void Consume(const int64_t*, int64_t len) override { seen += len; }
+  };
+  Rng rng(1);
+  TallySink sink;
+  EXPECT_THROW(bs.DrawCounts(3 * Sampler::kShardChunk, rng, sink),
+               BudgetExhaustedError);
+  EXPECT_THROW(bs.DrawCountsSharded(3 * Sampler::kShardChunk, rng, sink, 4),
+               BudgetExhaustedError);
+  EXPECT_EQ(sink.seen, 0);
+  EXPECT_EQ(bs.samples_drawn(), 0);
+}
+
 TEST(BudgetedSamplerTest, ShardedIsThreadCountInvariant) {
   const Distribution d = TestDist();
   const AliasSampler inner(d);
