@@ -1,10 +1,14 @@
 #include "baseline/far_instances.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "baseline/l1_optimal.h"
 #include "baseline/voptimal_dp.h"
 #include "dist/generators.h"
 #include "util/common.h"
+#include "util/rng.h"
 
 namespace histk {
 
@@ -53,6 +57,95 @@ FarInstance MakeL1FarZigzag(int64_t n, int64_t k, double eps) {
   const double certified = static_cast<double>(n - k) / static_cast<double>(n) * a;
   HISTK_CHECK(certified >= eps);
   return FarInstance{std::move(dist), certified, Norm::kL1, "zigzag"};
+}
+
+std::optional<FarInstance> MakeL1FarWithinPieceZigzag(int64_t n, int64_t k, double eps,
+                                                      uint64_t seed) {
+  HISTK_CHECK(n >= 2 && k >= 1 && eps > 0.0);
+  Rng rng(seed);
+  const HistogramSpec spec = MakeRandomKHistogram(n, k, rng, 15.0);
+  // Larger amplitudes first: they are farther and certify more often. The
+  // L1-optimal DP gives the exact distance to the k-histogram class.
+  for (double delta : {1.0, 0.75, 0.5}) {
+    Distribution dist = MakeWithinPieceZigzag(spec, delta);
+    const double certified = L1OptimalError(dist, k);
+    if (certified >= eps * kMargin) {
+      return FarInstance{std::move(dist), certified, Norm::kL1,
+                         "within-zigzag(delta=" + std::to_string(delta) + ")"};
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Exact-distance certification for pairs: both pmfs are known, so the
+/// pair is admitted iff the computed L1 distance clears eps. Constructions
+/// target eps * kMargin so float slop in the exact distance cannot land
+/// under the bar.
+std::optional<FarPair> CertifyPair(Distribution p, Distribution q, double eps,
+                                   const std::string& family) {
+  const double distance = p.L1DistanceTo(q);
+  if (distance < eps) return std::nullopt;
+  return FarPair{std::move(p), std::move(q), distance, Norm::kL1, family};
+}
+
+}  // namespace
+
+std::optional<FarPair> MakeFarPairMassShift(int64_t n, int64_t k, double eps,
+                                            uint64_t seed) {
+  HISTK_CHECK(n >= 2 && k >= 1 && eps > 0.0);
+  if (k < 2) return std::nullopt;  // one piece has nowhere to shift mass
+  Rng rng(seed);
+  const HistogramSpec spec = MakeRandomKHistogram(n, k, rng, 15.0);
+  const std::vector<double> pmf = spec.dist.DensePmf();
+
+  // Donor set = even-indexed pieces (or odd, whichever holds more mass);
+  // moving a fraction f of the donor mass to the other side, spread
+  // proportionally, keeps q a k-histogram on the same pieces and gives
+  // L1(p, q) = 2 f M_donor exactly.
+  double even_mass = 0.0;
+  int64_t lo = 0;
+  for (int64_t j = 0; j < k; ++j) {
+    const int64_t hi = spec.right_ends[static_cast<size_t>(j)];
+    if (j % 2 == 0) {
+      for (int64_t i = lo; i <= hi; ++i) even_mass += pmf[static_cast<size_t>(i)];
+    }
+    lo = hi + 1;
+  }
+  const bool donor_even = even_mass >= 0.5;
+  const double donor_mass = donor_even ? even_mass : 1.0 - even_mass;
+  if (donor_mass <= 0.0 || donor_mass >= 1.0) return std::nullopt;
+  const double f = std::min(1.0, eps * kMargin / (2.0 * donor_mass));
+
+  std::vector<double> weights(pmf);
+  const double boost = f * donor_mass / (1.0 - donor_mass);
+  lo = 0;
+  for (int64_t j = 0; j < k; ++j) {
+    const int64_t hi = spec.right_ends[static_cast<size_t>(j)];
+    const bool is_donor = donor_even == (j % 2 == 0);
+    const double factor = is_donor ? 1.0 - f : 1.0 + boost;
+    for (int64_t i = lo; i <= hi; ++i) weights[static_cast<size_t>(i)] *= factor;
+    lo = hi + 1;
+  }
+  return CertifyPair(spec.dist, Distribution::FromWeights(std::move(weights)), eps,
+                     "mass-shift(f=" + std::to_string(f) + ")");
+}
+
+std::optional<FarPair> MakeFarPairIndependent(int64_t n, int64_t k, double eps,
+                                              uint64_t seed) {
+  HISTK_CHECK(n >= 2 && k >= 1 && eps > 0.0);
+  Rng rng(seed);
+  const HistogramSpec p = MakeRandomKHistogram(n, k, rng, 15.0);
+  // Two independent draws of the family are typically Omega(1) apart in L1;
+  // retry the second draw a few times for small-diameter corners.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const HistogramSpec q = MakeRandomKHistogram(n, k, rng, 15.0);
+    auto pair = CertifyPair(p.dist, q.dist, eps,
+                            "independent(attempt=" + std::to_string(attempt) + ")");
+    if (pair) return pair;
+  }
+  return std::nullopt;
 }
 
 }  // namespace histk

@@ -41,6 +41,40 @@ std::optional<FarInstance> MakeL2FarZipf(int64_t n, int64_t k, double eps);
 /// ZigzagAmplitude first).
 FarInstance MakeL1FarZigzag(int64_t n, int64_t k, double eps);
 
+/// Within-piece zigzag over a random k-histogram: identical piece masses to
+/// a true tiling k-histogram, but an alternating perturbation inside every
+/// piece — the adversarial NO instance for coarse-mass-only testers (it
+/// fools any decision that never looks below piece granularity). Certified
+/// exactly via the L1-optimal DP; empty if no tried amplitude is eps-far at
+/// this (n, k).
+std::optional<FarInstance> MakeL1FarWithinPieceZigzag(int64_t n, int64_t k, double eps,
+                                                      uint64_t seed);
+
+/// A pair of distributions, BOTH tiling k-histograms, with a certified
+/// lower bound on their mutual L1 distance — NO instances for the
+/// closeness tester. Certification is exact: both pmfs are known, so the
+/// distance is computed, not bounded.
+struct FarPair {
+  Distribution p;
+  Distribution q;
+  double certified_distance = 0.0;
+  Norm norm = Norm::kL1;
+  std::string family;
+};
+
+/// Far pair by mass shift: q moves mass between the pieces of a random
+/// k-histogram p (boundaries unchanged). Empty if eps is infeasible at
+/// this (n, k) — the shiftable mass bounds the reachable distance.
+std::optional<FarPair> MakeFarPairMassShift(int64_t n, int64_t k, double eps,
+                                            uint64_t seed);
+
+/// Far pair from two independent random k-histograms (different boundary
+/// structure AND different masses), retried over derived seeds until the
+/// exact distance clears eps. Empty if no retry is eps-far (only plausible
+/// for eps near the diameter).
+std::optional<FarPair> MakeFarPairIndependent(int64_t n, int64_t k, double eps,
+                                              uint64_t seed);
+
 }  // namespace histk
 
 #endif  // HISTK_BASELINE_FAR_INSTANCES_H_

@@ -33,6 +33,7 @@
 #include "core/flatness.h"
 #include "core/greedy.h"
 #include "core/lower_bound.h"
+#include "core/property_tester.h"
 #include "core/tester.h"
 #include "baseline/l1_optimal.h"
 #include "dist/dataset.h"

@@ -39,12 +39,16 @@ SampleSetGroup DrawSessionGroup(const BudgetedSampler& bs, int64_t r, int64_t m,
 
 /// Algorithm 1 under the session: identical draw order to LearnHistogram
 /// (main set of l, then r collision sets of m), with phase attribution.
+/// Property-test and closeness sessions reuse it under their own phase
+/// names.
 LearnResult LearnOnSession(const BudgetedSampler& bs, const LearnOptions& options,
-                           Rng& rng, int threads) {
+                           Rng& rng, int threads,
+                           const char* main_phase = "learn-main",
+                           const char* collisions_phase = "learn-collisions") {
   const GreedyParams params = ComputeLearnParams(bs.n(), options);
-  bs.BeginPhase("learn-main");
+  bs.BeginPhase(main_phase);
   SampleSet main = DrawSessionSet(bs, params.l, rng, threads);
-  bs.BeginPhase("learn-collisions");
+  bs.BeginPhase(collisions_phase);
   SampleSetGroup group = DrawSessionGroup(bs, params.r, params.m, rng, threads);
   const GreedyEstimator estimator(std::move(main), std::move(group));
   return LearnHistogramWithEstimator(estimator, options, params);
@@ -110,6 +114,8 @@ Result<Report> Engine::Run(const TaskSpec& spec) const {
         if constexpr (std::is_same_v<T, LearnSpec>) return RunLearn(task);
         else if constexpr (std::is_same_v<T, TestSpec>) return RunTest(task);
         else if constexpr (std::is_same_v<T, CompareSpec>) return RunCompare(task);
+        else if constexpr (std::is_same_v<T, PropertyTestSpec>) return RunPropertyTest(task);
+        else if constexpr (std::is_same_v<T, ClosenessSpec>) return RunCloseness(task);
         else return RunEstimate(task);
       },
       spec);
@@ -319,6 +325,116 @@ Result<Report> Engine::RunEstimate(const EstimateSpec& spec) const {
   return report;
 }
 
+Result<Report> Engine::RunPropertyTest(const PropertyTestSpec& spec) const {
+  if (Status s = ValidateCommon(spec); !s.ok()) return s;
+  if (Status s = ValidatePropertyTestConfig(oracle_.n(), spec.config); !s.ok()) {
+    return s;
+  }
+
+  const WallTimer timer;
+  Report report;
+  report.task = "property-test";
+  const BudgetedSampler bs(oracle_, spec.budget);
+  Rng rng(spec.seed);
+  try {
+    const PropertyTestConfig& config = spec.config;
+    const PropertyTesterParams params = ComputePropertyTestParams(bs.n(), config);
+    // Phase 1: candidate fit — identical draw order to the free function
+    // (GreedyEstimator::Draw), with property-test phase attribution.
+    const LearnResult learned =
+        LearnOnSession(bs, PropertyTestLearnOptions(config), rng, spec.draw_threads,
+                       "ptest-learn-main", "ptest-learn-collisions");
+    TilingHistogram candidate = ReduceToKPieces(learned.tiling, config.k);
+    const VerificationPlan plan = BuildVerificationPlan(candidate, config);
+    // Phase 2: fresh verification group.
+    bs.BeginPhase("ptest-verify");
+    const SampleSetGroup group =
+        DrawSessionGroup(bs, params.verify_r, params.verify_m, rng, spec.draw_threads);
+    PropertyTestOutcome outcome = DecidePropertyTest(plan, group);
+    outcome.params = params;
+    outcome.total_samples = bs.samples_drawn();
+    outcome.candidate = std::move(candidate);
+    report.outcome =
+        outcome.accepted ? TaskOutcome::kAccepted : TaskOutcome::kRejected;
+    report.property_test = std::move(outcome);
+  } catch (const BudgetExhaustedError&) {
+    report.outcome = TaskOutcome::kBudgetExhausted;
+  }
+  FillSessionTelemetry(report, bs);
+  report.telemetry.wall_ms = timer.ElapsedMillis();
+  return report;
+}
+
+Result<Report> Engine::RunCloseness(const ClosenessSpec& spec) const {
+  if (Status s = ValidateCommon(spec); !s.ok()) return s;
+  if (spec.other == nullptr) {
+    return Status::InvalidArgument("closeness task needs a second oracle");
+  }
+  if (spec.other->n() != oracle_.n()) {
+    return Status::InvalidArgument(
+        "the second closeness oracle's domain differs from the session's");
+  }
+  if (Status s = ValidateClosenessConfig(oracle_.n(), spec.config); !s.ok()) {
+    return s;
+  }
+
+  const WallTimer timer;
+  Report report;
+  report.task = "closeness";
+  // Both oracles draw against the one budget: q's sampler gets whatever p's
+  // left. All p draws happen before any q draw (the free-function order),
+  // so the handoff point is well defined.
+  const BudgetedSampler bs_p(oracle_, spec.budget);
+  Rng rng(spec.seed);
+  try {
+    const ClosenessConfig& config = spec.config;
+    const ClosenessParams params = ComputeClosenessTestParams(bs_p.n(), config);
+
+    const LearnResult learned_p = LearnOnSession(
+        bs_p, ClosenessLearnOptions(config, config.k_p), rng, spec.draw_threads,
+        "close-learn-p-main", "close-learn-p-collisions");
+    TilingHistogram candidate_p = ReduceToKPieces(learned_p.tiling, config.k_p);
+    bs_p.BeginPhase("close-verify-p");
+    const SampleSetGroup group_p =
+        DrawSessionGroup(bs_p, params.verify_r, params.verify_m, rng, spec.draw_threads);
+
+    const BudgetedSampler bs_q(
+        *spec.other, bs_p.unlimited() ? BudgetedSampler::kUnlimited : bs_p.remaining());
+    try {
+      const LearnResult learned_q = LearnOnSession(
+          bs_q, ClosenessLearnOptions(config, config.k_q), rng, spec.draw_threads,
+          "close-learn-q-main", "close-learn-q-collisions");
+      TilingHistogram candidate_q = ReduceToKPieces(learned_q.tiling, config.k_q);
+      bs_q.BeginPhase("close-verify-q");
+      const SampleSetGroup group_q =
+          DrawSessionGroup(bs_q, params.verify_r, params.verify_m, rng,
+                           spec.draw_threads);
+
+      const std::vector<Interval> parts = CommonRefinement(candidate_p, candidate_q);
+      ClosenessOutcome outcome = DecideCloseness(parts, group_p, group_q, config);
+      outcome.params = params;
+      outcome.total_samples = bs_p.samples_drawn() + bs_q.samples_drawn();
+      outcome.candidate_p = std::move(candidate_p);
+      outcome.candidate_q = std::move(candidate_q);
+      report.outcome =
+          outcome.accepted ? TaskOutcome::kAccepted : TaskOutcome::kRejected;
+      report.closeness = std::move(outcome);
+    } catch (const BudgetExhaustedError&) {
+      report.outcome = TaskOutcome::kBudgetExhausted;
+    }
+    FillSessionTelemetry(report, bs_p);
+    report.telemetry.samples_drawn += bs_q.samples_drawn();
+    for (const BudgetedSampler::PhaseDraws& phase : bs_q.phases()) {
+      report.telemetry.phases.push_back(phase);
+    }
+  } catch (const BudgetExhaustedError&) {
+    report.outcome = TaskOutcome::kBudgetExhausted;
+    FillSessionTelemetry(report, bs_p);
+  }
+  report.telemetry.wall_ms = timer.ElapsedMillis();
+  return report;
+}
+
 // ------------------------------------------------------------- JSON output
 
 namespace {
@@ -438,6 +554,56 @@ void WriteReportJson(std::ostream& os, const Report& report) {
       os << ", \"samples\": " << row.samples << "}";
     }
     os << "]";
+  }
+  if (report.property_test) {
+    const PropertyTestOutcome& p = *report.property_test;
+    os << ", \"property_test\": {\"accepted\": " << (p.accepted ? "true" : "false")
+       << ", \"params\": {\"learn\": {\"l\": " << p.params.learn.l
+       << ", \"r\": " << p.params.learn.r << ", \"m\": " << p.params.learn.m
+       << ", \"iterations\": " << p.params.learn.iterations
+       << "}, \"verify_r\": " << p.params.verify_r
+       << ", \"verify_m\": " << p.params.verify_m << "}"
+       << ", \"total_samples\": " << p.total_samples
+       << ", \"refinement_parts\": " << p.refinement_parts
+       << ", \"fitted_pieces\": " << p.fitted_pieces << ", \"fit_stat\": ";
+    JsonDouble(os, p.fit_stat);
+    os << ", \"fit_threshold\": ";
+    JsonDouble(os, p.fit_threshold);
+    os << ", \"exception_parts\": " << p.exception_parts << ", \"exception_mass\": ";
+    JsonDouble(os, p.exception_mass);
+    os << ", \"exception_mass_threshold\": ";
+    JsonDouble(os, p.exception_mass_threshold);
+    os << ", \"collision_stat\": ";
+    JsonDouble(os, p.collision_stat);
+    os << ", \"collision_threshold\": ";
+    JsonDouble(os, p.collision_threshold);
+    os << ", \"candidate_l1\": ";
+    JsonDouble(os, p.candidate_l1);
+    if (p.candidate) {
+      os << ", \"candidate\": ";
+      JsonTiling(os, *p.candidate);
+    }
+    os << "}";
+  }
+  if (report.closeness) {
+    const ClosenessOutcome& c = *report.closeness;
+    os << ", \"closeness\": {\"accepted\": " << (c.accepted ? "true" : "false")
+       << ", \"params\": {\"verify_r\": " << c.params.verify_r
+       << ", \"verify_m\": " << c.params.verify_m << "}"
+       << ", \"total_samples\": " << c.total_samples
+       << ", \"refinement_parts\": " << c.refinement_parts << ", \"statistic\": ";
+    JsonDouble(os, c.statistic);
+    os << ", \"threshold\": ";
+    JsonDouble(os, c.threshold);
+    if (c.candidate_p) {
+      os << ", \"candidate_p\": ";
+      JsonTiling(os, *c.candidate_p);
+    }
+    if (c.candidate_q) {
+      os << ", \"candidate_q\": ";
+      JsonTiling(os, *c.candidate_q);
+    }
+    os << "}";
   }
   if (report.estimate) {
     const EstimateAnswers& e = *report.estimate;

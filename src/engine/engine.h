@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/greedy.h"
+#include "core/property_tester.h"
 #include "core/tester.h"
 #include "dist/distribution.h"
 #include "dist/sampler.h"
@@ -105,8 +106,26 @@ struct EstimateSpec : SpecCommon {
   std::vector<Interval> ranges;
 };
 
+/// CDKL22-flavored property test: is the oracle's distribution a
+/// k-histogram at all (no reference given)? Learn-then-verify; see
+/// core/property_tester.h.
+struct PropertyTestSpec : SpecCommon {
+  PropertyTestConfig config;
+};
+
+/// DKN17-flavored closeness test: are the session oracle's distribution p
+/// and a second oracle's distribution q close (both promised approximate
+/// histograms)? The second oracle is part of the spec and must outlive
+/// Run(); both oracles are metered against the one budget, p first.
+struct ClosenessSpec : SpecCommon {
+  ClosenessConfig config;
+  /// The second oracle (q). Required; must share the session oracle's n.
+  const Sampler* other = nullptr;
+};
+
 /// The tagged union Run() dispatches on.
-using TaskSpec = std::variant<LearnSpec, TestSpec, CompareSpec, EstimateSpec>;
+using TaskSpec = std::variant<LearnSpec, TestSpec, CompareSpec, EstimateSpec,
+                              PropertyTestSpec, ClosenessSpec>;
 
 /// How a task ended. Learn/compare/estimate end kOk; tests end
 /// kAccepted/kRejected; any task that hits its budget ends kBudgetExhausted.
@@ -159,7 +178,9 @@ struct EstimateAnswers {
 /// Outcome + telemetry + the task's payload. Payload fields are set per
 /// task type; on kBudgetExhausted only the telemetry is meaningful.
 struct Report {
-  std::string task;  ///< "learn" | "test" | "compare" | "estimate"
+  /// "learn" | "test" | "compare" | "estimate" | "property-test" |
+  /// "closeness"
+  std::string task;
   TaskOutcome outcome = TaskOutcome::kOk;
   ReportTelemetry telemetry;
 
@@ -168,6 +189,8 @@ struct Report {
   std::optional<TestOutcome> test;          ///< test
   std::vector<CompareRow> compare;          ///< compare
   std::optional<EstimateAnswers> estimate;  ///< estimate
+  std::optional<PropertyTestOutcome> property_test;  ///< property-test
+  std::optional<ClosenessOutcome> closeness;         ///< closeness
 };
 
 /// Serializes a Report as a single JSON object (schema documented in the
@@ -200,6 +223,8 @@ class Engine {
   Result<Report> RunTest(const TestSpec& spec) const;
   Result<Report> RunCompare(const CompareSpec& spec) const;
   Result<Report> RunEstimate(const EstimateSpec& spec) const;
+  Result<Report> RunPropertyTest(const PropertyTestSpec& spec) const;
+  Result<Report> RunCloseness(const ClosenessSpec& spec) const;
 
   const Sampler& oracle_;
   std::optional<Distribution> truth_;

@@ -123,6 +123,70 @@ bool L1TesterParamsRepresentable(int64_t n, int64_t k, double eps, double scale)
   return Representable(f.r) && Representable(f.m);
 }
 
+namespace {
+
+// Raw verification formulas, shared between the calculators and their
+// representability guards (same pattern as GreedyRaw above).
+TesterFormulas PropertyVerifyRaw(int64_t n, int64_t k, double eps, double scale) {
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  // r is a pure robustness multiplier for the median combiners; 2 ln(6 n^2)
+  // keeps the ln n dependence of the paper's union bounds at an eighth of
+  // the reference testers' constant.
+  return {std::max(9.0, 2.0 * std::log(6.0 * nd * nd)),
+          scale * (std::sqrt(nd * kd) / eps + (kd + std::sqrt(nd)) / (eps * eps))};
+}
+
+TesterFormulas ClosenessVerifyRaw(int64_t k_p, int64_t k_q, double eps, double scale) {
+  const double s = static_cast<double>(k_p + k_q);
+  return {7.0, scale * 32.0 *
+                   (std::pow(s, 2.0 / 3.0) / std::pow(eps, 4.0 / 3.0) +
+                    std::sqrt(s) / (eps * eps))};
+}
+
+}  // namespace
+
+PropertyTesterParams ComputePropertyTesterParams(int64_t n, int64_t k, double eps,
+                                                 double scale) {
+  CheckCommon(n, eps, scale);
+  HISTK_CHECK(k >= 1);
+  PropertyTesterParams params;
+  params.learn = ComputeGreedyParams(n, k, eps, scale);
+  const TesterFormulas f = PropertyVerifyRaw(n, k, eps, scale);
+  params.verify_r = CeilToInt64(f.r, 1);
+  params.verify_m = CeilToInt64(f.m, 2);
+  return params;
+}
+
+bool PropertyTesterParamsRepresentable(int64_t n, int64_t k, double eps, double scale) {
+  if (!GreedyParamsRepresentable(n, k, eps, scale)) return false;
+  const TesterFormulas f = PropertyVerifyRaw(n, k, eps, scale);
+  return Representable(f.r) && Representable(f.m);
+}
+
+ClosenessParams ComputeClosenessParams(int64_t n, int64_t k_p, int64_t k_q, double eps,
+                                       double scale) {
+  CheckCommon(n, eps, scale);
+  HISTK_CHECK(k_p >= 1 && k_q >= 1);
+  ClosenessParams params;
+  params.learn_p = ComputeGreedyParams(n, k_p, eps, scale);
+  params.learn_q = ComputeGreedyParams(n, k_q, eps, scale);
+  const TesterFormulas f = ClosenessVerifyRaw(k_p, k_q, eps, scale);
+  params.verify_r = CeilToInt64(f.r, 1);
+  params.verify_m = CeilToInt64(f.m, 2);
+  return params;
+}
+
+bool ClosenessParamsRepresentable(int64_t n, int64_t k_p, int64_t k_q, double eps,
+                                  double scale) {
+  if (!GreedyParamsRepresentable(n, k_p, eps, scale) ||
+      !GreedyParamsRepresentable(n, k_q, eps, scale)) {
+    return false;
+  }
+  const TesterFormulas f = ClosenessVerifyRaw(k_p, k_q, eps, scale);
+  return Representable(f.r) && Representable(f.m);
+}
+
 double LowerBoundBudget(int64_t n, int64_t k) {
   HISTK_CHECK(n >= 1 && k >= 1);
   return std::sqrt(static_cast<double>(k) * static_cast<double>(n));

@@ -51,6 +51,49 @@ TesterParams ComputeL2TesterParams(int64_t n, double eps, double scale = 1.0);
 /// Theorem 4 (L1): m = 2^13 sqrt(k n) / eps^5.
 TesterParams ComputeL1TesterParams(int64_t n, int64_t k, double eps, double scale = 1.0);
 
+/// Parameters of the CDKL22-flavored *is-k-histogram* property tester
+/// (core/property_tester.h): a learn phase that fits a candidate tiling with
+/// Algorithm 1 (same formulas as ComputeGreedyParams at the tester's eps),
+/// plus a fresh verification group of verify_r sets of verify_m draws. The
+/// verification rate follows the near-optimal
+/// O(sqrt(nk)/eps + (k + sqrt(n))/eps^2) shape of CDKL22 — far below the
+/// eps^-4 / eps^-5 formulas of the paper's reference testers, which is the
+/// point of the workload.
+struct PropertyTesterParams {
+  GreedyParams learn;    ///< phase-1 candidate fit
+  int64_t verify_r = 0;  ///< verification sample sets (median combining)
+  int64_t verify_m = 0;  ///< per-set verification draws
+  int64_t TotalSamples() const { return learn.TotalSamples() + verify_r * verify_m; }
+};
+
+/// Computes the property tester's parameters for (n, k, eps). `scale`
+/// multiplies the learn-phase counts (through ComputeGreedyParams) and
+/// verify_m, never verify_r.
+PropertyTesterParams ComputePropertyTesterParams(int64_t n, int64_t k, double eps,
+                                                 double scale = 1.0);
+bool PropertyTesterParamsRepresentable(int64_t n, int64_t k, double eps,
+                                       double scale = 1.0);
+
+/// Parameters of the DKN17-flavored two-oracle *closeness* tester: one
+/// candidate fit per oracle plus verify_r fresh sample-set pairs of
+/// verify_m draws per side, compared on the s = k_p + k_q part common
+/// refinement at the CDVV14 reduced-support rate
+/// O(s^{2/3}/eps^{4/3} + sqrt(s)/eps^2).
+struct ClosenessParams {
+  GreedyParams learn_p;  ///< candidate fit on the first oracle
+  GreedyParams learn_q;  ///< candidate fit on the second oracle
+  int64_t verify_r = 0;  ///< verification pairs (median combining)
+  int64_t verify_m = 0;  ///< per-set draws, per oracle
+  int64_t TotalSamples() const {
+    return learn_p.TotalSamples() + learn_q.TotalSamples() + 2 * verify_r * verify_m;
+  }
+};
+
+ClosenessParams ComputeClosenessParams(int64_t n, int64_t k_p, int64_t k_q, double eps,
+                                       double scale = 1.0);
+bool ClosenessParamsRepresentable(int64_t n, int64_t k_p, int64_t k_q, double eps,
+                                  double scale = 1.0);
+
 /// Theorem 5's lower-bound budget sqrt(k n) (the quantity the E6 sweep is
 /// expressed in units of).
 double LowerBoundBudget(int64_t n, int64_t k);

@@ -1,6 +1,8 @@
 // BudgetedSampler semantics: metering, phase attribution, all-or-nothing
 // admission against the cap, and stream parity with the wrapped sampler on
-// every draw path (single / batched / sharded at any thread count).
+// every draw path (single / batched / sharded at any thread count) — plus
+// the engine-level budget-exhaustion contract (partial telemetry, never an
+// abort) for the property-test and closeness tasks.
 #include "engine/budget.h"
 
 #include <gtest/gtest.h>
@@ -8,6 +10,7 @@
 #include "dist/distribution.h"
 #include "dist/generators.h"
 #include "dist/sampler.h"
+#include "engine/engine.h"
 #include "util/rng.h"
 
 namespace histk {
@@ -160,6 +163,96 @@ TEST(BudgetedSamplerTest, FusedRequestBeyondBudgetDrawsNothing) {
                BudgetExhaustedError);
   EXPECT_EQ(sink.seen, 0);
   EXPECT_EQ(bs.samples_drawn(), 0);
+}
+
+TEST(BudgetExhaustionTest, PropertyTestPartialTelemetryAtEveryPhase) {
+  Rng gen(2024);
+  const Distribution d = MakeRandomKHistogram(/*n=*/128, /*k=*/3, gen, 10.0).dist;
+  const AliasSampler sampler(d);
+  const Engine engine(sampler);
+
+  PropertyTestSpec spec;
+  spec.seed = 9;
+  spec.config.k = 3;
+  spec.config.eps = 0.3;
+  spec.config.sample_scale = 0.1;
+  const Report full = *engine.Run(spec);
+  ASSERT_NE(full.outcome, TaskOutcome::kBudgetExhausted);
+  ASSERT_EQ(full.telemetry.phases.size(), 3u);
+  EXPECT_EQ(full.telemetry.phases[0].phase, "ptest-learn-main");
+  EXPECT_EQ(full.telemetry.phases[1].phase, "ptest-learn-collisions");
+  EXPECT_EQ(full.telemetry.phases[2].phase, "ptest-verify");
+  EXPECT_EQ(full.telemetry.samples_drawn, full.property_test->total_samples);
+
+  // Cut the budget inside each phase in turn; every cut must yield a typed
+  // kBudgetExhausted report with samples_drawn <= budget and no payload.
+  const int64_t main_samples = full.telemetry.phases[0].samples;
+  const int64_t collision_samples = full.telemetry.phases[1].samples;
+  for (const int64_t budget :
+       {main_samples - 1, main_samples + 1, main_samples + collision_samples + 1}) {
+    PropertyTestSpec capped = spec;
+    capped.budget = budget;
+    const Report partial = *engine.Run(capped);
+    EXPECT_EQ(partial.outcome, TaskOutcome::kBudgetExhausted);
+    EXPECT_LE(partial.telemetry.samples_drawn, budget);
+    EXPECT_FALSE(partial.property_test.has_value());
+    EXPECT_FALSE(partial.telemetry.phases.empty());
+  }
+
+  // An exact budget changes nothing.
+  PropertyTestSpec exact = spec;
+  exact.budget = full.telemetry.samples_drawn;
+  const Report at_cap = *engine.Run(exact);
+  EXPECT_EQ(at_cap.outcome, full.outcome);
+  EXPECT_EQ(at_cap.telemetry.samples_drawn, full.telemetry.samples_drawn);
+}
+
+TEST(BudgetExhaustionTest, ClosenessMetersBothOraclesAgainstOneBudget) {
+  Rng gen(2025);
+  const Distribution d = MakeRandomKHistogram(/*n=*/128, /*k=*/3, gen, 10.0).dist;
+  const AliasSampler sampler_p(d);
+  const AliasSampler sampler_q(d);
+  const Engine engine(sampler_p);
+
+  ClosenessSpec spec;
+  spec.seed = 11;
+  spec.config.k_p = 3;
+  spec.config.k_q = 3;
+  spec.config.eps = 0.3;
+  spec.config.sample_scale = 0.1;
+  spec.other = &sampler_q;
+  const Report full = *engine.Run(spec);
+  ASSERT_NE(full.outcome, TaskOutcome::kBudgetExhausted);
+  ASSERT_EQ(full.telemetry.phases.size(), 6u);
+  EXPECT_EQ(full.telemetry.phases[0].phase, "close-learn-p-main");
+  EXPECT_EQ(full.telemetry.phases[2].phase, "close-verify-p");
+  EXPECT_EQ(full.telemetry.phases[3].phase, "close-learn-q-main");
+  EXPECT_EQ(full.telemetry.phases[5].phase, "close-verify-q");
+  int64_t phase_total = 0;
+  for (const auto& phase : full.telemetry.phases) phase_total += phase.samples;
+  EXPECT_EQ(phase_total, full.telemetry.samples_drawn);
+  EXPECT_EQ(full.telemetry.samples_drawn, full.closeness->total_samples);
+
+  // p's draws alone fit, q's do not: the cap must catch the SECOND oracle.
+  int64_t p_draws = 0;
+  for (size_t i = 0; i < 3; ++i) p_draws += full.telemetry.phases[i].samples;
+  ClosenessSpec capped = spec;
+  capped.budget = p_draws + 1;
+  const Report partial = *engine.Run(capped);
+  EXPECT_EQ(partial.outcome, TaskOutcome::kBudgetExhausted);
+  EXPECT_LE(partial.telemetry.samples_drawn, capped.budget);
+  EXPECT_FALSE(partial.closeness.has_value());
+  // All three p phases completed; q's first phase is present (it documents
+  // how far the session got).
+  ASSERT_GE(partial.telemetry.phases.size(), 4u);
+  EXPECT_EQ(partial.telemetry.phases[3].phase, "close-learn-q-main");
+
+  // A cap inside p's own phases still reports cleanly.
+  capped.budget = full.telemetry.phases[0].samples / 2;
+  const Report tiny = *engine.Run(capped);
+  EXPECT_EQ(tiny.outcome, TaskOutcome::kBudgetExhausted);
+  EXPECT_LE(tiny.telemetry.samples_drawn, capped.budget);
+  EXPECT_FALSE(tiny.closeness.has_value());
 }
 
 TEST(BudgetedSamplerTest, ShardedIsThreadCountInvariant) {

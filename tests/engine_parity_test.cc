@@ -223,6 +223,128 @@ std::string ReportJson(const Report& report) {
   return os.str();
 }
 
+TEST(EngineParityTest, PropertyTestReproducesFreeFunction) {
+  const Distribution d = LearnDist();
+  const AliasSampler sampler(d);
+  const Engine engine(sampler);
+
+  PropertyTestConfig config;
+  config.k = 4;
+  config.eps = 0.3;
+  config.sample_scale = 0.1;
+  Rng legacy_rng(41);
+  const PropertyTestOutcome legacy = TestIsKHistogram(sampler, config, legacy_rng);
+
+  PropertyTestSpec spec;
+  spec.seed = 41;
+  spec.config = config;
+  const Result<Report> run = engine.Run(spec);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->property_test.has_value());
+  const PropertyTestOutcome& facade = *run->property_test;
+  EXPECT_EQ(facade.accepted, legacy.accepted);
+  EXPECT_EQ(facade.refinement_parts, legacy.refinement_parts);
+  EXPECT_EQ(facade.fitted_pieces, legacy.fitted_pieces);
+  // Bitwise: the facade replays the exact arithmetic of the free function.
+  EXPECT_EQ(facade.fit_stat, legacy.fit_stat);
+  EXPECT_EQ(facade.collision_stat, legacy.collision_stat);
+  EXPECT_EQ(facade.exception_parts, legacy.exception_parts);
+  EXPECT_EQ(facade.exception_mass, legacy.exception_mass);
+  EXPECT_EQ(facade.total_samples, legacy.total_samples);
+  ASSERT_TRUE(facade.candidate.has_value());
+  ExpectSameTiling(*facade.candidate, *legacy.candidate);
+  EXPECT_EQ(run->outcome,
+            legacy.accepted ? TaskOutcome::kAccepted : TaskOutcome::kRejected);
+  EXPECT_EQ(run->telemetry.samples_drawn, legacy.total_samples);
+}
+
+TEST(EngineParityTest, ClosenessReproducesFreeFunction) {
+  const Distribution d = LearnDist();
+  Rng gen(99);
+  const Distribution e = MakeRandomKHistogram(/*n=*/128, /*k=*/4, gen, 12.0).dist;
+  const AliasSampler sampler_p(d);
+  const AliasSampler sampler_q(e);
+  const Engine engine(sampler_p);
+
+  ClosenessConfig config;
+  config.k_p = 4;
+  config.k_q = 4;
+  config.eps = 0.3;
+  config.sample_scale = 0.1;
+  Rng legacy_rng(43);
+  const ClosenessOutcome legacy = TestCloseness(sampler_p, sampler_q, config, legacy_rng);
+
+  ClosenessSpec spec;
+  spec.seed = 43;
+  spec.config = config;
+  spec.other = &sampler_q;
+  const Result<Report> run = engine.Run(spec);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->closeness.has_value());
+  const ClosenessOutcome& facade = *run->closeness;
+  EXPECT_EQ(facade.accepted, legacy.accepted);
+  EXPECT_EQ(facade.refinement_parts, legacy.refinement_parts);
+  EXPECT_EQ(facade.statistic, legacy.statistic);
+  EXPECT_EQ(facade.threshold, legacy.threshold);
+  EXPECT_EQ(facade.total_samples, legacy.total_samples);
+  ExpectSameTiling(*facade.candidate_p, *legacy.candidate_p);
+  ExpectSameTiling(*facade.candidate_q, *legacy.candidate_q);
+  EXPECT_EQ(run->outcome,
+            legacy.accepted ? TaskOutcome::kAccepted : TaskOutcome::kRejected);
+}
+
+TEST(EngineParityTest, PropertySpecsAreThreadCountInvariant) {
+  const Distribution d = LearnDist();
+  const AliasSampler sampler(d);
+  const Engine engine(sampler);
+
+  PropertyTestSpec pspec;
+  pspec.seed = 53;
+  pspec.config.k = 4;
+  pspec.config.eps = 0.3;
+  pspec.config.sample_scale = 0.1;
+  pspec.draw_threads = 1;
+  Report p1 = *engine.Run(pspec);
+  pspec.draw_threads = 4;
+  Report p4 = *engine.Run(pspec);
+  p1.telemetry.wall_ms = 0.0;
+  p4.telemetry.wall_ms = 0.0;
+  EXPECT_EQ(ReportJson(p1), ReportJson(p4));
+
+  const AliasSampler sampler_q(d);
+  ClosenessSpec cspec;
+  cspec.seed = 57;
+  cspec.config.k_p = 4;
+  cspec.config.k_q = 4;
+  cspec.config.eps = 0.3;
+  cspec.config.sample_scale = 0.1;
+  cspec.other = &sampler_q;
+  cspec.draw_threads = 1;
+  Report c1 = *engine.Run(cspec);
+  cspec.draw_threads = 3;
+  Report c3 = *engine.Run(cspec);
+  c1.telemetry.wall_ms = 0.0;
+  c3.telemetry.wall_ms = 0.0;
+  EXPECT_EQ(ReportJson(c1), ReportJson(c3));
+}
+
+TEST(EngineParityTest, ClosenessSpecValidation) {
+  const Distribution d = LearnDist();
+  const AliasSampler sampler(d);
+  const Engine engine(sampler);
+
+  ClosenessSpec spec;
+  spec.config.k_p = 4;
+  spec.config.k_q = 4;
+  spec.config.eps = 0.3;
+  // No second oracle.
+  EXPECT_FALSE(engine.Run(spec).ok());
+  // Mismatched domain.
+  const AliasSampler small(Distribution::Uniform(64));
+  spec.other = &small;
+  EXPECT_FALSE(engine.Run(spec).ok());
+}
+
 TEST(EngineParityTest, ReportsAreThreadCountInvariant) {
   const Distribution d = LearnDist();
   const AliasSampler sampler(d);

@@ -51,6 +51,54 @@ TEST(FarInstancesTest, ZigzagIsNotAKHistogram) {
   EXPECT_GT(MinimalPieceCount(inst.dist), 4);
 }
 
+TEST(FarInstancesTest, WithinPieceZigzagIsCertifiedByL1OptimalDp) {
+  const auto inst = MakeL1FarWithinPieceZigzag(128, 4, 0.3, 42);
+  ASSERT_TRUE(inst.has_value());
+  EXPECT_GE(inst->certified_distance, 0.3 * 1.05 - 1e-12);
+  EXPECT_EQ(inst->norm, Norm::kL1);
+  // The certificate is the exact class distance: explicit candidates can
+  // only do worse.
+  const auto opt = VOptimalHistogram(inst->dist, 4);
+  EXPECT_GE(opt.histogram.L1ErrorTo(inst->dist), inst->certified_distance - 1e-9);
+}
+
+TEST(FarPairTest, MassShiftPairsAreExactlyCertified) {
+  const auto pair = MakeFarPairMassShift(256, 4, 0.3, 7);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_GE(pair->certified_distance, 0.3);
+  // Certification IS the exact distance.
+  EXPECT_NEAR(pair->p.L1DistanceTo(pair->q), pair->certified_distance, 1e-12);
+  // Both sides stay k-histograms on the same boundary structure.
+  EXPECT_LE(MinimalPieceCount(pair->p), 4);
+  EXPECT_LE(MinimalPieceCount(pair->q), 4);
+}
+
+TEST(FarPairTest, MassShiftNeedsAtLeastTwoPieces) {
+  EXPECT_FALSE(MakeFarPairMassShift(256, 1, 0.3, 7).has_value());
+}
+
+TEST(FarPairTest, IndependentPairsAreExactlyCertified) {
+  const auto pair = MakeFarPairIndependent(256, 4, 0.3, 11);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_GE(pair->certified_distance, 0.3);
+  EXPECT_NEAR(pair->p.L1DistanceTo(pair->q), pair->certified_distance, 1e-12);
+  EXPECT_LE(MinimalPieceCount(pair->p), 4);
+  EXPECT_LE(MinimalPieceCount(pair->q), 4);
+}
+
+TEST(FarPairTest, PairsAreValidDistributions) {
+  const auto pair = MakeFarPairMassShift(128, 3, 0.2, 5);
+  ASSERT_TRUE(pair.has_value());
+  for (const Distribution* d : {&pair->p, &pair->q}) {
+    double total = 0.0;
+    for (int64_t i = 0; i < d->n(); ++i) {
+      EXPECT_GE(d->p(i), 0.0);
+      total += d->p(i);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
 TEST(FarInstancesTest, FarInstancesAreValidDistributions) {
   for (const auto& inst :
        {MakeL1FarZigzag(64, 2, 0.15), MakeL1FarZigzag(256, 8, 0.3)}) {

@@ -13,7 +13,7 @@ import json
 import sys
 
 OUTCOMES = {"ok", "accepted", "rejected", "budget-exhausted"}
-TASKS = {"learn", "test", "compare", "estimate"}
+TASKS = {"learn", "test", "compare", "estimate", "property-test", "closeness"}
 
 
 def fail(msg):
@@ -105,6 +105,57 @@ def main():
         est = report.get("estimate")
         require(isinstance(est, dict), "estimate payload missing")
         require("quantiles" in est and "selectivity" in est, "estimate keys missing")
+    if task == "property-test":
+        pt = report.get("property_test")
+        require(isinstance(pt, dict), "property_test payload missing")
+        for key in (
+            "accepted",
+            "params",
+            "total_samples",
+            "refinement_parts",
+            "fitted_pieces",
+            "fit_stat",
+            "fit_threshold",
+            "exception_parts",
+            "exception_mass",
+            "exception_mass_threshold",
+            "collision_stat",
+            "collision_threshold",
+            "candidate_l1",
+        ):
+            require(key in pt, f"property_test.{key} missing")
+        require("learn" in pt["params"], "property_test.params.learn missing")
+        for key in ("verify_r", "verify_m"):
+            require(key in pt["params"], f"property_test.params.{key} missing")
+        expected = "accepted" if pt["accepted"] else "rejected"
+        require(
+            report["outcome"] == expected, "outcome disagrees with property_test.accepted"
+        )
+        require(pt["refinement_parts"] >= 1, "property_test: no refinement parts")
+        require(pt["exception_parts"] >= 0, "property_test: negative exceptions")
+        if "candidate" in pt:
+            check_tiling(pt["candidate"], "property_test.candidate")
+    if task == "closeness":
+        cl = report.get("closeness")
+        require(isinstance(cl, dict), "closeness payload missing")
+        for key in (
+            "accepted",
+            "params",
+            "total_samples",
+            "refinement_parts",
+            "statistic",
+            "threshold",
+        ):
+            require(key in cl, f"closeness.{key} missing")
+        for key in ("verify_r", "verify_m"):
+            require(key in cl["params"], f"closeness.params.{key} missing")
+        expected = "accepted" if cl["accepted"] else "rejected"
+        require(report["outcome"] == expected, "outcome disagrees with closeness.accepted")
+        require(cl["refinement_parts"] >= 1, "closeness: no refinement parts")
+        require(cl["threshold"] > 0, "closeness: non-positive threshold")
+        for key in ("candidate_p", "candidate_q"):
+            if key in cl:
+                check_tiling(cl[key], f"closeness.{key}")
 
     print(f"check_report_json: {task} report ok")
 

@@ -17,7 +17,21 @@
 //                     [--seed X] [--reservoir R] [--budget B] [--json] < items.txt
 //   histk_cli compare --k 8 --eps 0.1 [--n N] [--scale S] [--seed X]
 //                     [--budget B] [--json] < items.txt
+//   histk_cli property-test --k 8 --eps 0.3 [--norm l1|l2] [--n N] [--scale S]
+//                     [--seed X] [--reservoir R] [--budget B] [--json] < items.txt
+//   histk_cli closeness --k 8 [--k2 K] --eps 0.3 --other OTHER.txt [--n N]
+//                     [--scale S] [--seed X] [--reservoir R] [--budget B]
+//                     [--json] < items.txt
 //   histk_cli voptimal --k 8 [--n N] < items.txt > histogram.txt
+//
+// property-test asks whether the (unknown) stream distribution is a
+// k-histogram AT ALL (no reference needed): it learns a candidate and runs
+// a tolerant identity check of a fresh sample against it (CDKL22-flavored
+// rates; see src/core/property_tester.h). closeness ingests a second data
+// set from --other and asks whether the two stream distributions are close
+// (both promised approximate histograms; DKN17-flavored reduction to the
+// common candidate refinement). Both honor the test exit-code contract
+// (0 accept / 1 reject) and --json.
 //
 // learn/test/compare are thin clients of histk::Engine: the session wraps
 // the data-set oracle in a BudgetedSampler (--budget B caps oracle draws;
@@ -68,10 +82,13 @@ using namespace histk;
 struct Args {
   std::string command;
   int64_t k = 8;
+  int64_t k2 = 0;  // closeness: second oracle's piece budget (0 = --k)
   double eps = 0.1;
   int64_t n = 0;  // 0 = infer max+1 (gen: defaults to 256)
   double scale = 1.0;
   Norm norm = Norm::kL2;
+  bool norm_set = false;  // property-test defaults to l1 unless --norm given
+  std::string other;      // closeness: path of the second data set
   bool full_enum = false;
   bool reduce = false;
   uint64_t seed = 1;
@@ -97,11 +114,16 @@ constexpr int kExitBudget = 4;
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: histk_cli <gen|learn|test|compare|voptimal> [flags] < items.txt\n"
+      "usage: histk_cli <gen|learn|test|property-test|closeness|compare|voptimal>\n"
+      "                 [flags] < items.txt\n"
       "       histk_cli learn   --k K --eps E [--n N] [--scale S] [--full-enum]\n"
       "                 [--reduce] [--seed X] [--reservoir R] [--budget B] [--json]\n"
       "       histk_cli test    --k K --eps E --norm l1|l2 [--n N] [--scale S]\n"
       "                 [--seed X] [--reservoir R] [--budget B] [--json]\n"
+      "       histk_cli property-test --k K --eps E [--norm l1|l2] [--n N]\n"
+      "                 [--scale S] [--seed X] [--reservoir R] [--budget B] [--json]\n"
+      "       histk_cli closeness --k K [--k2 K] --eps E --other OTHER.txt [--n N]\n"
+      "                 [--scale S] [--seed X] [--reservoir R] [--budget B] [--json]\n"
       "       histk_cli compare --k K --eps E [--n N] [--scale S] [--seed X]\n"
       "                 [--budget B] [--json]\n"
       "       histk_cli gen --family khist|staircase|zipf|gauss|spikes|\n"
@@ -153,6 +175,13 @@ bool Parse(int argc, char** argv, Args& args) {
     if (flag == "--k") {
       const char* v = next();
       if (!v || !ToI64(v, args.k)) return bad();
+    } else if (flag == "--k2") {
+      const char* v = next();
+      if (!v || !ToI64(v, args.k2)) return bad();
+    } else if (flag == "--other") {
+      const char* v = next();
+      if (!v) return bad();
+      args.other = v;
     } else if (flag == "--eps") {
       const char* v = next();
       if (!v || !ToF64(v, args.eps)) return bad();
@@ -177,6 +206,7 @@ bool Parse(int argc, char** argv, Args& args) {
       } else {
         return bad();
       }
+      args.norm_set = true;
     } else if (flag == "--full-enum") {
       args.full_enum = true;
     } else if (flag == "--reduce") {
@@ -215,7 +245,8 @@ bool Parse(int argc, char** argv, Args& args) {
     }
   }
   return args.command == "gen" || args.command == "learn" ||
-         args.command == "test" || args.command == "compare" ||
+         args.command == "test" || args.command == "property-test" ||
+         args.command == "closeness" || args.command == "compare" ||
          args.command == "voptimal";
 }
 
@@ -405,6 +436,87 @@ int RunTest(const Args& args, const Ingested& in) {
   return out.accepted ? kExitOk : kExitReject;
 }
 
+int RunPropertyTest(const Args& args, const Ingested& in) {
+  const DatasetSampler sampler(in.n, in.items);
+  const Engine engine(sampler);
+
+  PropertyTestSpec spec;
+  spec.seed = args.seed;
+  spec.budget = args.budget;
+  spec.config.k = args.k;
+  spec.config.eps = args.eps;
+  // The CDKL22 object is total variation; --norm l2 opts into the tighter
+  // per-part weighting.
+  spec.config.norm = args.norm_set ? args.norm : Norm::kL1;
+  spec.config.sample_scale = args.scale;
+
+  const Result<Report> result = engine.Run(spec);
+  if (const int failure = ReportFailure(result, args.json); failure >= 0) {
+    return failure;
+  }
+  const Report& report = *result;
+  const PropertyTestOutcome& out = *report.property_test;
+  if (args.json) {
+    WriteReportJson(std::cout, report);
+    return out.accepted ? kExitOk : kExitReject;
+  }
+  std::fprintf(stderr, "stream: %lld items, %lld held\n",
+               static_cast<long long>(in.stream_items),
+               static_cast<long long>(in.items.size()));
+  std::printf("%s\n", out.accepted ? "ACCEPT" : "REJECT");
+  std::printf(
+      "samples: %lld (learn %lld + verify %lld x %lld), parts: %lld, "
+      "fit: %.3g vs %.3g, collisions: %.3g vs %.3g, "
+      "exceptions: %lld (mass %.3f vs %.3f)\n",
+      static_cast<long long>(out.total_samples),
+      static_cast<long long>(out.params.learn.TotalSamples()),
+      static_cast<long long>(out.params.verify_r),
+      static_cast<long long>(out.params.verify_m),
+      static_cast<long long>(out.refinement_parts), out.fit_stat, out.fit_threshold,
+      out.collision_stat, out.collision_threshold,
+      static_cast<long long>(out.exception_parts), out.exception_mass,
+      out.exception_mass_threshold);
+  return out.accepted ? kExitOk : kExitReject;
+}
+
+int RunCloseness(const Args& args, const Ingested& in, const Ingested& other) {
+  // The two streams must share one domain: an explicit --n wins, otherwise
+  // the larger inferred domain covers both item sets.
+  const int64_t n = args.n > 0 ? args.n : std::max(in.n, other.n);
+  const DatasetSampler sampler_p(n, in.items);
+  const DatasetSampler sampler_q(n, other.items);
+  const Engine engine(sampler_p);
+
+  ClosenessSpec spec;
+  spec.seed = args.seed;
+  spec.budget = args.budget;
+  spec.config.k_p = args.k;
+  spec.config.k_q = args.k2 > 0 ? args.k2 : args.k;
+  spec.config.eps = args.eps;
+  spec.config.sample_scale = args.scale;
+  spec.other = &sampler_q;
+
+  const Result<Report> result = engine.Run(spec);
+  if (const int failure = ReportFailure(result, args.json); failure >= 0) {
+    return failure;
+  }
+  const Report& report = *result;
+  const ClosenessOutcome& out = *report.closeness;
+  if (args.json) {
+    WriteReportJson(std::cout, report);
+    return out.accepted ? kExitOk : kExitReject;
+  }
+  std::fprintf(stderr, "streams: %lld + %lld items over domain [0, %lld)\n",
+               static_cast<long long>(in.stream_items),
+               static_cast<long long>(other.stream_items), static_cast<long long>(n));
+  std::printf("%s\n", out.accepted ? "CLOSE" : "FAR");
+  std::printf(
+      "samples: %lld, refinement: %lld parts, statistic: %.4g vs %.4g\n",
+      static_cast<long long>(out.total_samples),
+      static_cast<long long>(out.refinement_parts), out.statistic, out.threshold);
+  return out.accepted ? kExitOk : kExitReject;
+}
+
 int RunCompare(const Args& args, const Ingested& in) {
   // Counts came off the stream; the empirical pmf doubles as the session's
   // oracle (sampling it = drawing random elements of D) and its truth.
@@ -557,6 +669,34 @@ int main(int argc, char** argv) {
   }
   if (args.command == "learn") return RunLearn(args, in);
   if (args.command == "test") return RunTest(args, in);
+  if (args.command == "property-test") return RunPropertyTest(args, in);
+  if (args.command == "closeness") {
+    if (args.other.empty()) {
+      std::fprintf(stderr, "closeness needs --other OTHER.txt (the second data set)\n");
+      return kExitUsage;
+    }
+    std::ifstream other_stream(args.other);
+    if (!other_stream) {
+      std::fprintf(stderr, "cannot open %s\n", args.other.c_str());
+      return kExitUsage;
+    }
+    // Derive the second reservoir's stream from a distinct seed so the two
+    // ingests cannot correlate.
+    const Result<Ingested> other = IngestStream(other_stream, args.n,
+                                                IngestMode::kReservoir,
+                                                args.reservoir, args.seed ^ 0x9E3779B9ULL);
+    if (!other.ok()) {
+      std::fprintf(stderr, "%s: %s\n", args.other.c_str(),
+                   other.status().ToString().c_str());
+      return other.status().code() == StatusCode::kParseError ? kExitParse
+                                                              : kExitUsage;
+    }
+    if (other->stream_items == 0 || other->n < 1) {
+      std::fprintf(stderr, "no items in [0, n) in %s\n", args.other.c_str());
+      return kExitUsage;
+    }
+    return RunCloseness(args, in, *other);
+  }
   if (args.command == "compare") return RunCompare(args, in);
   return RunVOptimal(args, in);
 }

@@ -7,7 +7,7 @@ Usage:
   perf_diff.py BASELINE.json CURRENT.json [--threshold-pct N] [--fail]
 
 Records are matched by label. Direction is inferred from the label:
-  * lower-is-better:  contains "ns", "_s", "(s)", "seconds"
+  * lower-is-better:  contains "false_accept", "ns", "_s", "(s)", "seconds"
   * higher-is-better: contains "speedup", "_x", "per_s", "q/s", "rate"
   * otherwise: informational only (reported, never failed on)
 
@@ -20,7 +20,9 @@ With --fail the exit code is 1 when any regression is found — CI compares
 a smoke run against the checked-in bench/baselines/BENCH_e13.json with a
 generous threshold, since absolute numbers move between machines;
 same-machine comparisons can use a tight one. Labels present in only one
-file are reported but never fatal (experiments grow new records over time).
+file are WARNED about (a record silently vanishing from the current run
+would otherwise hide a regression behind baseline drift); under
+--fail --strict-labels the warning is an error and the exit code is 1.
 """
 
 import argparse
@@ -41,7 +43,11 @@ def load_records(path):
 
 def direction_of(label):
     lab = label.lower()
-    # Ratio/throughput metrics first: "speedup_x" also contains "_s".
+    # Power metrics first: a false-accept RATE must count as lower-is-better
+    # before the generic "rate" token claims it.
+    if "false_accept" in lab:
+        return "lower"
+    # Ratio/throughput metrics next: "speedup_x" also contains "_s".
     if any(tok in lab for tok in ("speedup", "_x", "per_s", "q/s", "rate")):
         return "higher"
     if any(tok in lab for tok in ("ns", "_s", "(s)", "seconds")):
@@ -59,6 +65,9 @@ def main():
                              "a regression (percent, default 25)")
     parser.add_argument("--fail", action="store_true",
                         help="exit 1 if any regression exceeds the threshold")
+    parser.add_argument("--strict-labels", action="store_true",
+                        help="with --fail, also exit 1 when the two files do "
+                             "not carry the same label set")
     args = parser.parse_args()
 
     base_name, base = load_records(args.baseline)
@@ -71,12 +80,16 @@ def main():
     print(f"{'label':<{width}}  {'baseline':>12}  {'current':>12}  "
           f"{'delta%':>8}  verdict")
     regressions = []
+    extra_labels = []
+    missing_labels = []
     for label in sorted(set(base) | set(cur)):
         if label not in base:
+            extra_labels.append(label)
             print(f"{label:<{width}}  {'-':>12}  {cur[label]:>12.4g}  "
                   f"{'-':>8}  new (not in baseline)")
             continue
         if label not in cur:
+            missing_labels.append(label)
             print(f"{label:<{width}}  {base[label]:>12.4g}  {'-':>12}  "
                   f"{'-':>8}  missing from current")
             continue
@@ -89,10 +102,14 @@ def main():
             # Adverse ratio > 1 means the metric got worse in its bad
             # direction; percent deltas would cap at 100% for collapsing
             # higher-is-better metrics and evade any threshold >= 100.
-            if b > 0 and c > 0:
+            if b == c:
+                adverse = 1.0  # unchanged, including 0 -> 0 (power rates)
+            elif b > 0 and c > 0:
                 adverse = (c / b) if direction == "lower" else (b / c)
+            elif direction == "lower":
+                adverse = float("inf") if c > b else 0.0
             else:
-                adverse = float("inf")  # vanished or flipped sign: flag it
+                adverse = float("inf") if c < b else 0.0
             bar = 1.0 + args.threshold_pct / 100.0
             if adverse > bar:
                 verdict = "REGRESSION"
@@ -105,16 +122,33 @@ def main():
               f"{verdict}")
 
     print()
+    label_drift = False
+    if missing_labels:
+        label_drift = True
+        print(f"WARNING: {len(missing_labels)} baseline label(s) missing from "
+              f"current: {', '.join(missing_labels)}", file=sys.stderr)
+    if extra_labels:
+        label_drift = True
+        print(f"WARNING: {len(extra_labels)} current label(s) not in baseline: "
+              f"{', '.join(extra_labels)}", file=sys.stderr)
+    if label_drift and not (args.fail and args.strict_labels):
+        print("(label drift is a warning; use --fail --strict-labels to make "
+              "it fatal)", file=sys.stderr)
+
+    failed = False
     if regressions:
         print(f"{len(regressions)} regression(s) beyond "
               f"{args.threshold_pct:g}%:")
         for label, b, c, delta in regressions:
             print(f"  {label}: {b:.4g} -> {c:.4g} ({delta:+.1f}%)")
-        if args.fail:
-            return 1
+        failed = args.fail
     else:
         print(f"no regressions beyond {args.threshold_pct:g}%")
-    return 0
+    if args.fail and args.strict_labels and label_drift:
+        print("perf_diff: failing on label drift (--strict-labels)",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
