@@ -96,6 +96,20 @@ double PipelineSeconds(const AliasSampler& sampler, int64_t m, Pipeline p) {
   return sec;
 }
 
+/// End-to-end seconds for the sharded fused path: DrawCountsSharded through
+/// SampleCounter's per-worker shards (lock-free Consume, merge at Build).
+double ShardedCountSeconds(const AliasSampler& sampler, int64_t m, int workers) {
+  Rng rng(13);
+  WallTimer timer;
+  SampleCounter counter(sampler.n(), m);
+  sampler.DrawCountsSharded(m, rng, counter, workers);
+  const SampleSet s = counter.Build();
+  int64_t got = s.m();
+  const double sec = timer.ElapsedSeconds();
+  benchmark::DoNotOptimize(got);
+  return sec;
+}
+
 std::string FmtM(int64_t m) {
   if (m % 1000000 == 0) return std::to_string(m / 1000000) + "e6";
   return std::to_string(m);
@@ -198,6 +212,35 @@ void RunExperiment() {
                   FmtF(legacy.mean / fused.mean, 2)});
   }
   pipes.Print(std::cout);
+
+  // ---- 4. sharded fused counts: the lock-free shard merge ------------
+  // Since histk-verify, SampleCounter::Consume takes no lock: each worker
+  // owns a shard (CountSink::AcquireShard) and Build() merges them. w=1 is
+  // the unsharded fused path; w=8 prices the shard set-up + merge and, on
+  // multi-core hosts, the parallel win.
+  Table sharded({"table", "m", "workers", "seconds", "ns/draw", "vs w1"});
+  for (const Config& cfg : configs) {
+    if (cfg.m > alias_m) continue;  // deep rows covered by group 3
+    const std::string tag =
+        std::string("shard_") + cfg.table + "_m" + FmtM(cfg.m);
+    double w1_mean = 0.0;
+    for (const int workers : {1, 8}) {
+      NextBenchLabel(tag + "_w" + std::to_string(workers) + "_s");
+      const ScalarStats s = MeasureScalar(trials, [&](int64_t) {
+        return ShardedCountSeconds(*cfg.sampler, cfg.m, workers);
+      });
+      if (workers == 1) w1_mean = s.mean;
+      sharded.AddRow({cfg.table, FmtM(cfg.m), std::to_string(workers),
+                      FmtE(s.mean, 2),
+                      FmtF(s.mean / static_cast<double>(cfg.m) * 1e9, 1),
+                      workers == 1 ? "1.00" : FmtF(w1_mean / s.mean, 2)});
+      if (workers != 1) {
+        NextBenchLabel(tag + "_w" + std::to_string(workers) + "_speedup_x");
+        MeasureScalar(1, [&](int64_t) { return w1_mean / s.mean; });
+      }
+    }
+  }
+  sharded.Print(std::cout);
 
   std::printf(
       "\nshape check: the fused path never allocates the m-element draw\n"

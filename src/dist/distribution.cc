@@ -64,6 +64,9 @@ Distribution::Distribution(std::vector<double> pmf) : pmf_(std::move(pmf)) {
     prefix_[i + 1] = static_cast<double>(acc);
     prefix_sq_[i + 1] = static_cast<double>(acc_sq);
   }
+#if HISTK_CHECKS_ENABLED
+  CheckInvariants();
+#endif
 }
 
 Distribution::Distribution(int64_t n, std::vector<int64_t> right_ends,
@@ -86,6 +89,40 @@ Distribution::Distribution(int64_t n, std::vector<int64_t> right_ends,
     bucket_sq_prefix_[j + 1] = static_cast<double>(acc_sq);
     lo = bucket_hi_[j] + 1;
   }
+#if HISTK_CHECKS_ENABLED
+  CheckInvariants();
+#endif
+}
+
+void Distribution::CheckInvariants() const {
+#if HISTK_CHECKS_ENABLED
+  if (is_bucketed()) {
+    HISTK_CHECK_INVARIANT(
+        RunsAreValid(n_, bucket_hi_, bucket_density_.size()),
+        "bucket runs must strictly ascend and cover [0, n) exactly");
+    HISTK_CHECK_INVARIANT(RunValuesAreValid(bucket_density_),
+                          "bucket densities must be finite and >= 0");
+    HISTK_CHECK_INVARIANT(
+        bucket_mass_prefix_.size() == bucket_hi_.size() + 1 &&
+            bucket_sq_prefix_.size() == bucket_hi_.size() + 1,
+        "bucket prefix arrays must have k+1 entries");
+    const double total = bucket_mass_prefix_.back();
+    HISTK_CHECK_INVARIANT(std::fabs(total - 1.0) <= 1e-9,
+                          "bucket masses must sum to 1 (pmf normalization)");
+    return;
+  }
+  HISTK_CHECK_INVARIANT(n_ >= 1 && pmf_.size() == static_cast<size_t>(n_),
+                        "dense pmf must cover the domain");
+  HISTK_CHECK_INVARIANT(
+      prefix_.size() == pmf_.size() + 1 && prefix_sq_.size() == pmf_.size() + 1,
+      "dense prefix arrays must have n+1 entries");
+  for (double x : pmf_) {
+    HISTK_CHECK_INVARIANT(std::isfinite(x) && x >= 0.0,
+                          "pmf entries must be finite and >= 0");
+  }
+  HISTK_CHECK_INVARIANT(std::fabs(prefix_.back() - 1.0) <= 1e-9,
+                        "pmf must sum to 1 (normalization)");
+#endif  // HISTK_CHECKS_ENABLED
 }
 
 Distribution Distribution::FromWeights(std::vector<double> weights) {

@@ -226,6 +226,12 @@ class Distribution {
   explicit Distribution(std::vector<double> pmf);
   Distribution(int64_t n, std::vector<int64_t> right_ends, std::vector<double> densities);
 
+  /// Whole-structure invariant re-verification (checks builds only): pmf
+  /// entries finite and >= 0 with total mass 1, bucket runs strictly
+  /// ascending and covering [0, n), prefix arrays consistent. Called at the
+  /// end of every construction path.
+  void CheckInvariants() const;
+
   /// sum over i of |p(i) - other.p(i)| (or the square of the difference)
   /// for the mixed dense/bucket case: walks the bucket side's runs with a
   /// direct scan of the dense side's pmf inside each — O(n + k), no

@@ -1,10 +1,12 @@
+// histk:hot-path — no locks permitted in this file (tools/lint_histk.py).
 #include "dist/sampler.h"
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <thread>
 
-#include "util/common.h"
+#include "util/check.h"
 
 namespace histk {
 
@@ -64,11 +66,13 @@ void BuildVose(std::vector<long double> scaled, size_t heaviest,
 /// Shared chunk fan-out of the sharded paths: derives chunk c's Rng stream
 /// from (root, c) and hands (chunk_rng, lo, len) to a chunk callable on up
 /// to `num_threads` workers (0 = hardware concurrency). `make_chunk_fn` is
-/// invoked once per worker (thread-safely) and may capture per-worker
-/// scratch — e.g. a reusable draw buffer — by value in the callable it
-/// returns. The chunk→stream map is a pure function of root, so results
-/// are worker-count invariant as long as the chunk work is (write to
-/// disjoint slices, or accumulate commutatively).
+/// invoked once per worker ON THE CALLING THREAD, before any worker starts
+/// — so it may acquire per-worker resources that need no synchronization
+/// (a CountSink shard, a reusable draw buffer) and capture them by value in
+/// the callable it returns. The chunk→stream map is a pure function of
+/// root, so results are worker-count invariant as long as the chunk work is
+/// (write to disjoint slices, or accumulate into per-worker state merged
+/// after the join).
 template <typename MakeChunkFn>
 void RunShardedChunks(int64_t m, uint64_t root, int num_threads,
                       const MakeChunkFn& make_chunk_fn) {
@@ -83,8 +87,12 @@ void RunShardedChunks(int64_t m, uint64_t root, int num_threads,
       std::min<int64_t>(static_cast<int64_t>(num_threads), num_chunks));
 
   std::atomic<int64_t> next{0};
-  auto worker = [&]() {
-    auto chunk_fn = make_chunk_fn();
+  using ChunkFn = decltype(make_chunk_fn());
+  std::vector<ChunkFn> chunk_fns;
+  chunk_fns.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) chunk_fns.push_back(make_chunk_fn());
+
+  auto worker = [&](ChunkFn& chunk_fn) {
     for (int64_t c; (c = next.fetch_add(1, std::memory_order_relaxed)) < num_chunks;) {
       uint64_t state =
           root ^ (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(c) + 1));
@@ -96,14 +104,43 @@ void RunShardedChunks(int64_t m, uint64_t root, int num_threads,
   };
 
   if (num_threads <= 1) {
-    worker();
+    worker(chunk_fns.front());
     return;
   }
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(num_threads));
-  for (int t = 0; t < num_threads; ++t) workers.emplace_back(worker);
+  for (int t = 0; t < num_threads; ++t) {
+    workers.emplace_back(worker, std::ref(chunk_fns[static_cast<size_t>(t)]));
+  }
   for (auto& w : workers) w.join();
 }
+
+#if HISTK_CHECKS_ENABLED
+/// Invariant: the alias table conserves mass — each column's effective draw
+/// probability (its own acceptance mass plus the rejection mass every other
+/// column aliases to it) must reproduce the column's true mass. This is the
+/// contract BuildVose's pairing establishes and every draw kernel relies on.
+void CheckAliasInvariants(const std::vector<double>& prob,
+                          const std::vector<int64_t>& alias,
+                          const std::vector<long double>& true_scaled) {
+  const size_t n = prob.size();
+  std::vector<long double> effective(n, 0.0L);
+  for (size_t j = 0; j < n; ++j) {
+    HISTK_CHECK_INVARIANT(prob[j] >= 0.0 && prob[j] <= 1.0,
+                          "alias column acceptance out of [0, 1]");
+    HISTK_CHECK_INVARIANT(alias[j] >= 0 && alias[j] < static_cast<int64_t>(n),
+                          "alias target out of range");
+    effective[j] += static_cast<long double>(prob[j]);
+    effective[static_cast<size_t>(alias[j])] += 1.0L - static_cast<long double>(prob[j]);
+  }
+  for (size_t j = 0; j < n; ++j) {
+    const long double err = effective[j] - true_scaled[j];
+    const long double tol = 1e-9L + 1e-6L * true_scaled[j];
+    HISTK_CHECK_INVARIANT(err <= tol && -err <= tol,
+                          "alias table does not conserve column mass");
+  }
+}
+#endif  // HISTK_CHECKS_ENABLED
 
 }  // namespace
 
@@ -153,11 +190,15 @@ void Sampler::DrawCountsSharded(int64_t m, Rng& rng, CountSink& sink,
   const uint64_t root = rng.NextU64();  // same stream derivation as DrawManySharded
   const int64_t buf_len = std::min(m, kShardChunk);
   RunShardedChunks(m, root, num_threads, [&]() {
-    // One draw buffer per worker, reused across all its chunks.
-    return [this, &sink, buf = std::vector<int64_t>(static_cast<size_t>(buf_len))](
+    // One draw buffer and one count shard per worker (the shard is acquired
+    // here, on the calling thread), so workers never contend on the sink:
+    // counting parallelizes exactly like drawing, and the shards merge into
+    // the same multiset at any worker count.
+    CountSink& shard = sink.AcquireShard();
+    return [this, &shard, buf = std::vector<int64_t>(static_cast<size_t>(buf_len))](
                Rng& chunk_rng, int64_t, int64_t len) mutable {
       DrawManyInto(buf.data(), len, chunk_rng);
-      sink.Consume(buf.data(), len);
+      shard.Consume(buf.data(), len);
     };
   });
 }
@@ -184,7 +225,13 @@ AliasSampler::AliasSampler(const Distribution& dist, AliasKernel kernel)
         heaviest = i;
       }
     }
+#if HISTK_CHECKS_ENABLED
+    const std::vector<long double> true_scaled = scaled;
+#endif
     BuildVose(std::move(scaled), heaviest, prob, alias);
+#if HISTK_CHECKS_ENABLED
+    CheckAliasInvariants(prob, alias, true_scaled);
+#endif
     dense_cols_.resize(n);
     for (size_t i = 0; i < n; ++i) dense_cols_[i] = {prob[i], alias[i]};
     return;
@@ -214,7 +261,13 @@ AliasSampler::AliasSampler(const Distribution& dist, AliasKernel kernel)
     }
     lo = hi[j] + 1;
   }
+#if HISTK_CHECKS_ENABLED
+  const std::vector<long double> true_scaled = scaled;
+#endif
   BuildVose(std::move(scaled), heaviest, prob, alias);
+#if HISTK_CHECKS_ENABLED
+  CheckAliasInvariants(prob, alias, true_scaled);
+#endif
   // Fuse each column with its alias target's run: the draw loop then needs
   // exactly one table entry per draw, never a second dependent lookup.
   bucket_cols_.resize(k);

@@ -1,5 +1,7 @@
 // Sample oracles: the access model of the paper.
 //
+// histk:hot-path — no locks permitted in this file (tools/lint_histk.py).
+//
 // Every algorithm in histk sees the unknown distribution only through a
 // Sampler — the abstract i.i.d. sample oracle. Four draw paths exist:
 //
@@ -60,18 +62,30 @@ namespace histk {
 
 /// Destination of the fused draw→count path. DrawCounts feeds it draws in
 /// chunks (each at most Sampler::kShardChunk long, values in [0, n)).
-/// Chunks may arrive in any order, and DrawCountsSharded calls Consume
-/// concurrently from worker threads — implementations must synchronize and
-/// must be order-insensitive (counting is commutative, so any accumulator of
-/// per-value occurrence counts qualifies). sample/counter.h provides the
-/// standard SampleSet-building implementation.
+/// Chunks may arrive in any order — implementations must be
+/// order-insensitive (counting is commutative, so any accumulator of
+/// per-value occurrence counts qualifies). DrawCountsSharded never calls
+/// Consume concurrently on the same sink object: it asks for one shard per
+/// worker via AcquireShard and each worker consumes into its own shard, so
+/// implementations that shard need no locks on the consume path.
+/// sample/counter.h provides the standard SampleSet-building implementation.
 class CountSink {
  public:
   virtual ~CountSink() = default;
 
   /// Accumulates `len` draws. The buffer is owned by the caller and invalid
-  /// after return.
+  /// after return. Called from one thread at a time per sink object (the
+  /// object returned by AcquireShard counts as a distinct sink).
   virtual void Consume(const int64_t* draws, int64_t len) = 0;
+
+  /// Returns a sink a single worker thread may Consume into without
+  /// synchronizing against other shards. Called only from the coordinating
+  /// thread (before the workers that use the shard start), so overrides
+  /// need no internal locking; the returned reference must stay valid until
+  /// the owning sink is finalized. The default returns *this, which is only
+  /// correct for implementations whose Consume tolerates concurrent callers
+  /// — shardable accumulators override it (see SampleCounter).
+  virtual CountSink& AcquireShard() { return *this; }
 };
 
 /// Abstract i.i.d. sample oracle for a distribution on [0, n).
@@ -118,9 +132,11 @@ class Sampler {
 
   /// Sharded fused draw→count: the chunk/stream structure of
   /// DrawManySharded (same derived Rng streams, one NextU64 consumed, same
-  /// multiset of draws at any worker count) with each chunk handed to
-  /// `sink` from its worker instead of written to a shared vector. Sink
-  /// calls may be concurrent and arrive in any chunk order.
+  /// multiset of draws at any worker count) with each chunk handed to a
+  /// per-worker shard of `sink` (CountSink::AcquireShard, acquired on the
+  /// calling thread before fan-out) instead of written to a shared vector.
+  /// Chunks arrive in any order, but no shard sees concurrent Consume
+  /// calls, so the counting half of the pipeline scales with cores.
   virtual void DrawCountsSharded(int64_t m, Rng& rng, CountSink& sink,
                                  int num_threads = 0) const;
 

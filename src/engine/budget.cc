@@ -2,7 +2,7 @@
 
 #include <limits>
 
-#include "util/common.h"
+#include "util/check.h"
 
 namespace histk {
 
@@ -34,6 +34,17 @@ void BudgetedSampler::Charge(int64_t m) const {
   drawn_ += m;
   if (phases_.empty()) phases_.push_back(PhaseDraws{"oracle", 0});
   phases_.back().samples += m;
+  // The facade's central contract (Theorems 1-4 are sample-complexity
+  // claims): after every metering point the session has never drawn past
+  // its cap, and the per-phase attribution accounts for every draw.
+  HISTK_CHECK_INVARIANT(unlimited() || drawn_ <= budget_,
+                        "samples_drawn exceeded the session budget");
+#if HISTK_CHECKS_ENABLED
+  int64_t attributed = 0;
+  for (const PhaseDraws& phase : phases_) attributed += phase.samples;
+  HISTK_CHECK_INVARIANT(attributed == drawn_,
+                        "per-phase draw attribution does not sum to samples_drawn");
+#endif
 }
 
 int64_t BudgetedSampler::Draw(Rng& rng) const {

@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/common.h"
+#include "util/check.h"
 
 namespace histk {
 
 TilingHistogram::TilingHistogram(int64_t n, std::vector<Interval> pieces,
                                  std::vector<double> values)
     : n_(n), pieces_(std::move(pieces)), values_(std::move(values)) {
+  // Well-formedness (sorted, disjoint, exact cover of [0, n)) is the
+  // contract every downstream consumer — Value's binary search, Mass's
+  // merged-run walks, ToDistribution — silently relies on, so it stays
+  // verified in every build mode (O(k), construction only, never hot).
   HISTK_CHECK(n_ >= 1);
   HISTK_CHECK_MSG(!pieces_.empty(), "tiling needs at least one piece");
   HISTK_CHECK_MSG(pieces_.size() == values_.size(), "pieces/values arity mismatch");
@@ -146,6 +150,8 @@ TilingHistogram TilingHistogram::Condensed(double value_tol) const {
       values.push_back(values_[j]);
     }
   }
+  HISTK_CHECK_INVARIANT(!pieces.empty() && pieces.back().hi == n_ - 1,
+                        "condensing must preserve the [0, n) cover");
   return TilingHistogram(n_, std::move(pieces), std::move(values));
 }
 

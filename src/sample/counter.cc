@@ -1,9 +1,10 @@
+// histk:hot-path — no locks permitted in this file (tools/lint_histk.py).
 #include "sample/counter.h"
 
 #include <algorithm>
 
 #include "sample/sample_set.h"
-#include "util/common.h"
+#include "util/check.h"
 
 namespace histk {
 
@@ -70,33 +71,41 @@ constexpr size_t kRadixMinPartition = 2048;
 
 }  // namespace
 
-SampleCounter::SampleCounter(int64_t n, int64_t expected_draws) : n_(n) {
+SampleCounter::SampleCounter(int64_t n, int64_t expected_draws)
+    : n_(n), expected_draws_(expected_draws) {
   HISTK_CHECK(n >= 1 && expected_draws >= 0);
   dense_ = n <= SampleSet::kDenseDomainLimit;
+  if (!dense_) {
+    const int64_t parts = PickPartitions(expected_draws);
+    const int value_bits = BitWidth(n - 1);
+    const int part_bits = BitWidth(parts - 1);
+    shift_ = value_bits > part_bits ? value_bits - part_bits : 0;
+    num_parts_ = static_cast<size_t>(((n - 1) >> shift_) + 1);
+  }
+  InitState(primary_);
+}
+
+void SampleCounter::InitState(State& state) const {
   if (dense_) {
-    counts_.assign(static_cast<size_t>(n), 0);
+    state.counts.assign(static_cast<size_t>(n_), 0);
     return;
   }
-  const int64_t parts = PickPartitions(expected_draws);
-  const int value_bits = BitWidth(n - 1);
-  int part_bits = BitWidth(parts - 1);
-  shift_ = value_bits > part_bits ? value_bits - part_bits : 0;
-  parts_.resize(static_cast<size_t>(((n - 1) >> shift_) + 1));
-  if (expected_draws > 0) {
+  state.parts.resize(num_parts_);
+  if (expected_draws_ > 0) {
     // Pre-size for a uniform spread plus slack: the scatter loop then almost
     // never reallocates (skewed pmfs overflow a few partitions, which just
     // grow geometrically like any vector).
     const size_t per_part = static_cast<size_t>(
-        expected_draws / static_cast<int64_t>(parts_.size()));
-    for (auto& part : parts_) part.reserve(per_part + per_part / 4 + 16);
+        expected_draws_ / static_cast<int64_t>(num_parts_));
+    for (auto& part : state.parts) part.reserve(per_part + per_part / 4 + 16);
   }
 }
 
-void SampleCounter::Consume(const int64_t* draws, int64_t len) {
+void SampleCounter::ConsumeInto(State& state, const int64_t* draws,
+                                int64_t len) const {
   HISTK_CHECK(len >= 0);
-  std::lock_guard<std::mutex> lock(mu_);
   if (dense_) {
-    int64_t* const counts = counts_.data();
+    int64_t* const counts = state.counts.data();
     for (int64_t i = 0; i < len; ++i) {
       const int64_t v = draws[i];
       HISTK_CHECK_MSG(v >= 0 && v < n_, "draw out of domain");
@@ -106,18 +115,58 @@ void SampleCounter::Consume(const int64_t* draws, int64_t len) {
     for (int64_t i = 0; i < len; ++i) {
       const int64_t v = draws[i];
       HISTK_CHECK_MSG(v >= 0 && v < n_, "draw out of domain");
-      parts_[static_cast<size_t>(v >> shift_)].push_back(v);
+      state.parts[static_cast<size_t>(v >> shift_)].push_back(v);
     }
   }
-  total_ += len;
+  state.total += len;
+}
+
+void SampleCounter::Consume(const int64_t* draws, int64_t len) {
+  ConsumeInto(primary_, draws, len);
+}
+
+void SampleCounter::ShardSink::Consume(const int64_t* draws, int64_t len) {
+  owner_->ConsumeInto(state_, draws, len);
+}
+
+CountSink& SampleCounter::AcquireShard() {
+  shards_.emplace_back(this);
+  InitState(shards_.back().state_);
+  return shards_.back();
+}
+
+int64_t SampleCounter::total() const {
+  int64_t total = primary_.total;
+  for (const ShardSink& shard : shards_) total += shard.state_.total;
+  return total;
 }
 
 SampleSet SampleCounter::Build() {
+  const int64_t grand_total = total();
+  // Fold every shard into the primary accumulator. Both merges are
+  // commutative and order-insensitive up to the sort below, so the result
+  // is independent of how chunks were spread over workers.
   if (dense_) {
-    SampleSet s = SampleSet::FromCounts(n_, counts_);
-    counts_ = {};
+    for (ShardSink& shard : shards_) {
+      const int64_t* const src = shard.state_.counts.data();
+      int64_t* const dst = primary_.counts.data();
+      for (int64_t i = 0; i < n_; ++i) dst[i] += src[i];
+      shard.state_.counts = {};
+    }
+    shards_.clear();
+    SampleSet s = SampleSet::FromCounts(n_, primary_.counts);
+    primary_.counts = {};
     return s;
   }
+  for (ShardSink& shard : shards_) {
+    for (size_t p = 0; p < num_parts_; ++p) {
+      std::vector<int64_t>& dst = primary_.parts[p];
+      std::vector<int64_t>& src = shard.state_.parts[p];
+      dst.insert(dst.end(), src.begin(), src.end());
+      src = {};  // release as we go: peak memory stays ~one batch
+    }
+  }
+  shards_.clear();
   // Sort each partition independently (cache-resident), then run-length
   // encode in ascending partition order — the concatenation is globally
   // sorted, so the runs arrive exactly as FromDraws would emit them.
@@ -126,10 +175,11 @@ SampleSet SampleCounter::Build() {
   // Worst case every draw is distinct; reserving that keeps the encode loop
   // allocation-free at the cost of one transient m-element pair of arrays
   // (still far under the two m-element vectors the materialized path held).
-  values.reserve(static_cast<size_t>(total_));
-  counts.reserve(static_cast<size_t>(total_));
+  values.reserve(static_cast<size_t>(grand_total));
+  counts.reserve(static_cast<size_t>(grand_total));
   std::vector<int64_t> scratch;
-  for (auto& part : parts_) {
+  int64_t encoded = 0;
+  for (auto& part : primary_.parts) {
     if (shift_ > 0 && part.size() >= kRadixMinPartition) {
       RadixSortLowBits(part, shift_, scratch);
     } else if (shift_ > 0) {
@@ -142,11 +192,14 @@ SampleSet SampleCounter::Build() {
       while (j < part.size() && part[j] == v) ++j;
       values.push_back(v);
       counts.push_back(static_cast<int64_t>(j - i));
+      encoded += static_cast<int64_t>(j - i);
       i = j;
     }
     part = {};  // release as we go: peak memory stays ~one batch
   }
-  parts_ = {};
+  primary_.parts = {};
+  HISTK_CHECK_INVARIANT(encoded == grand_total,
+                        "run-length encode lost or duplicated draws");
   return SampleSet::FromRuns(n_, std::move(values), counts);
 }
 

@@ -1,5 +1,7 @@
 // SampleCounter: the standard CountSink of the fused draw→SampleSet path.
 //
+// histk:hot-path — no locks permitted in this file (tools/lint_histk.py).
+//
 // The historical pipeline materialized every batch twice: DrawMany built an
 // m-element vector, and SampleSet::FromDraws re-scanned it (and, for sparse
 // domains, copied AND globally sorted it). SampleCounter instead accumulates
@@ -15,20 +17,24 @@
 //     slices (plus it never copies the batch), which is where the fused
 //     pipeline's ≥2x over materialize-then-count comes from.
 //
-// Consume is thread-safe (the sharded path calls it concurrently); chunks
-// may arrive in any order because counting is commutative. Build() is a
-// one-shot terminal operation.
-//
-// Known scaling limit: Consume serializes the counting half of the pipeline
-// under one mutex, so DrawCountsSharded currently parallelizes only draw
-// generation. Exact results are unaffected. The fix — per-worker counters
-// merged once in Build() — is queued behind access to a multi-core host
-// where the speedup curve can actually be measured (see ROADMAP).
+// Concurrency model (the de-mutexed design): Consume is single-writer and
+// lock-free — it feeds the primary accumulator with no synchronization, so
+// the sequential DrawCounts path pays nothing. Parallel callers do NOT share
+// it: DrawCountsSharded asks for one shard per worker via AcquireShard()
+// (called only from the coordinating thread, before the workers start), each
+// worker consumes into its own shard with no shared mutable state, and
+// Build() merges primary + shards once after the workers have joined.
+// Merging is commutative — dense shards add count arrays, sparse shards
+// concatenate per-partition scatter vectors that Build() sorts anyway — so
+// the resulting SampleSet is byte-identical at any worker count, exactly as
+// the sharded draw contract requires. Build() is a one-shot terminal
+// operation and must happen-after all shard Consume calls (the fan-out in
+// dist/sampler.cc joins its workers before returning).
 #ifndef HISTK_SAMPLE_COUNTER_H_
 #define HISTK_SAMPLE_COUNTER_H_
 
 #include <cstdint>
-#include <mutex>
+#include <deque>
 #include <vector>
 
 #include "dist/sampler.h"
@@ -46,28 +52,60 @@ class SampleCounter : public CountSink {
   /// valid and merely costs regrowth.
   explicit SampleCounter(int64_t n, int64_t expected_draws = 0);
 
-  /// Thread-safe; draws must lie in [0, n).
+  /// Single-writer, lock-free; draws must lie in [0, n). Concurrent callers
+  /// must each consume into their own shard (AcquireShard), never into the
+  /// same sink object.
   void Consume(const int64_t* draws, int64_t len) override;
 
-  /// Draws accumulated so far.
-  int64_t total() const { return total_; }
+  /// One independent accumulator per worker. Coordinator-thread only (see
+  /// CountSink::AcquireShard); shard addresses stay stable until Build().
+  CountSink& AcquireShard() override;
 
-  /// Finalizes into a SampleSet. One-shot: the counter's storage is moved
-  /// out, and further Consume/Build calls on this instance are invalid.
+  /// Draws accumulated so far across the primary accumulator and all
+  /// shards. Requires quiescence (no in-flight Consume on any shard).
+  int64_t total() const;
+
+  /// Merges all shards and finalizes into a SampleSet. One-shot: the
+  /// counter's storage is moved out, and further Consume/Build calls on
+  /// this instance are invalid. Must happen-after every shard's last
+  /// Consume (the sharded draw paths join their workers first).
   SampleSet Build();
 
  private:
+  /// One accumulator: either a dense count array or sparse value-range
+  /// partitions (partition of v = v >> shift). Each instance is written by
+  /// exactly one thread.
+  struct State {
+    int64_t total = 0;
+    std::vector<int64_t> counts;              // dense backend
+    std::vector<std::vector<int64_t>> parts;  // sparse backend
+  };
+
+  /// The per-worker sink handed out by AcquireShard.
+  class ShardSink : public CountSink {
+   public:
+    explicit ShardSink(const SampleCounter* owner) : owner_(owner) {}
+    void Consume(const int64_t* draws, int64_t len) override;
+
+   private:
+    friend class SampleCounter;
+    const SampleCounter* owner_;
+    State state_;
+  };
+
+  void InitState(State& state) const;
+  void ConsumeInto(State& state, const int64_t* draws, int64_t len) const;
+
   int64_t n_ = 0;
-  int64_t total_ = 0;
-  std::mutex mu_;
-
-  // Dense backend.
+  int64_t expected_draws_ = 0;
   bool dense_ = false;
-  std::vector<int64_t> counts_;
+  int shift_ = 0;          // sparse: partition of v = v >> shift_
+  size_t num_parts_ = 0;   // sparse: partition count
 
-  // Sparse backend: value-range partitions (partition of v = v >> shift_).
-  int shift_ = 0;
-  std::vector<std::vector<int64_t>> parts_;
+  State primary_;
+  // Deque: shard addresses must survive later AcquireShard calls while
+  // earlier shards are still being written by their workers.
+  std::deque<ShardSink> shards_;
 };
 
 }  // namespace histk

@@ -1,0 +1,100 @@
+// Contract-checking macros: the histk-verify invariant layer.
+//
+// Three tiers (see the README's "Correctness tooling" section):
+//
+//   * HISTK_CHECK / HISTK_CHECK_MSG — precondition checks, active in every
+//     build mode. The library is research-grade numerical code: a silently
+//     violated precondition is worse than a crash, so these stay on in
+//     Release. Kept O(1) — they guard arguments, not whole data structures.
+//   * HISTK_DCHECK / HISTK_DCHECK_MSG — per-element checks inside hot inner
+//     loops (bounds on a draw, index validity). Compiled out unless checks
+//     are enabled (below), so Release draw kernels carry zero overhead.
+//   * HISTK_CHECK_INVARIANT — whole-structure invariants re-verified at
+//     construction or state-transition points: pmf normalization, alias
+//     column mass conservation, budget accounting, tiling well-formedness.
+//     May be O(n); compiled out unless checks are enabled.
+//
+// Checks are enabled (HISTK_CHECKS_ENABLED == 1) in any non-NDEBUG build,
+// or in ANY build configured with -DHISTK_ENABLE_CHECKS=ON (the CI "checks"
+// job and the `checks` CMake preset) — that is how an optimized build can
+// still machine-verify every invariant. A failed check aborts with
+// file:line, the expression, and a context message, so CI logs pinpoint the
+// violated contract without a debugger.
+#ifndef HISTK_UTIL_CHECK_H_
+#define HISTK_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace histk {
+
+/// Aborts with a formatted message. Used by the check macros below; callers
+/// normally use the macros instead.
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "HISTK_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+[[noreturn]] inline void CheckFailedMsg(const char* file, int line, const char* expr,
+                                        const char* msg) {
+  std::fprintf(stderr, "HISTK_CHECK failed at %s:%d: %s (%s)\n", file, line, expr, msg);
+  std::abort();
+}
+
+[[noreturn]] inline void InvariantFailed(const char* file, int line, const char* expr,
+                                         const char* msg) {
+  std::fprintf(stderr, "HISTK_CHECK_INVARIANT violated at %s:%d: %s (%s)\n", file,
+               line, expr, msg);
+  std::abort();
+}
+
+}  // namespace histk
+
+/// Precondition check, active in all build modes.
+#define HISTK_CHECK(cond)                                         \
+  do {                                                            \
+    if (!(cond)) ::histk::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (0)
+
+#define HISTK_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) ::histk::CheckFailedMsg(__FILE__, __LINE__, #cond, msg); \
+  } while (0)
+
+/// 1 when the debug/invariant tiers are compiled in: every non-NDEBUG build,
+/// plus any build configured with -DHISTK_ENABLE_CHECKS=ON.
+#if !defined(NDEBUG) || defined(HISTK_ENABLE_CHECKS)
+#define HISTK_CHECKS_ENABLED 1
+#else
+#define HISTK_CHECKS_ENABLED 0
+#endif
+
+#if HISTK_CHECKS_ENABLED
+
+/// Debug-tier check for hot inner loops; zero-cost when checks are off
+/// (the condition is not evaluated).
+#define HISTK_DCHECK(cond) HISTK_CHECK(cond)
+#define HISTK_DCHECK_MSG(cond, msg) HISTK_CHECK_MSG(cond, msg)
+
+/// Whole-structure invariant (may be O(n) to evaluate); zero-cost when
+/// checks are off.
+#define HISTK_CHECK_INVARIANT(cond, msg)                                      \
+  do {                                                                        \
+    if (!(cond)) ::histk::InvariantFailed(__FILE__, __LINE__, #cond, msg); \
+  } while (0)
+
+#else
+
+#define HISTK_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#define HISTK_DCHECK_MSG(cond, msg) \
+  do {                              \
+  } while (0)
+#define HISTK_CHECK_INVARIANT(cond, msg) \
+  do {                                   \
+  } while (0)
+
+#endif  // HISTK_CHECKS_ENABLED
+
+#endif  // HISTK_UTIL_CHECK_H_

@@ -1,53 +1,14 @@
-// Common macros and typedefs shared across histk.
+// Common macros shared across histk.
 //
-// Error-handling policy (see DESIGN.md): the library does not throw on hot
-// paths. Programmer errors (precondition violations) abort via HISTK_CHECK
-// with a readable message; recoverable conditions are expressed in the type
-// system (std::optional, bool returns).
+// The check/invariant macro layer lives in util/check.h (HISTK_CHECK,
+// HISTK_CHECK_MSG, HISTK_DCHECK, HISTK_DCHECK_MSG, HISTK_CHECK_INVARIANT);
+// this header re-exports it for the many translation units that predate the
+// split. New code should include util/check.h directly.
 #ifndef HISTK_UTIL_COMMON_H_
 #define HISTK_UTIL_COMMON_H_
 
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
 
-namespace histk {
-
-/// Aborts with a formatted message. Used by the check macros below; callers
-/// normally use HISTK_CHECK / HISTK_DCHECK instead.
-[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
-  std::fprintf(stderr, "HISTK_CHECK failed at %s:%d: %s\n", file, line, expr);
-  std::abort();
-}
-
-[[noreturn]] inline void CheckFailedMsg(const char* file, int line, const char* expr,
-                                        const char* msg) {
-  std::fprintf(stderr, "HISTK_CHECK failed at %s:%d: %s (%s)\n", file, line, expr, msg);
-  std::abort();
-}
-
-}  // namespace histk
-
-/// Precondition / invariant check, active in all build modes. The library is
-/// research-grade numerical code: a silently-violated invariant is worse
-/// than a crash, so checks stay on in Release.
-#define HISTK_CHECK(cond)                                       \
-  do {                                                          \
-    if (!(cond)) ::histk::CheckFailed(__FILE__, __LINE__, #cond); \
-  } while (0)
-
-#define HISTK_CHECK_MSG(cond, msg)                                       \
-  do {                                                                   \
-    if (!(cond)) ::histk::CheckFailedMsg(__FILE__, __LINE__, #cond, msg); \
-  } while (0)
-
-/// Debug-only check for hot inner loops.
-#ifdef NDEBUG
-#define HISTK_DCHECK(cond) \
-  do {                     \
-  } while (0)
-#else
-#define HISTK_DCHECK(cond) HISTK_CHECK(cond)
-#endif
+#include "util/check.h"
 
 #endif  // HISTK_UTIL_COMMON_H_

@@ -1,5 +1,7 @@
 // Deterministic pseudo-random number generation.
 //
+// histk:hot-path — no locks permitted in this file (tools/lint_histk.py).
+//
 // xoshiro256** seeded via splitmix64 — fast, high-quality, and reproducible
 // across platforms (unlike std::mt19937 + std::uniform_*_distribution whose
 // outputs are implementation-defined). All randomized algorithms in histk

@@ -1,0 +1,102 @@
+// The contract layer (src/util/check.h) under both of its regimes:
+//
+//   * Always-on HISTK_CHECK / HISTK_CHECK_MSG guard construction-time
+//     well-formedness in every build mode — corrupted pmfs and broken
+//     tilings must abort, Release included.
+//   * HISTK_DCHECK / HISTK_CHECK_INVARIANT are active exactly when
+//     HISTK_CHECKS_ENABLED (Debug, or -DHISTK_ENABLE_CHECKS=ON — the
+//     `checks` CI job) and compile to nothing otherwise: zero evaluations,
+//     zero cost on the hot paths they instrument.
+//
+// Death tests pin the failure messages so a tripped invariant stays
+// attributable from a CI log alone.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/distribution.h"
+#include "dist/generators.h"
+#include "dist/sampler.h"
+#include "engine/budget.h"
+#include "histogram/tiling.h"
+#include "util/check.h"
+#include "util/interval.h"
+#include "util/rng.h"
+
+namespace histk {
+namespace {
+
+using CheckDeathTest = ::testing::Test;
+
+// ------------------------------------------------- always-on checks
+
+TEST(CheckDeathTest, UnnormalizedPmfAborts) {
+  // Sums to 0.6: FromPmf's normalization contract is always-on.
+  EXPECT_DEATH(Distribution::FromPmf({0.3, 0.3}), "pmf");
+}
+
+TEST(CheckDeathTest, NegativePmfEntryAborts) {
+  EXPECT_DEATH(Distribution::FromPmf({1.5, -0.5}), "pmf");
+}
+
+TEST(CheckDeathTest, TilingWithGapAborts) {
+  // [0,1] then [3,3] leaves element 2 uncovered.
+  EXPECT_DEATH(
+      TilingHistogram(4, {Interval(0, 1), Interval(3, 3)}, {0.1, 0.2}),
+      "contiguous");
+}
+
+TEST(CheckDeathTest, TilingWithOverlapAborts) {
+  EXPECT_DEATH(
+      TilingHistogram(4, {Interval(0, 2), Interval(2, 3)}, {0.1, 0.2}),
+      "contiguous");
+}
+
+TEST(CheckDeathTest, TilingShortCoverAborts) {
+  EXPECT_DEATH(TilingHistogram(8, {Interval(0, 3)}, {0.125}), "cover");
+}
+
+// ------------------------------------------------- gated checks
+
+TEST(CheckTest, GatedMacrosEvaluateExactlyWhenEnabled) {
+  int evals = 0;
+  HISTK_DCHECK(++evals > 0);
+  HISTK_DCHECK_MSG(++evals > 0, "side effect counter");
+  HISTK_CHECK_INVARIANT(++evals > 0, "side effect counter");
+  // Zero-cost contract: compiled out entirely unless the gate is on.
+  EXPECT_EQ(evals, HISTK_CHECKS_ENABLED ? 3 : 0);
+}
+
+TEST(CheckDeathTest, InvariantAbortsWithContextWhenEnabled) {
+#if HISTK_CHECKS_ENABLED
+  EXPECT_DEATH(HISTK_CHECK_INVARIANT(1 + 1 == 3, "arithmetic broke"),
+               "arithmetic broke");
+#else
+  HISTK_CHECK_INVARIANT(1 + 1 == 3, "arithmetic broke");  // must be a no-op
+#endif
+}
+
+// ------------------------------------------------- budget metering
+
+// The budget invariant (samples_drawn <= budget at every metering point)
+// holds through an exhaustion throw, on both the batched and fused paths.
+TEST(CheckTest, BudgetNeverOverdrawnThroughExhaustion) {
+  const Distribution d = MakeZipf(64, 1.2);
+  const AliasSampler inner(d);
+  const BudgetedSampler metered(inner, /*budget=*/100);
+
+  Rng rng(5);
+  EXPECT_EQ(metered.DrawMany(100, rng).size(), 100u);
+  EXPECT_EQ(metered.samples_drawn(), 100);
+  EXPECT_THROW(metered.Draw(rng), BudgetExhaustedError);
+  EXPECT_LE(metered.samples_drawn(), metered.budget());
+
+  const BudgetedSampler fused(inner, /*budget=*/50);
+  Rng rng2(5);
+  EXPECT_THROW(fused.DrawManySharded(51, rng2, 2), BudgetExhaustedError);
+  EXPECT_LE(fused.samples_drawn(), fused.budget());
+}
+
+}  // namespace
+}  // namespace histk

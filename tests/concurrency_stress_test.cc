@@ -1,0 +1,241 @@
+// Concurrency stress for the sharded draw/count fan-out and the engine
+// facade. These tests are meaningful in every build, but their real job is
+// under the `tsan` preset (-fsanitize=thread), where they hammer the
+// lock-free paths this PR introduced:
+//
+//   1. A shared const sampler serves DrawManySharded / DrawCountsSharded /
+//      SampleSetGroup::DrawSharded from many OS threads at once — the alias
+//      tables must be safely readable concurrently, and every caller's
+//      result must stay byte-identical to a sequential reference.
+//   2. SampleCounter's per-worker shard design (CountSink::AcquireShard)
+//      must produce byte-identical SampleSets at ANY worker count with no
+//      locking on the Consume hot path.
+//   3. Concurrent Engine sessions over one oracle must not interfere:
+//      every thread's Report matches the single-threaded reference.
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/distribution.h"
+#include "dist/generators.h"
+#include "dist/sampler.h"
+#include "engine/engine.h"
+#include "sample/counter.h"
+#include "sample/sample_set.h"
+#include "util/interval.h"
+#include "util/rng.h"
+
+namespace histk {
+namespace {
+
+// Large enough that the sharded paths split into several kShardChunk
+// chunks, small enough that the suite stays fast under TSan's slowdown.
+constexpr int64_t kDraws = int64_t{1} << 18;
+constexpr int kOuterThreads = 8;
+
+Distribution DenseSkewed() { return MakeZipf(512, 1.1); }
+
+Distribution BucketHuge() {
+  const int64_t n = int64_t{1} << 30;
+  return Distribution::FromBucketWeights(
+      n, {999, n / 4, n / 2, n - 2, n - 1}, {4.0, 2.0, 0.0, 3.0, 1.0});
+}
+
+void ExpectSameSampleSet(const SampleSet& a, const SampleSet& b) {
+  ASSERT_EQ(a.n(), b.n());
+  ASSERT_EQ(a.m(), b.m());
+  ASSERT_EQ(a.distinct_values(), b.distinct_values());
+  const Interval full = Interval::Full(a.n());
+  EXPECT_EQ(a.Count(full), b.Count(full));
+  EXPECT_EQ(a.Collisions(full), b.Collisions(full));
+  Rng probe(0xABCD);
+  for (int q = 0; q < 32; ++q) {
+    const int64_t x = probe.UniformInRange(0, a.n() - 1);
+    const int64_t y = probe.UniformInRange(0, a.n() - 1);
+    const Interval I(std::min(x, y), std::max(x, y));
+    EXPECT_EQ(a.Count(I), b.Count(I));
+    EXPECT_EQ(a.Collisions(I), b.Collisions(I));
+  }
+}
+
+// ------------------------------------------------- shared-sampler readers
+
+// Many threads draw from ONE const sampler simultaneously, each through the
+// sharded batched kernel (which itself spawns workers). Every thread's
+// output must equal the sequential reference for its seed: the sampler's
+// tables are read-only shared state, and the per-thread Rngs are the only
+// mutable state.
+TEST(ConcurrencyStressTest, ConcurrentDrawManyShardedOnSharedSampler) {
+  const Distribution d = DenseSkewed();
+  const AliasSampler sampler(d);
+
+  std::vector<std::vector<int64_t>> expected(kOuterThreads);
+  for (int t = 0; t < kOuterThreads; ++t) {
+    Rng rng(1000 + t);
+    expected[t] = sampler.DrawManySharded(kDraws, rng, /*num_threads=*/1);
+  }
+
+  std::vector<std::vector<int64_t>> got(kOuterThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kOuterThreads);
+  for (int t = 0; t < kOuterThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      got[t] = sampler.DrawManySharded(kDraws, rng, /*num_threads=*/4);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  for (int t = 0; t < kOuterThreads; ++t) EXPECT_EQ(got[t], expected[t]);
+}
+
+// The fused draw->count path under the same regime: concurrent
+// SampleSet::DrawSharded callers over one sampler, inner worker counts
+// varying per caller. Byte-identical sets regardless.
+TEST(ConcurrencyStressTest, ConcurrentDrawCountsShardedOnSharedSampler) {
+  for (const Distribution& d : {DenseSkewed(), BucketHuge()}) {
+    const AliasSampler sampler(d);
+
+    std::vector<SampleSet> expected;
+    for (int t = 0; t < kOuterThreads; ++t) {
+      Rng rng(2000 + t);
+      expected.push_back(
+          SampleSet::DrawSharded(sampler, kDraws, rng, /*num_threads=*/1));
+    }
+
+    std::vector<std::optional<SampleSet>> got(kOuterThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kOuterThreads);
+    for (int t = 0; t < kOuterThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Rng rng(2000 + t);
+        got[t] = SampleSet::DrawSharded(sampler, kDraws, rng,
+                                        /*num_threads=*/1 + t % 4);
+      });
+    }
+    for (std::thread& th : threads) th.join();
+
+    for (int t = 0; t < kOuterThreads; ++t) {
+      ASSERT_TRUE(got[t].has_value());
+      ExpectSameSampleSet(*got[t], expected[t]);
+    }
+  }
+}
+
+// SampleSetGroup::DrawSharded (r sets, each fused+sharded) from many
+// threads at once against one sampler.
+TEST(ConcurrencyStressTest, ConcurrentGroupDrawShardedOnSharedSampler) {
+  const Distribution d = DenseSkewed();
+  const AliasSampler sampler(d);
+  const int64_t r = 4;
+  const int64_t m = kDraws / 8;
+
+  Rng ref_rng(42);
+  const SampleSetGroup reference =
+      SampleSetGroup::DrawSharded(sampler, r, m, ref_rng, /*num_threads=*/1);
+
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kOuterThreads, 0);
+  threads.reserve(kOuterThreads);
+  for (int t = 0; t < kOuterThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(42);
+      const SampleSetGroup g =
+          SampleSetGroup::DrawSharded(sampler, r, m, rng,
+                                      /*num_threads=*/2 + t % 3);
+      if (g.r() != reference.r() || g.n() != reference.n()) {
+        failures[t] = 1;
+        return;
+      }
+      for (int64_t j = 0; j < r; ++j) {
+        if (g.set(j).distinct_values() !=
+            reference.set(j).distinct_values()) {
+          failures[t] = 1;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kOuterThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t << " diverged";
+  }
+}
+
+// ------------------------------------------------- shard-merge parity
+
+// The SampleCounter per-worker shard design directly: the fused sharded
+// pipeline must yield byte-identical sets and exact totals at every worker
+// count, including counts far above the chunk count (idle workers).
+TEST(ConcurrencyStressTest, ShardMergeByteIdenticalAcrossWorkerCounts) {
+  for (const Distribution& d : {DenseSkewed(), BucketHuge()}) {
+    const AliasSampler sampler(d);
+
+    Rng ref_rng(7);
+    SampleCounter ref_counter(sampler.n(), kDraws);
+    sampler.DrawCountsSharded(kDraws, ref_rng, ref_counter, 1);
+    ASSERT_EQ(ref_counter.total(), kDraws);
+    const SampleSet reference = ref_counter.Build();
+    Rng ref_probe = ref_rng;  // post-draw rng state fingerprint
+    const uint64_t expect_next = ref_probe.NextU64();
+
+    for (int workers : {2, 3, 4, 8, 16}) {
+      Rng rng(7);
+      SampleCounter counter(sampler.n(), kDraws);
+      sampler.DrawCountsSharded(kDraws, rng, counter, workers);
+      EXPECT_EQ(counter.total(), kDraws) << "workers=" << workers;
+      ExpectSameSampleSet(counter.Build(), reference);
+      EXPECT_EQ(rng.NextU64(), expect_next) << "workers=" << workers;
+    }
+  }
+}
+
+// ------------------------------------------------- concurrent engine runs
+
+// Engine sessions are stateless and hold only const references; running
+// the same spec from many threads (each spec itself drawing sharded) must
+// give every thread the single-threaded reference report.
+TEST(ConcurrencyStressTest, ConcurrentEngineSessionsOverOneOracle) {
+  const Distribution d = MakeZipf(256, 1.2);
+  const AliasSampler oracle(d);
+  const Engine engine(oracle, d);
+
+  LearnSpec spec;
+  spec.seed = 11;
+  spec.budget = 400'000;
+  spec.options.k = 4;
+  spec.options.eps = 0.25;
+  spec.draw_threads = 2;
+
+  const Result<Report> reference = engine.Run(spec);
+  ASSERT_TRUE(reference.ok());
+
+  std::vector<int> failures(kOuterThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kOuterThreads);
+  for (int t = 0; t < kOuterThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread constructs its own session over the shared oracle.
+      const Engine session(oracle, d);
+      const Result<Report> r = session.Run(spec);
+      if (!r.ok() ||
+          r->outcome != reference->outcome ||
+          r->telemetry.samples_drawn !=
+              reference->telemetry.samples_drawn ||
+          !r->learn.has_value() ||
+          r->learn->tiling.ToString() !=
+              reference->learn->tiling.ToString()) {
+        failures[t] = 1;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kOuterThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t << " diverged";
+  }
+}
+
+}  // namespace
+}  // namespace histk

@@ -146,7 +146,8 @@ bool ToU64(const char* s, uint64_t& out) {
   if (*s == '-') return false;  // strtoull silently wraps negatives
   errno = 0;
   char* end = nullptr;
-  const unsigned long long v = std::strtoull(s, &end, 10);
+  const unsigned long long v = std::strtoull(  // NOLINT(histk-strict-parse): this IS the checked u64 wrapper (full-token, ERANGE-checked); io.h has no unsigned variant
+      s, &end, 10);
   if (errno == ERANGE || end == s || *end != '\0') return false;
   out = static_cast<uint64_t>(v);
   return true;
