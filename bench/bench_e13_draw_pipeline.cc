@@ -5,7 +5,10 @@
 //   1. alias ns/draw — the batched DrawManyInto kernel, dense (n = 2^20)
 //      and bucketed (n = 2^30, k = 1000), replay kernel (byte-identical
 //      to the PR 2/3 stream; must stay at or under the BENCH_e12 baseline
-//      of ~17-18 ns/draw) and the opt-in packed kernel.
+//      of ~17-18 ns/draw), the opt-in packed kernel, and the simd kernel
+//      on both its dispatched backend and (bucket) the forced-scalar
+//      reference; full mode adds a w in {1,2,4,8} threads sweep over the
+//      sharded draw/count paths for the weekly multi-core runner.
 //   2. fused vs materialize — SampleSet::Draw (Sampler::DrawCounts through
 //      SampleCounter) against the historical pipeline that materializes an
 //      m-element draw vector and re-scans it (plus, sparse, copies and
@@ -96,6 +99,16 @@ double PipelineSeconds(const AliasSampler& sampler, int64_t m, Pipeline p) {
   return sec;
 }
 
+/// Wall seconds for one DrawManySharded batch at a fixed worker count.
+double ShardedDrawSeconds(const AliasSampler& sampler, int64_t m, int workers) {
+  Rng rng(17);
+  WallTimer timer;
+  const std::vector<int64_t> draws = sampler.DrawManySharded(m, rng, workers);
+  const double sec = timer.ElapsedSeconds();
+  benchmark::DoNotOptimize(draws.data());
+  return sec;
+}
+
 /// End-to-end seconds for the sharded fused path: DrawCountsSharded through
 /// SampleCounter's per-worker shards (lock-free Consume, merge at Build).
 double ShardedCountSeconds(const AliasSampler& sampler, int64_t m, int workers) {
@@ -131,6 +144,19 @@ void RunExperiment() {
   const AliasSampler dense_packed(dense, AliasKernel::kPacked);
   const AliasSampler bucket_replay(bucket);
   const AliasSampler bucket_packed(bucket, AliasKernel::kPacked);
+  // kSimd resolves its backend at construction: one pair on live dispatch
+  // (AVX2 where available) and one bucket sampler pinned to the scalar
+  // reference so the fallback's cost is tracked on every runner.
+  const AliasSampler dense_simd(dense, AliasKernel::kSimd);
+  const AliasSampler bucket_simd(bucket, AliasKernel::kSimd);
+  const AliasSampler bucket_simd_scalar = [&bucket]() {
+    simd::ScopedSimdBackendOverride force(simd::SimdBackend::kScalar);
+    return AliasSampler(bucket, AliasKernel::kSimd);
+  }();
+  std::printf("simd dispatch: backend=%s (avx2 compiled=%d supported=%d)\n\n",
+              simd::SimdBackendName(simd::ActiveSimdBackend()),
+              simd::SimdAvx2Compiled() ? 1 : 0,
+              simd::SimdAvx2Supported() ? 1 : 0);
 
   const int64_t alias_m = smoke ? 1000000 : 10000000;
   const int64_t trials = smoke ? 2 : 3;
@@ -146,8 +172,11 @@ void RunExperiment() {
     };
     const Row rows[] = {{"dense", "replay", &dense_replay},
                         {"dense", "packed", &dense_packed},
+                        {"dense", "simd", &dense_simd},
                         {"bucket", "replay", &bucket_replay},
-                        {"bucket", "packed", &bucket_packed}};
+                        {"bucket", "packed", &bucket_packed},
+                        {"bucket", "simd", &bucket_simd},
+                        {"bucket", "simd_scalar", &bucket_simd_scalar}};
     for (const Row& row : rows) {
       NextBenchLabel(std::string("alias_") + row.table + "_" + row.kernel +
                      "_ns_per_draw");
@@ -241,6 +270,45 @@ void RunExperiment() {
     }
   }
   sharded.Print(std::cout);
+
+  // ---- 5. threads sweep (full mode only) -----------------------------
+  // w in {1,2,4,8} over DrawManySharded and DrawCountsSharded on the simd
+  // bucket sampler: the sharded speedup curve the weekly bench-full run
+  // measures on a multi-core runner (the dev container is 1-core, where
+  // every w should sit near 1.0x — that flat curve is itself the record
+  // that sharding overhead is negligible).
+  if (!smoke) {
+    const int64_t sweep_m = 10000000;
+    Table sweep({"path", "m", "workers", "seconds", "ns/draw", "vs w1"});
+    struct SweepPath {
+      const char* name;
+      double (*run)(const AliasSampler&, int64_t, int);
+    };
+    const SweepPath paths[] = {{"draw", &ShardedDrawSeconds},
+                               {"counts", &ShardedCountSeconds}};
+    for (const SweepPath& path : paths) {
+      double w1_mean = 0.0;
+      for (const int workers : {1, 2, 4, 8}) {
+        const std::string tag = std::string("sweep_") + path.name +
+                                "_bucket_simd_m" + FmtM(sweep_m) + "_w" +
+                                std::to_string(workers);
+        NextBenchLabel(tag + "_s");
+        const ScalarStats s = MeasureScalar(trials, [&](int64_t) {
+          return path.run(bucket_simd, sweep_m, workers);
+        });
+        if (workers == 1) w1_mean = s.mean;
+        sweep.AddRow({path.name, FmtM(sweep_m), std::to_string(workers),
+                      FmtE(s.mean, 2),
+                      FmtF(s.mean / static_cast<double>(sweep_m) * 1e9, 1),
+                      workers == 1 ? "1.00" : FmtF(w1_mean / s.mean, 2)});
+        if (workers != 1) {
+          NextBenchLabel(tag + "_speedup_x");
+          MeasureScalar(1, [&](int64_t) { return w1_mean / s.mean; });
+        }
+      }
+    }
+    sweep.Print(std::cout);
+  }
 
   std::printf(
       "\nshape check: the fused path never allocates the m-element draw\n"

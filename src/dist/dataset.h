@@ -21,10 +21,18 @@ namespace histk {
 class DatasetSampler : public Sampler {
  public:
   /// Takes ownership of the items. Aborts unless the data set is non-empty
-  /// and every item lies in [0, n).
-  DatasetSampler(int64_t n, std::vector<int64_t> items);
+  /// and every item lies in [0, n). `kernel` selects the batch draw loop,
+  /// with the same stream contracts as AliasSampler: kReplay (default) is
+  /// the historical per-draw Lemire pick; kPacked spends exactly one
+  /// NextU64 per draw on a multiply-shift pick; kSimd runs the dispatched
+  /// block-structured uniform kernel from src/dist/simd/ (one NextU64 per
+  /// kShardChunk block; batch paths only — scalar Draw() is a one-block
+  /// batch of its own).
+  DatasetSampler(int64_t n, std::vector<int64_t> items,
+                 AliasKernel kernel = AliasKernel::kReplay);
 
   int64_t n() const override { return n_; }
+  AliasKernel kernel() const { return kernel_; }
   int64_t Draw(Rng& rng) const override;
   void DrawManyInto(int64_t* out, int64_t m, Rng& rng) const override;
 
@@ -42,7 +50,9 @@ class DatasetSampler : public Sampler {
   }
 
   int64_t n_ = 0;
+  AliasKernel kernel_ = AliasKernel::kReplay;
   std::vector<int64_t> items_;
+  simd::UniformDrawFn simd_uniform_fn_ = nullptr;  // kSimd only
 };
 
 }  // namespace histk

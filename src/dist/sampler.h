@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "dist/distribution.h"
+#include "dist/simd/draw_kernels.h"
 #include "util/rng.h"
 
 namespace histk {
@@ -159,7 +160,26 @@ enum class AliasKernel {
   /// (< 2^-40 for any realistic table) — far under sampling noise, but not
   /// the exactly-unbiased Lemire pick, which is why this is opt-in.
   kPacked,
+  /// Opt-in vectorized path (src/dist/simd/): kSimdLanes independent
+  /// xoshiro lanes per step, alias lookups by AVX2 gather when the build
+  /// (HISTK_SIMD) and the CPU (runtime CPUID, resolved once at sampler
+  /// construction) both allow it, and a byte-identical scalar reference
+  /// everywhere else — the SAME stream on every machine. The stream is
+  /// block-structured: batches are cut into fixed kShardChunk blocks, each
+  /// consuming one NextU64() of the caller's rng as the root of its lanes,
+  /// so DrawMany / DrawCounts / the sharded paths all agree and stay
+  /// thread-count invariant. Scalar Draw() loops therefore do NOT match
+  /// DrawMany draw-for-draw (each Draw is its own one-block batch);
+  /// batch-path parity is what the engine suites pin. Same multiply-shift
+  /// pick (and bias bound) as kPacked; accept tests are integer thresholds
+  /// (simd::AcceptThreshold), exact to 2^-53. NOT byte-compatible with
+  /// kReplay or kPacked streams.
+  kSimd,
 };
+
+/// Human-readable kernel name ("replay" / "packed" / "simd") for CLI and
+/// bench labels.
+const char* AliasKernelName(AliasKernel kernel);
 
 /// Walker/Vose alias method: O(columns) preprocessing, O(1) amortized per
 /// draw, where columns = n (dense) or k (bucket-backed). Zero-mass columns
@@ -199,12 +219,23 @@ class AliasSampler : public Sampler {
   void ReplayBucketInto(int64_t* out, int64_t m, Rng& rng) const;
   void PackedDenseInto(int64_t* out, int64_t m, Rng& rng) const;
   void PackedBucketInto(int64_t* out, int64_t m, Rng& rng) const;
+  /// kSimd batch loop: cuts m into kShardChunk blocks, spends one NextU64
+  /// per block as the lane root, and runs the dispatched kernel on each.
+  void SimdInto(int64_t* out, int64_t m, Rng& rng) const;
 
   int64_t n_ = 0;
   bool bucketed_ = false;
   AliasKernel kernel_ = AliasKernel::kReplay;
   std::vector<DenseCol> dense_cols_;
   std::vector<BucketCol> bucket_cols_;
+  /// kSimd only: the gather-friendly all-integer table (dense: kDenseStride
+  /// u64 per column; bucket: kBucketStride), thresholds precomputed by
+  /// simd::AcceptThreshold, plus the kernel chosen at construction. The
+  /// replay/packed column vectors stay empty in this mode.
+  std::vector<uint64_t> simd_cells_;
+  uint64_t simd_ncols_ = 0;
+  simd::DenseDrawFn simd_dense_fn_ = nullptr;
+  simd::BucketDrawFn simd_bucket_fn_ = nullptr;
 };
 
 /// Inverse-cdf sampling by binary search: O(columns) preprocessing,

@@ -1,0 +1,175 @@
+// AVX2 implementation of the kSimd draw kernels.
+//
+// histk:hot-path — no locks permitted in this file (tools/lint_histk.py).
+//
+// Compiled with a file-local -mavx2 (see CMakeLists.txt) and only when the
+// HISTK_SIMD option is ON; the whole translation unit is empty otherwise so
+// a GLOB'd build without the option still links. Entered only after
+// dispatch.cc has confirmed AVX2 via CPUID.
+//
+// CONTRACT: byte-identical to scalar.cc for every (table, len, root). Each
+// vector iteration below mirrors one group of the scalar loop, consuming
+// lane steps in the same order. The ingredients AVX2 lacks natively are
+// built from what it has:
+//
+//   * 64-bit multiply (xoshiro's *5 / *9, and x * ncols): the constants
+//     become shift-adds; the full 64x64->128 product is four
+//     _mm256_mul_epu32 32-bit partials recombined with staged carries
+//     (Mul64Wide).
+//   * unsigned 64-bit compare: not needed — both accept-test operands are
+//     < 2^53, so signed _mm256_cmpgt_epi64 is exact.
+//   * per-column loads: _mm256_i64gather_epi64 at scale 8 over the u64
+//     cell arrays; strides are baked into the index arithmetic.
+#if defined(HISTK_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "dist/simd/backends.h"
+#include "util/rng_lanes.h"
+
+namespace histk {
+namespace simd {
+namespace internal {
+
+namespace {
+
+inline __m256i RotlVec(__m256i x, int k) {
+  return _mm256_or_si256(_mm256_slli_epi64(x, k), _mm256_srli_epi64(x, 64 - k));
+}
+
+/// All kSimdLanes xoshiro256** states in four registers (lane l in qword l,
+/// loaded straight from RngLanes' struct-of-arrays layout).
+struct XoshiroVec {
+  __m256i s0, s1, s2, s3;
+
+  explicit XoshiroVec(const RngLanes& lanes)
+      : s0(_mm256_load_si256(reinterpret_cast<const __m256i*>(lanes.s[0]))),
+        s1(_mm256_load_si256(reinterpret_cast<const __m256i*>(lanes.s[1]))),
+        s2(_mm256_load_si256(reinterpret_cast<const __m256i*>(lanes.s[2]))),
+        s3(_mm256_load_si256(reinterpret_cast<const __m256i*>(lanes.s[3]))) {}
+
+  /// RngLanes::NextLanes, vectorized. *5 = x + (x<<2), *9 = x + (x<<3).
+  __m256i Next() {
+    const __m256i x5 = _mm256_add_epi64(s1, _mm256_slli_epi64(s1, 2));
+    const __m256i rot = RotlVec(x5, 7);
+    const __m256i result = _mm256_add_epi64(rot, _mm256_slli_epi64(rot, 3));
+    const __m256i t = _mm256_slli_epi64(s1, 17);
+    s2 = _mm256_xor_si256(s2, s0);
+    s3 = _mm256_xor_si256(s3, s1);
+    s1 = _mm256_xor_si256(s1, s2);
+    s0 = _mm256_xor_si256(s0, s3);
+    s2 = _mm256_xor_si256(s2, t);
+    s3 = RotlVec(s3, 45);
+    return result;
+  }
+};
+
+/// Full 64x64 -> 128 multiply per lane from 32-bit partial products.
+/// With a = ah:al, b = bh:bl (32-bit limbs):
+///   u = ah*bl + hi32(al*bl)            (fits: < 2^64)
+///   v = al*bh + lo32(u)                (fits: < 2^64)
+///   hi = ah*bh + hi32(u) + hi32(v)
+///   lo = lo32(v):lo32(al*bl)
+inline void Mul64Wide(__m256i a, __m256i b, __m256i* hi, __m256i* lo) {
+  const __m256i m32 = _mm256_set1_epi64x(0xffffffffLL);
+  const __m256i ah = _mm256_srli_epi64(a, 32);
+  const __m256i bh = _mm256_srli_epi64(b, 32);
+  const __m256i ll = _mm256_mul_epu32(a, b);
+  const __m256i hl = _mm256_mul_epu32(ah, b);
+  const __m256i lh = _mm256_mul_epu32(a, bh);
+  const __m256i hh = _mm256_mul_epu32(ah, bh);
+  const __m256i u = _mm256_add_epi64(hl, _mm256_srli_epi64(ll, 32));
+  const __m256i v = _mm256_add_epi64(lh, _mm256_and_si256(u, m32));
+  *hi = _mm256_add_epi64(
+      hh, _mm256_add_epi64(_mm256_srli_epi64(u, 32), _mm256_srli_epi64(v, 32)));
+  *lo = _mm256_or_si256(_mm256_slli_epi64(v, 32), _mm256_and_si256(ll, m32));
+}
+
+/// Stores one group: full 32-byte store for interior groups, element-wise
+/// prefix for the final partial one (never writes past out + len).
+inline void StoreGroup(__m256i draws, int64_t* out, int64_t i, int64_t len) {
+  if (i + kSimdLanes <= len) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), draws);
+    return;
+  }
+  alignas(32) int64_t tmp[kSimdLanes];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), draws);
+  for (int64_t l = 0; i + l < len; ++l) out[i + l] = tmp[l];
+}
+
+}  // namespace
+
+void DenseDrawAvx2(const DenseTable& table, int64_t* out, int64_t len,
+                   uint64_t root) {
+  RngLanes lanes(root);
+  XoshiroVec rng(lanes);
+  const long long* cells = reinterpret_cast<const long long*>(table.cells);
+  const __m256i vncols =
+      _mm256_set1_epi64x(static_cast<long long>(table.ncols));
+  for (int64_t i = 0; i < len; i += kSimdLanes) {
+    const __m256i x = rng.Next();
+    __m256i c, lo;
+    Mul64Wide(x, vncols, &c, &lo);
+    const __m256i v = _mm256_srli_epi64(lo, 11);
+    const __m256i idx = _mm256_slli_epi64(c, 1);  // c * kDenseStride
+    const __m256i thresh = _mm256_i64gather_epi64(cells, idx, 8);
+    const __m256i alias = _mm256_i64gather_epi64(cells + 1, idx, 8);
+    // Signed compare is exact: thresh <= 2^53, v < 2^53.
+    const __m256i accept = _mm256_cmpgt_epi64(thresh, v);
+    StoreGroup(_mm256_blendv_epi8(alias, c, accept), out, i, len);
+  }
+}
+
+void BucketDrawAvx2(const BucketTable& table, int64_t* out, int64_t len,
+                    uint64_t root) {
+  RngLanes lanes(root);
+  XoshiroVec rng(lanes);
+  const long long* cells = reinterpret_cast<const long long*>(table.cells);
+  const __m256i vncols =
+      _mm256_set1_epi64x(static_cast<long long>(table.ncols));
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i two = _mm256_set1_epi64x(2);
+  for (int64_t i = 0; i < len; i += kSimdLanes) {
+    const __m256i x = rng.Next();
+    __m256i c, lo;
+    Mul64Wide(x, vncols, &c, &lo);
+    const __m256i v = _mm256_srli_epi64(lo, 11);
+    // idx6 = c * kBucketStride = (c<<2) + (c<<1)
+    const __m256i idx6 =
+        _mm256_add_epi64(_mm256_slli_epi64(c, 2), _mm256_slli_epi64(c, 1));
+    const __m256i thresh = _mm256_i64gather_epi64(cells, idx6, 8);
+    const __m256i accept = _mm256_cmpgt_epi64(thresh, v);
+    // Run fields: col+1 on accept, col+3 on reject — andnot turns the
+    // all-ones accept mask into +0 and the zero mask into +2.
+    const __m256i run_idx = _mm256_add_epi64(
+        idx6, _mm256_add_epi64(one, _mm256_andnot_si256(accept, two)));
+    const __m256i run_lo = _mm256_i64gather_epi64(cells, run_idx, 8);
+    const __m256i run_len = _mm256_i64gather_epi64(cells + 1, run_idx, 8);
+    const __m256i y = rng.Next();
+    __m256i off, unused;
+    Mul64Wide(y, run_len, &off, &unused);
+    StoreGroup(_mm256_add_epi64(run_lo, off), out, i, len);
+  }
+}
+
+void UniformDrawAvx2(const int64_t* items, uint64_t size, int64_t* out,
+                     int64_t len, uint64_t root) {
+  RngLanes lanes(root);
+  XoshiroVec rng(lanes);
+  const long long* base = reinterpret_cast<const long long*>(items);
+  const __m256i vsize = _mm256_set1_epi64x(static_cast<long long>(size));
+  for (int64_t i = 0; i < len; i += kSimdLanes) {
+    const __m256i x = rng.Next();
+    __m256i idx, unused;
+    Mul64Wide(x, vsize, &idx, &unused);
+    StoreGroup(_mm256_i64gather_epi64(base, idx, 8), out, i, len);
+  }
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace histk
+
+#endif  // HISTK_SIMD_AVX2

@@ -1,0 +1,42 @@
+// Internal: the concrete kernel entry points dispatch.cc selects between.
+// Not part of the sampler-facing API — include dist/simd/draw_kernels.h
+// instead.
+//
+// histk:hot-path — no locks permitted in this file (tools/lint_histk.py).
+#ifndef HISTK_DIST_SIMD_BACKENDS_H_
+#define HISTK_DIST_SIMD_BACKENDS_H_
+
+#include <cstdint>
+
+#include "dist/simd/draw_kernels.h"
+
+namespace histk {
+namespace simd {
+namespace internal {
+
+/// Portable reference kernels (scalar.cc): lockstep RngLanes, all-integer.
+/// These DEFINE the kSimd stream.
+void DenseDrawScalar(const DenseTable& table, int64_t* out, int64_t len,
+                     uint64_t root);
+void BucketDrawScalar(const BucketTable& table, int64_t* out, int64_t len,
+                      uint64_t root);
+void UniformDrawScalar(const int64_t* items, uint64_t size, int64_t* out,
+                       int64_t len, uint64_t root);
+
+#if defined(HISTK_SIMD_AVX2)
+/// Vector kernels (avx2.cc, compiled with file-local -mavx2). Byte-identical
+/// to the scalar reference for every input; call only after CPUID confirms
+/// AVX2 (dispatch.cc's job).
+void DenseDrawAvx2(const DenseTable& table, int64_t* out, int64_t len,
+                   uint64_t root);
+void BucketDrawAvx2(const BucketTable& table, int64_t* out, int64_t len,
+                    uint64_t root);
+void UniformDrawAvx2(const int64_t* items, uint64_t size, int64_t* out,
+                     int64_t len, uint64_t root);
+#endif  // HISTK_SIMD_AVX2
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace histk
+
+#endif  // HISTK_DIST_SIMD_BACKENDS_H_

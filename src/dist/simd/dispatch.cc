@@ -1,0 +1,109 @@
+// Runtime backend selection for the kSimd draw kernels.
+//
+// Dispatch cost is paid once per sampler construction (Select*DrawFn
+// returns a plain function pointer the sampler stores), never per draw.
+// The override used by tests and benchmarks is a single relaxed atomic —
+// fine for its single-threaded construction-time use.
+#include "dist/simd/draw_kernels.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "dist/simd/backends.h"
+
+namespace histk {
+namespace simd {
+
+namespace {
+
+/// -1 = no override; otherwise a SimdBackend value forced by
+/// ScopedSimdBackendOverride.
+std::atomic<int> g_backend_override{-1};
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+uint64_t AcceptThreshold(double prob) {
+  // 2^53: prob is a double in [0, 1], so prob * 2^53 is exact (power-of-two
+  // scaling) and ceil of it is exact; the kernels' `v < thresh` test with
+  // v = lo64(x * ncols) >> 11 in [0, 2^53) then accepts with probability
+  // exactly ceil(prob * 2^53) / 2^53 — within 2^-53 of prob, and exactly 0
+  // for prob 0 (zero-mass columns never accept) and 2^53 for prob 1.
+  return static_cast<uint64_t>(std::ceil(prob * 9007199254740992.0));
+}
+
+const char* SimdBackendName(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::kScalar:
+      return "scalar";
+    case SimdBackend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool SimdAvx2Compiled() {
+#if defined(HISTK_SIMD_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool SimdAvx2Supported() { return CpuHasAvx2(); }
+
+SimdBackend ActiveSimdBackend() {
+  const bool avx2_available = SimdAvx2Compiled() && SimdAvx2Supported();
+  const int forced = g_backend_override.load(std::memory_order_relaxed);
+  if (forced == static_cast<int>(SimdBackend::kScalar)) {
+    return SimdBackend::kScalar;
+  }
+  // Forcing kAvx2 cannot conjure kernels the binary lacks or the CPU would
+  // SIGILL on; it only un-prefers scalar, which is the default anyway.
+  return avx2_available ? SimdBackend::kAvx2 : SimdBackend::kScalar;
+}
+
+DenseDrawFn SelectDenseDrawFn() {
+#if defined(HISTK_SIMD_AVX2)
+  if (ActiveSimdBackend() == SimdBackend::kAvx2) {
+    return internal::DenseDrawAvx2;
+  }
+#endif
+  return internal::DenseDrawScalar;
+}
+
+BucketDrawFn SelectBucketDrawFn() {
+#if defined(HISTK_SIMD_AVX2)
+  if (ActiveSimdBackend() == SimdBackend::kAvx2) {
+    return internal::BucketDrawAvx2;
+  }
+#endif
+  return internal::BucketDrawScalar;
+}
+
+UniformDrawFn SelectUniformDrawFn() {
+#if defined(HISTK_SIMD_AVX2)
+  if (ActiveSimdBackend() == SimdBackend::kAvx2) {
+    return internal::UniformDrawAvx2;
+  }
+#endif
+  return internal::UniformDrawScalar;
+}
+
+ScopedSimdBackendOverride::ScopedSimdBackendOverride(SimdBackend backend)
+    : previous_(g_backend_override.exchange(static_cast<int>(backend),
+                                            std::memory_order_relaxed)) {}
+
+ScopedSimdBackendOverride::~ScopedSimdBackendOverride() {
+  g_backend_override.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace simd
+}  // namespace histk

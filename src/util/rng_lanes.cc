@@ -1,0 +1,23 @@
+// histk:hot-path — no locks permitted in this file (tools/lint_histk.py).
+#include "util/rng_lanes.h"
+
+namespace histk {
+
+RngLanes::RngLanes(uint64_t root) {
+  for (int l = 0; l < kSimdLanes; ++l) {
+    // Same derivation shape as the sharded chunk streams: perturb the root
+    // by a lane-indexed multiple of the golden-ratio constant, then run
+    // splitmix64 — Rng(seed)'s own seeding — to fill the state words.
+    uint64_t state =
+        root ^ (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(l) + 1));
+    uint64_t seed = SplitMix64(state);
+    for (int w = 0; w < 4; ++w) s[w][l] = SplitMix64(seed);
+    // All-zero is the one invalid xoshiro state; unreachable via splitmix64
+    // but guarded like Rng's constructor.
+    if ((s[0][l] | s[1][l] | s[2][l] | s[3][l]) == 0) {
+      s[0][l] = 0x9E3779B97F4A7C15ULL;
+    }
+  }
+}
+
+}  // namespace histk

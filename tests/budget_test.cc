@@ -165,6 +165,51 @@ TEST(BudgetedSamplerTest, FusedRequestBeyondBudgetDrawsNothing) {
   EXPECT_EQ(bs.samples_drawn(), 0);
 }
 
+TEST(BudgetedSamplerTest, MetersSimdFusedCountPaths) {
+  // The decorator meters by overriding DrawManyInto/DrawCounts/
+  // DrawCountsSharded, so the kSimd kernel rides the same accounting: every
+  // fused draw is counted, over-budget fused requests are rejected whole,
+  // and the sharded path stays thread-count invariant.
+  const Distribution d = TestDist();
+  const AliasSampler inner(d, AliasKernel::kSimd);
+  struct TallySink : CountSink {
+    int64_t seen = 0;
+    void Consume(const int64_t*, int64_t len) override { seen += len; }
+  };
+
+  {
+    const BudgetedSampler bs(inner);
+    Rng rng(1);
+    TallySink sink;
+    bs.DrawCounts(200, rng, sink);
+    EXPECT_EQ(bs.samples_drawn(), 200);
+    EXPECT_EQ(sink.seen, 200);
+    bs.DrawCountsSharded(300, rng, sink, 2);
+    EXPECT_EQ(bs.samples_drawn(), 500);
+    EXPECT_EQ(sink.seen, 500);
+  }
+  {
+    const BudgetedSampler bs(inner, /*budget=*/100000);
+    Rng rng(1);
+    TallySink sink;
+    EXPECT_THROW(bs.DrawCounts(3 * Sampler::kShardChunk, rng, sink),
+                 BudgetExhaustedError);
+    EXPECT_THROW(bs.DrawCountsSharded(3 * Sampler::kShardChunk, rng, sink, 4),
+                 BudgetExhaustedError);
+    EXPECT_EQ(sink.seen, 0);
+    EXPECT_EQ(bs.samples_drawn(), 0);
+  }
+  {
+    const BudgetedSampler bs(inner, /*budget=*/1000000);
+    const int64_t m = 3 * Sampler::kShardChunk + 17;
+    Rng rng1(7), rng2(7), rng8(7);
+    const auto draws1 = bs.DrawManySharded(m, rng1, 1);
+    EXPECT_EQ(draws1, bs.DrawManySharded(m, rng2, 2));
+    EXPECT_EQ(draws1, bs.DrawManySharded(m, rng8, 8));
+    EXPECT_EQ(bs.samples_drawn(), 3 * m);
+  }
+}
+
 TEST(BudgetExhaustionTest, PropertyTestPartialTelemetryAtEveryPhase) {
   Rng gen(2024);
   const Distribution d = MakeRandomKHistogram(/*n=*/128, /*k=*/3, gen, 10.0).dist;

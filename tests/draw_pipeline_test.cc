@@ -254,6 +254,46 @@ TEST(DrawPipelineTest, PackedBucketWeightsMatchRunMasses) {
   }
 }
 
+// ----------------------------------------------------------------- simd
+
+TEST(DrawPipelineTest, SimdFusedSequentialMatchesMaterializeThenCount) {
+  // Same fused-path contract the default kernel honors, on kSimd: DrawCounts
+  // → SampleCounter equals materialize-then-count, with the same rng state.
+  const Distribution dists[] = {DenseSkewed(), BucketSmall(), BucketHuge()};
+  for (const Distribution& d : dists) {
+    const AliasSampler s(d, AliasKernel::kSimd);
+    for (const int64_t m : {int64_t{0}, int64_t{1}, int64_t{5000},
+                            int64_t{200000}}) {
+      Rng fused_rng(42), mat_rng(42);
+      SampleCounter counter(s.n(), m);
+      s.DrawCounts(m, fused_rng, counter);
+      EXPECT_EQ(counter.total(), m);
+      const SampleSet fused = counter.Build();
+      const SampleSet materialized =
+          SampleSet::FromDraws(s.n(), s.DrawMany(m, mat_rng));
+      ExpectSameSampleSet(fused, materialized);
+      EXPECT_EQ(RngFingerprint(fused_rng), RngFingerprint(mat_rng));
+    }
+  }
+}
+
+TEST(DrawPipelineTest, SimdFusedShardedMatchesMaterializedAtEveryThreadCount) {
+  const Distribution dists[] = {DenseSkewed(), BucketHuge()};
+  for (const Distribution& d : dists) {
+    const AliasSampler s(d, AliasKernel::kSimd);
+    const int64_t m = 200000;
+    Rng mat_rng(9);
+    const SampleSet materialized =
+        SampleSet::FromDraws(s.n(), s.DrawManySharded(m, mat_rng, 1));
+    for (const int threads : {1, 2, 8}) {
+      Rng fused_rng(9);
+      const SampleSet fused = SampleSet::DrawSharded(s, m, fused_rng, threads);
+      ExpectSameSampleSet(fused, materialized);
+      EXPECT_EQ(RngFingerprint(fused_rng), RngFingerprint(mat_rng));
+    }
+  }
+}
+
 // ------------------------------------------------- SampleSet constructors
 
 TEST(DrawPipelineTest, FromDrawsMoveInMatchesCopying) {

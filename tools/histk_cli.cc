@@ -60,6 +60,14 @@
 // bucket Distribution backend above Distribution::kAutoBucketThreshold, so
 // `gen --n $((1<<30))` is cheap; sample emission uses the sharded DrawMany
 // path, whose output depends on --seed but not on --threads.
+//
+// --kernel replay|packed|simd selects the oracle's draw kernel everywhere a
+// sampler is built: gen/compare (AliasSampler over the pmf) and
+// learn/test/property-test/closeness (DatasetSampler over the held items).
+// replay (default) preserves the historical byte streams; packed and simd
+// are the faster reordered kernels (simd additionally runtime-dispatches to
+// AVX2 when available, with a byte-identical scalar fallback). Unknown
+// values exit 2 per the strict-parse convention.
 #include <algorithm>
 #include <cerrno>
 #include <climits>
@@ -95,6 +103,7 @@ struct Args {
   int64_t reservoir = int64_t{1} << 20;  // learn/test held-item cap; 0 = unbounded
   int64_t budget = BudgetedSampler::kUnlimited;  // oracle-draw cap; < 0 = unlimited
   bool json = false;
+  AliasKernel kernel = AliasKernel::kReplay;  // oracle draw kernel
   // gen-only:
   std::string family = "khist";
   int64_t samples = 200000;
@@ -130,6 +139,8 @@ void Usage() {
       "                 zigzag|uniform [--n N] [--k K] [--samples M]\n"
       "                 [--seed X] [--skew S] [--eps E] [--contrast C]\n"
       "                 [--threads T] [--pmf-out FILE]  > items.txt\n"
+      "       all sampling commands also take --kernel replay|packed|simd\n"
+      "                 (oracle draw kernel; default replay)\n"
       "exit codes: 0 ok/accept, 1 reject, 2 usage/invalid, 3 parse error,\n"
       "            4 budget exhausted\n");
 }
@@ -208,6 +219,20 @@ bool Parse(int argc, char** argv, Args& args) {
         return bad();
       }
       args.norm_set = true;
+    } else if (flag == "--kernel") {
+      const char* v = next();
+      if (!v) return bad();
+      // Strict like --norm: a typo must not silently fall back to a kernel
+      // with a different rng stream — seeded runs would replay differently.
+      if (std::strcmp(v, "replay") == 0) {
+        args.kernel = AliasKernel::kReplay;
+      } else if (std::strcmp(v, "packed") == 0) {
+        args.kernel = AliasKernel::kPacked;
+      } else if (std::strcmp(v, "simd") == 0) {
+        args.kernel = AliasKernel::kSimd;
+      } else {
+        return bad();
+      }
     } else if (flag == "--full-enum") {
       args.full_enum = true;
     } else if (flag == "--reduce") {
@@ -363,7 +388,7 @@ int ReportFailure(const Result<Report>& result, bool json) {
 }
 
 int RunLearn(const Args& args, const Ingested& in) {
-  const DatasetSampler sampler(in.n, in.items);
+  const DatasetSampler sampler(in.n, in.items, args.kernel);
   const Engine engine(sampler);
 
   LearnSpec spec;
@@ -400,7 +425,7 @@ int RunLearn(const Args& args, const Ingested& in) {
 }
 
 int RunTest(const Args& args, const Ingested& in) {
-  const DatasetSampler sampler(in.n, in.items);
+  const DatasetSampler sampler(in.n, in.items, args.kernel);
   const Engine engine(sampler);
 
   TestSpec spec;
@@ -438,7 +463,7 @@ int RunTest(const Args& args, const Ingested& in) {
 }
 
 int RunPropertyTest(const Args& args, const Ingested& in) {
-  const DatasetSampler sampler(in.n, in.items);
+  const DatasetSampler sampler(in.n, in.items, args.kernel);
   const Engine engine(sampler);
 
   PropertyTestSpec spec;
@@ -484,8 +509,8 @@ int RunCloseness(const Args& args, const Ingested& in, const Ingested& other) {
   // The two streams must share one domain: an explicit --n wins, otherwise
   // the larger inferred domain covers both item sets.
   const int64_t n = args.n > 0 ? args.n : std::max(in.n, other.n);
-  const DatasetSampler sampler_p(n, in.items);
-  const DatasetSampler sampler_q(n, other.items);
+  const DatasetSampler sampler_p(n, in.items, args.kernel);
+  const DatasetSampler sampler_q(n, other.items, args.kernel);
   const Engine engine(sampler_p);
 
   ClosenessSpec spec;
@@ -526,7 +551,7 @@ int RunCompare(const Args& args, const Ingested& in) {
     weights[i] = static_cast<double>(in.counts[i]);
   }
   const Distribution truth = Distribution::FromWeights(std::move(weights));
-  const AliasSampler sampler(truth);
+  const AliasSampler sampler(truth, args.kernel);
   const Engine engine(sampler, truth);
 
   CompareSpec spec;
@@ -612,14 +637,15 @@ int RunGen(const Args& args) {
       WriteDistribution(f, *dist);
     }
   }
-  const AliasSampler sampler(*dist);
+  const AliasSampler sampler(*dist, args.kernel);
   // Sharded emission: output depends on --seed only, not on --threads.
   WriteDataset(std::cout, sampler.DrawManySharded(args.samples, rng, args.threads));
-  std::fprintf(stderr, "gen: family=%s n=%lld items=%lld seed=%llu backend=%s\n",
+  std::fprintf(stderr, "gen: family=%s n=%lld items=%lld seed=%llu backend=%s kernel=%s\n",
                args.family.c_str(), static_cast<long long>(n),
                static_cast<long long>(args.samples),
                static_cast<unsigned long long>(args.seed),
-               dist->is_bucketed() ? "bucket" : "dense");
+               dist->is_bucketed() ? "bucket" : "dense",
+               AliasKernelName(args.kernel));
   return kExitOk;
 }
 

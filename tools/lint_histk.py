@@ -21,7 +21,14 @@ histk idioms the codebase relies on:
                    variable. The sharded pipeline's thread safety comes
                    from per-worker ownership, not locks (see
                    src/sample/counter.cc); a lock on one of these paths is
-                   a design regression, not a fix.
+                   a design regression, not a fix. Everything under
+                   src/dist/simd/ is hot-path by location, tag or no tag.
+  simd-containment <immintrin.h>-family includes and vector intrinsics
+                   (_mm*, __m128/256/512, __builtin_ia32_*) are allowed ONLY
+                   under src/dist/simd/. Everyone else programs against the
+                   dispatch API in src/dist/simd/draw_kernels.h, so exactly
+                   one directory needs -mavx2 handling, CPUID gating, and
+                   scalar-parity review.
   include-hygiene  No <bits/...> includes, no "../" relative includes, and
                    headers must carry a HISTK_<PATH>_H_ include guard.
   style            No tabs, no trailing whitespace, file ends with exactly
@@ -56,8 +63,11 @@ RNG_RE = re.compile(
     r"minstd_rand0?|default_random_engine)\b"
 )
 
-# hot-path-mutex: opt-in via this tag anywhere in the file.
+# hot-path-mutex: opt-in via this tag anywhere in the file. src/dist/simd/
+# is on the no-locks list by location: the draw kernels live there, and a
+# kernel that needed a lock would be wrong by construction.
 HOT_PATH_TAG = "histk:hot-path"
+SIMD_DIR = "src/dist/simd/"
 MUTEX_RE = re.compile(
     r"\bstd::(?:mutex|recursive_mutex|shared_mutex|timed_mutex|"
     r"lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable)\b"
@@ -70,6 +80,15 @@ ENGINE_ALLOW = {"src/engine/budget.cc", "src/engine/budget.h"}
 DRAW_CALL_RE = re.compile(r"\b(\w+)\s*(?:\.|->)\s*(Draw\w*)\s*\(")
 STATIC_DRAW_RE = re.compile(r"\b(SampleSet|SampleSetGroup)::(Draw\w*)\s*\(\s*(\w+)")
 BUDGETED_DECL_RE = re.compile(r"\bBudgetedSampler[&\s]+(\w+)\s*[({=;,)]")
+
+# simd-containment: intrinsics headers and tokens outside src/dist/simd/.
+SIMD_INCLUDE_RE = re.compile(
+    r"#include\s*<(?:immintrin|x86intrin|x86gprintrin|[a-z]{3}mmintrin|"
+    r"avx[0-9a-z]*intrin)\.h>"
+)
+SIMD_TOKEN_RE = re.compile(
+    r"\b(?:_mm\d*_\w+|__m(?:64|128|256|512)[di]?|__builtin_ia32_\w+)\b"
+)
 
 INCLUDE_RE = re.compile(r'#include\s*[<"]([^>"]+)[">]')
 GUARD_RE = re.compile(r"#ifndef\s+(HISTK_[A-Z0-9_]+_H_)")
@@ -145,7 +164,8 @@ def lint_file(root, rel):
     def emit(line, rule, msg):
         findings.append(Finding(rel, line, rule, msg))
 
-    is_hot_path = HOT_PATH_TAG in raw
+    in_simd_dir = rel.startswith(SIMD_DIR)
+    is_hot_path = HOT_PATH_TAG in raw or in_simd_dir
 
     for idx, line in enumerate(code_lines, start=1):
         if rel not in STRICT_PARSE_ALLOW and PARSE_RE.search(line):
@@ -160,6 +180,11 @@ def lint_file(root, rel):
             emit(idx, "hot-path-mutex",
                  "lock primitive in a histk:hot-path file — sharded-path "
                  "thread safety must come from per-worker ownership")
+        if not in_simd_dir and (SIMD_INCLUDE_RE.search(line)
+                                or SIMD_TOKEN_RE.search(line)):
+            emit(idx, "simd-containment",
+                 "vector intrinsics outside src/dist/simd/ — program "
+                 "against the dispatch API in src/dist/simd/draw_kernels.h")
 
     # engine-budget: collect BudgetedSampler variable names, then require
     # every member Draw* receiver (and SampleSet::Draw* sampler argument)
