@@ -45,13 +45,16 @@
 #include "dist/sampler.h"
 #include "engine/budget.h"
 #include "engine/engine.h"
+#include "engine/telemetry.h"
 #include "histogram/ops.h"
 #include "histogram/priority.h"
 #include "histogram/tiling.h"
 #include "sample/sample_set.h"
 #include "stats/bounds.h"
 #include "stats/estimators.h"
+#include "stream/concurrent_histogram.h"
 #include "stream/dyadic_count_min.h"
+#include "stream/log_bucket.h"
 #include "stream/reservoir.h"
 #include "stream/stream_histogram.h"
 #include "util/ascii_plot.h"

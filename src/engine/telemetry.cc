@@ -1,0 +1,19 @@
+#include "engine/telemetry.h"
+
+#include <utility>
+
+namespace histk {
+
+TelemetrySession::TelemetrySession(Distribution dist, AliasKernel kernel)
+    : dist_(std::make_unique<Distribution>(std::move(dist))),
+      oracle_(std::make_unique<AliasSampler>(*dist_, kernel)),
+      engine_(std::make_unique<Engine>(*oracle_, *dist_)) {}
+
+Result<TelemetrySession> TelemetrySession::FromSnapshot(const HistogramSnapshot& snap,
+                                                        AliasKernel kernel) {
+  Result<Distribution> bridged = snap.ToBucketDistribution();
+  if (!bridged.ok()) return bridged.status();
+  return TelemetrySession(std::move(bridged).value(), kernel);
+}
+
+}  // namespace histk

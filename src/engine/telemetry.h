@@ -1,0 +1,70 @@
+// TelemetrySession — running Engine tasks FROM live telemetry.
+//
+// A HistogramSnapshot (stream/concurrent_histogram.h) captures what a fleet
+// of writer threads actually observed; this bridge turns it into a full
+// Engine session so every TaskSpec — learn, test, compare, estimate,
+// property-test, closeness — runs against the ingested traffic instead of a
+// synthetic oracle:
+//
+//   ConcurrentHistogram hist;               // writers Record() elsewhere
+//   auto session = TelemetrySession::FromSnapshot(hist.Snapshot());
+//   LearnSpec spec;  spec.options.k = 8;  spec.options.eps = 0.1;
+//   Result<Report> report = session->Run(spec);
+//
+// The snapshot's occupied log-buckets become the runs of a bucket-backed
+// Distribution (HistogramSnapshot::ToBucketDistribution — exact on the
+// occupied buckets, O(buckets) whatever the value range), an AliasSampler
+// over it is the session oracle, and the bridged distribution doubles as
+// the session truth, so compare/estimate report against the telemetry
+// itself. Budgets, seeds, draw_threads, and report telemetry behave exactly
+// as in any other Engine session.
+#ifndef HISTK_ENGINE_TELEMETRY_H_
+#define HISTK_ENGINE_TELEMETRY_H_
+
+#include <memory>
+
+#include "dist/distribution.h"
+#include "dist/sampler.h"
+#include "engine/engine.h"
+#include "stream/concurrent_histogram.h"
+#include "util/status.h"
+
+namespace histk {
+
+/// An Engine session whose oracle and truth are bridged from a telemetry
+/// snapshot. Movable; the contained Engine stays valid across moves.
+class TelemetrySession {
+ public:
+  /// Bridges the snapshot and builds the session. InvalidArgument on an
+  /// empty snapshot or a value range beyond the int64 Distribution domain
+  /// (the ToBucketDistribution contract). `kernel` picks the oracle's draw
+  /// kernel, as in any AliasSampler.
+  static Result<TelemetrySession> FromSnapshot(
+      const HistogramSnapshot& snap, AliasKernel kernel = AliasKernel::kReplay);
+
+  /// Runs any TaskSpec against the bridged oracle (see engine/engine.h for
+  /// the Run contract).
+  Result<Report> Run(const TaskSpec& spec) const { return engine_->Run(spec); }
+
+  /// The underlying session, for callers (histk_cli) that already speak
+  /// Engine. References the bridged oracle/truth owned by this object.
+  const Engine& engine() const { return *engine_; }
+
+  /// The bridged distribution (also the session truth).
+  const Distribution& dist() const { return *dist_; }
+
+  /// Domain size of the bridged distribution: last occupied bucket end + 1.
+  int64_t n() const { return dist_->n(); }
+
+ private:
+  TelemetrySession(Distribution dist, AliasKernel kernel);
+
+  // Heap homes keep the Engine's internal references stable across moves.
+  std::unique_ptr<Distribution> dist_;
+  std::unique_ptr<AliasSampler> oracle_;
+  std::unique_ptr<Engine> engine_;
+};
+
+}  // namespace histk
+
+#endif  // HISTK_ENGINE_TELEMETRY_H_

@@ -1,0 +1,47 @@
+#include "stream/log_bucket.h"
+
+namespace histk {
+
+namespace {
+
+/// Decodes key -> (exponent field g, mantissa m).
+inline void SplitKey(uint32_t key, int mantissa_bits, uint32_t& g, uint32_t& m) {
+  g = key >> mantissa_bits;
+  m = key & ((uint32_t{1} << mantissa_bits) - 1);
+}
+
+}  // namespace
+
+uint64_t LogBucketLow(uint32_t key, int mantissa_bits) {
+  HISTK_CHECK(LogBucketMantissaBitsValid(mantissa_bits));
+  HISTK_CHECK_MSG(key < LogBucketKeyCount(mantissa_bits), "key out of range");
+  uint32_t g = 0, m = 0;
+  SplitKey(key, mantissa_bits, g, m);
+  if (g == 0) return m;  // denormal: the key IS the value
+  const int e = static_cast<int>(g) + mantissa_bits - 1;
+  return (uint64_t{1} << e) | (static_cast<uint64_t>(m) << (g - 1));
+}
+
+uint64_t LogBucketHigh(uint32_t key, int mantissa_bits) {
+  HISTK_CHECK(LogBucketMantissaBitsValid(mantissa_bits));
+  HISTK_CHECK_MSG(key < LogBucketKeyCount(mantissa_bits), "key out of range");
+  const uint32_t g = key >> mantissa_bits;
+  if (g == 0) return LogBucketLow(key, mantissa_bits);
+  // Bucket width is 2^(g-1) values.
+  return LogBucketLow(key, mantissa_bits) + ((uint64_t{1} << (g - 1)) - 1);
+}
+
+uint64_t LogBucketRepresentative(uint32_t key, int mantissa_bits) {
+  const uint64_t lo = LogBucketLow(key, mantissa_bits);
+  const uint64_t hi = LogBucketHigh(key, mantissa_bits);
+  // lo + (hi - lo) / 2 cannot overflow; (lo + hi) / 2 could.
+  return lo + (hi - lo) / 2;
+}
+
+double LogBucketMaxRelativeError(int mantissa_bits) {
+  HISTK_CHECK(LogBucketMantissaBitsValid(mantissa_bits));
+  // Width 2^(g-1), lo >= 2^(g + b - 1): half-width / lo <= 2^-(b+1).
+  return 1.0 / static_cast<double>(uint64_t{1} << (mantissa_bits + 1));
+}
+
+}  // namespace histk

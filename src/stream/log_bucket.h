@@ -1,0 +1,85 @@
+// Log-bucket key codec for uint64_t telemetry values (hg64-style).
+//
+// histk:hot-path — no locks permitted in this file (tools/lint_histk.py).
+//
+// ConcurrentHistogram buckets values by a (exponent, mantissa) key: a value
+// v keeps its top `mantissa_bits` significant bits and the position of its
+// leading bit. With b mantissa bits the layout is
+//
+//   key = m                      for v < 2^b      ("denormal": exact)
+//   key = (g << b) | m           otherwise, where e = floor(log2 v),
+//                                g = e - b + 1  (>= 1),
+//                                m = the b bits below the leading bit
+//
+// so keys are monotone in v, bucket ranges tile [0, 2^64) contiguously, and
+// every bucket with g >= 1 spans 2^(g-1) consecutive values starting at
+// 2^e | (m << (g-1)). The midpoint representative of a bucket is within a
+// relative error of 2^-(b+1) of every value in it (exact below 2^b); the
+// default b = 7 gives <= 1/256 ~ 0.39% — comfortably under the 1% target —
+// at (65-7)*2^7 = 7424 possible keys, i.e. a 58 KiB dense counter array.
+//
+// The codec is pure bit arithmetic (no floating point, no tables), so the
+// Record hot path costs a handful of ALU ops on top of the atomic add.
+#ifndef HISTK_STREAM_LOG_BUCKET_H_
+#define HISTK_STREAM_LOG_BUCKET_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace histk {
+
+/// Default mantissa width: relative value error <= 2^-8 (~0.39%).
+constexpr int kLogBucketDefaultMantissaBits = 7;
+
+/// Supported mantissa widths. The upper bound keeps the dense per-shard
+/// counter arrays small ((65-12)*2^12 keys = 1.7 MiB per shard at 12).
+constexpr int kLogBucketMinMantissaBits = 1;
+constexpr int kLogBucketMaxMantissaBits = 12;
+
+/// True iff `mantissa_bits` is a supported width.
+constexpr bool LogBucketMantissaBitsValid(int mantissa_bits) {
+  return mantissa_bits >= kLogBucketMinMantissaBits &&
+         mantissa_bits <= kLogBucketMaxMantissaBits;
+}
+
+/// Number of distinct keys: (65 - b) * 2^b. Keys are dense in
+/// [0, LogBucketKeyCount(b)).
+constexpr uint32_t LogBucketKeyCount(int mantissa_bits) {
+  return static_cast<uint32_t>(65 - mantissa_bits) << mantissa_bits;
+}
+
+/// The key of `value` under `mantissa_bits`. Monotone nondecreasing in
+/// `value`; always < LogBucketKeyCount(mantissa_bits).
+inline uint32_t LogBucketKey(uint64_t value, int mantissa_bits) {
+  HISTK_DCHECK(LogBucketMantissaBitsValid(mantissa_bits));
+  if (value < (uint64_t{1} << mantissa_bits)) {
+    return static_cast<uint32_t>(value);  // denormal: one value per key
+  }
+  const int e = 63 - __builtin_clzll(value);
+  const uint32_t g = static_cast<uint32_t>(e - mantissa_bits + 1);
+  const uint32_t m = static_cast<uint32_t>(value >> (e - mantissa_bits)) &
+                     ((uint32_t{1} << mantissa_bits) - 1);
+  return (g << mantissa_bits) | m;
+}
+
+/// Smallest value mapping to `key` (inclusive).
+uint64_t LogBucketLow(uint32_t key, int mantissa_bits);
+
+/// Largest value mapping to `key` (inclusive). Bucket ranges are contiguous:
+/// LogBucketLow(key + 1) == LogBucketHigh(key) + 1, and the last key's high
+/// end is 2^64 - 1.
+uint64_t LogBucketHigh(uint32_t key, int mantissa_bits);
+
+/// The midpoint representative of the bucket: within
+/// LogBucketMaxRelativeError(b) of every value in the bucket.
+uint64_t LogBucketRepresentative(uint32_t key, int mantissa_bits);
+
+/// The codec's value-error guarantee: |representative - v| <= bound * v for
+/// every v > 0 (and values below 2^b are represented exactly). Equals
+/// 2^-(mantissa_bits + 1).
+double LogBucketMaxRelativeError(int mantissa_bits);
+
+}  // namespace histk
+
+#endif  // HISTK_STREAM_LOG_BUCKET_H_

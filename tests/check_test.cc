@@ -20,6 +20,8 @@
 #include "dist/sampler.h"
 #include "engine/budget.h"
 #include "histogram/tiling.h"
+#include "stream/concurrent_histogram.h"
+#include "stream/log_bucket.h"
 #include "util/check.h"
 #include "util/interval.h"
 #include "util/rng.h"
@@ -74,6 +76,50 @@ TEST(CheckDeathTest, InvariantAbortsWithContextWhenEnabled) {
                "arithmetic broke");
 #else
   HISTK_CHECK_INVARIANT(1 + 1 == 3, "arithmetic broke");  // must be a no-op
+#endif
+}
+
+// ------------------------------------------------- telemetry snapshots
+
+// Mantissa-width agreement is an always-on contract: merging sketches from
+// two differently-configured processes is data corruption, not a nuisance.
+TEST(CheckDeathTest, SnapshotMergeWidthMismatchAborts) {
+  const ConcurrentHistogram a(/*mantissa_bits=*/7);
+  const ConcurrentHistogram b(/*mantissa_bits=*/8);
+  HistogramSnapshot snap = a.Snapshot();
+  EXPECT_DEATH(snap.Merge(b.Snapshot()), "mantissa");
+}
+
+TEST(CheckDeathTest, SnapshotDeltaRequiresDominationAlwaysOn) {
+  ConcurrentHistogram hist(/*mantissa_bits=*/7);
+  hist.Record(3, 5);
+  const HistogramSnapshot later = hist.Snapshot();
+  hist.Record(3, 1);
+  const HistogramSnapshot even_later = hist.Snapshot();
+  // Arguments swapped: the "earlier" snapshot dominates, which can only
+  // mean the pair is not ordered — always-on abort.
+  EXPECT_DEATH(later.DeltaSince(even_later), "dominate");
+}
+
+TEST(CheckDeathTest, QuantileOfEmptySnapshotAborts) {
+  const ConcurrentHistogram hist;
+  EXPECT_DEATH(hist.Snapshot().Quantile(0.5), "empty snapshot");
+}
+
+// Count conservation (total == sum of buckets) is the gated invariant:
+// FromCounts re-verifies it in checks builds and compiles to nothing
+// otherwise (Snapshot() computes the total from the same loads, so the
+// hot path never pays for it).
+TEST(CheckDeathTest, SnapshotCountConservationIsGated) {
+  std::vector<uint64_t> counts(LogBucketKeyCount(7), 0);
+  counts[3] = 4;
+#if HISTK_CHECKS_ENABLED
+  EXPECT_DEATH(HistogramSnapshot::FromCounts(7, counts, /*total=*/5),
+               "snapshot total must equal the sum of bucket counts");
+#else
+  const HistogramSnapshot snap =
+      HistogramSnapshot::FromCounts(7, counts, /*total=*/5);
+  EXPECT_EQ(snap.TotalCount(), 5u);  // trusted as-given when gates are off
 #endif
 }
 

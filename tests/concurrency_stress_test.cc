@@ -12,6 +12,10 @@
 //      locking on the Consume hot path.
 //   3. Concurrent Engine sessions over one oracle must not interfere:
 //      every thread's Report matches the single-threaded reference.
+//   4. ConcurrentHistogram's lock-free ingest: many writers Record while
+//      readers Snapshot/Merge/DeltaSince concurrently — totals must be
+//      monotone per reader, and the final snapshot byte-identical to a
+//      sequential reference over the same values.
 #include <cstdint>
 #include <optional>
 #include <thread>
@@ -25,6 +29,8 @@
 #include "engine/engine.h"
 #include "sample/counter.h"
 #include "sample/sample_set.h"
+#include "stream/concurrent_histogram.h"
+#include "stream/log_bucket.h"
 #include "util/interval.h"
 #include "util/rng.h"
 
@@ -235,6 +241,127 @@ TEST(ConcurrencyStressTest, ConcurrentEngineSessionsOverOneOracle) {
   for (int t = 0; t < kOuterThreads; ++t) {
     EXPECT_EQ(failures[t], 0) << "thread " << t << " diverged";
   }
+}
+
+// ------------------------------------------------- lock-free telemetry
+
+// N writers hammer Record while M readers hammer Snapshot/Merge/DeltaSince
+// against the same histogram, with no coordination beyond the final joins.
+// Contracts under fire:
+//   * every value is conserved: the final snapshot's count VECTOR equals a
+//     sequential reference over the same deterministic value streams;
+//   * each reader observes monotone non-decreasing totals, and successive
+//     snapshots satisfy the DeltaSince domination contract (its always-on
+//     check doubles as the assertion);
+//   * Merge during writes conserves whatever the two operands held.
+// Under the tsan preset this is the race gauntlet for the relaxed-atomics
+// design; in normal builds it is a hard conservation test.
+TEST(ConcurrencyStressTest, ConcurrentHistogramWritersAndReaders) {
+  constexpr int kWriters = 8;
+  constexpr int kReaders = 4;
+  constexpr int64_t kPerWriter = kDraws / 8;
+  constexpr int kSnapshotsPerReader = 64;
+  constexpr uint64_t kTotal =
+      static_cast<uint64_t>(kWriters) * static_cast<uint64_t>(kPerWriter);
+
+  // Writer w's value stream is Rng(6000 + w): replayable sequentially.
+  auto writer_value = [](Rng& rng, int w) {
+    // Mix of narrow and full-width values so both the denormal and the
+    // geometric bucket regions see traffic.
+    return rng.NextU64() >> (8 * (w % 8));
+  };
+
+  ConcurrentHistogram sequential(kLogBucketDefaultMantissaBits, /*num_shards=*/1);
+  for (int w = 0; w < kWriters; ++w) {
+    Rng rng(6000 + w);
+    for (int64_t i = 0; i < kPerWriter; ++i) {
+      sequential.Record(writer_value(rng, w));
+    }
+  }
+  const HistogramSnapshot expected = sequential.Snapshot();
+  ASSERT_EQ(expected.TotalCount(), kTotal);
+
+  ConcurrentHistogram hist;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kReaders);
+  std::vector<int> reader_failures(kReaders, 0);
+
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&hist, &writer_value, w] {
+      Rng rng(6000 + w);
+      for (int64_t i = 0; i < kPerWriter; ++i) {
+        hist.Record(writer_value(rng, w));
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&hist, &reader_failures, r] {
+      HistogramSnapshot prev = hist.Snapshot();
+      HistogramSnapshot merged = prev;  // rolling Merge target under fire
+      for (int s = 0; s < kSnapshotsPerReader; ++s) {
+        const HistogramSnapshot now = hist.Snapshot();
+        if (now.TotalCount() < prev.TotalCount() || now.TotalCount() > kTotal) {
+          reader_failures[r] = 1;
+          return;
+        }
+        // DeltaSince aborts (always-on) if `now` fails to dominate `prev`
+        // bucketwise — per-reader snapshots of one histogram must be an
+        // ordered pair even mid-write.
+        const HistogramSnapshot window = now.DeltaSince(prev);
+        merged.Merge(window);
+        if (merged != now) {
+          reader_failures[r] = 1;  // rolling merge lost or invented counts
+          return;
+        }
+        prev = now;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int r = 0; r < kReaders; ++r) {
+    EXPECT_EQ(reader_failures[r], 0) << "reader " << r << " saw a violation";
+  }
+
+  // Byte-checked conservation: not just the totals — the entire per-bucket
+  // count vector must match the sequential reference exactly.
+  const HistogramSnapshot final_snap = hist.Snapshot();
+  EXPECT_EQ(final_snap.TotalCount(), kTotal);
+  EXPECT_EQ(final_snap.counts(), expected.counts());
+  EXPECT_EQ(final_snap, expected);
+}
+
+// Cross-histogram aggregation while both operands are still being written:
+// Merge of two concurrent snapshots conserves exactly the counts the two
+// snapshots held (commutativity under fire).
+TEST(ConcurrencyStressTest, ConcurrentHistogramMergeUnderWrites) {
+  constexpr int64_t kPerHistogram = kDraws / 8;
+  ConcurrentHistogram a, b;
+
+  std::vector<std::thread> writers;
+  writers.reserve(2);
+  for (ConcurrentHistogram* h : {&a, &b}) {
+    writers.emplace_back([h] {
+      Rng rng(7000);  // same stream for both: only conservation is at stake
+      for (int64_t i = 0; i < kPerHistogram; ++i) h->Record(rng.NextU64() >> 20);
+    });
+  }
+
+  for (int round = 0; round < 32; ++round) {
+    const HistogramSnapshot sa = a.Snapshot();
+    const HistogramSnapshot sb = b.Snapshot();
+    HistogramSnapshot ab = sa;
+    ab.Merge(sb);
+    HistogramSnapshot ba = sb;
+    ba.Merge(sa);
+    ASSERT_EQ(ab, ba) << "round " << round;
+    ASSERT_EQ(ab.TotalCount(), sa.TotalCount() + sb.TotalCount());
+  }
+  for (std::thread& th : writers) th.join();
+
+  HistogramSnapshot final_ab = a.Snapshot();
+  final_ab.Merge(b.Snapshot());
+  EXPECT_EQ(final_ab.TotalCount(),
+            2 * static_cast<uint64_t>(kPerHistogram));
 }
 
 }  // namespace

@@ -1,0 +1,141 @@
+// Log-bucket codec invariants (stream/log_bucket.h): the telemetry
+// histogram's accuracy contract rests entirely on this u64 -> key mapping,
+// so the tests pin it exhaustively:
+//
+//   * below 2^b the codec is exact (one value per key);
+//   * every value round-trips into a bucket that contains it, and the
+//     bucket representative is within the advertised relative error;
+//   * at every supported mantissa width the buckets tile [0, 2^64)
+//     contiguously and monotonically — no gaps, no overlaps, the last
+//     bucket ends exactly at u64 max.
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/log_bucket.h"
+#include "util/rng.h"
+
+namespace histk {
+namespace {
+
+constexpr uint64_t kU64Max = std::numeric_limits<uint64_t>::max();
+
+// The widths exercised across the suite: the extremes plus the default and
+// one mid-range setting.
+const std::vector<int> kWidths = {kLogBucketMinMantissaBits, 4,
+                                  kLogBucketDefaultMantissaBits,
+                                  kLogBucketMaxMantissaBits};
+
+TEST(LogBucketTest, DenormalRegionIsExact) {
+  for (int b : kWidths) {
+    const uint64_t denormal_end = uint64_t{1} << b;
+    for (uint64_t v = 0; v < denormal_end; ++v) {
+      const uint32_t key = LogBucketKey(v, b);
+      EXPECT_EQ(key, static_cast<uint32_t>(v)) << "b=" << b;
+      EXPECT_EQ(LogBucketLow(key, b), v) << "b=" << b;
+      EXPECT_EQ(LogBucketHigh(key, b), v) << "b=" << b;
+      EXPECT_EQ(LogBucketRepresentative(key, b), v) << "b=" << b;
+    }
+  }
+}
+
+TEST(LogBucketTest, KeyCountMatchesFormula) {
+  for (int b = kLogBucketMinMantissaBits; b <= kLogBucketMaxMantissaBits; ++b) {
+    EXPECT_EQ(LogBucketKeyCount(b), static_cast<uint32_t>(65 - b) << b);
+    // The largest value must land on the last key: the key space is tight.
+    EXPECT_EQ(LogBucketKey(kU64Max, b), LogBucketKeyCount(b) - 1);
+  }
+}
+
+// Every probed value lands in a bucket that contains it, and the bucket's
+// representative is within the advertised max relative error.
+TEST(LogBucketTest, RoundTripWithinRelativeError) {
+  Rng rng(0xB0C) /* deterministic probe values */;
+  for (int b : kWidths) {
+    const double max_err = LogBucketMaxRelativeError(b);
+    EXPECT_DOUBLE_EQ(max_err, 1.0 / static_cast<double>(uint64_t{2} << b));
+
+    std::vector<uint64_t> probes = {0, 1, 2, kU64Max, kU64Max - 1,
+                                    (uint64_t{1} << b) - 1, uint64_t{1} << b,
+                                    (uint64_t{1} << b) + 1};
+    for (int e = 1; e < 64; ++e) {
+      const uint64_t p = uint64_t{1} << e;
+      probes.push_back(p - 1);
+      probes.push_back(p);
+      probes.push_back(p + 1);
+    }
+    for (int i = 0; i < 4096; ++i) probes.push_back(rng.NextU64());
+
+    for (uint64_t v : probes) {
+      const uint32_t key = LogBucketKey(v, b);
+      ASSERT_LT(key, LogBucketKeyCount(b)) << "b=" << b << " v=" << v;
+      const uint64_t lo = LogBucketLow(key, b);
+      const uint64_t hi = LogBucketHigh(key, b);
+      ASSERT_LE(lo, v) << "b=" << b << " v=" << v;
+      ASSERT_GE(hi, v) << "b=" << b << " v=" << v;
+      const uint64_t rep = LogBucketRepresentative(key, b);
+      ASSERT_LE(lo, rep);
+      ASSERT_GE(hi, rep);
+      // |rep - v| <= max_err * v for v > 0 (the denormal region is exact,
+      // so this only bites in the geometric region where v >= lo >= 2^b).
+      const double err = v >= rep ? static_cast<double>(v - rep)
+                                  : static_cast<double>(rep - v);
+      if (v > 0) {
+        EXPECT_LE(err, max_err * static_cast<double>(v) + 1e-9)
+            << "b=" << b << " v=" << v << " rep=" << rep;
+      }
+    }
+  }
+}
+
+// The buckets tile [0, 2^64) with no gaps and no overlaps: each bucket
+// starts exactly one past the previous bucket's end, bucket ends are
+// strictly increasing, the last bucket ends at u64 max, and both endpoints
+// of every bucket map back to its key.
+TEST(LogBucketTest, BucketsTileTheFullRangeContiguously) {
+  for (int b : kWidths) {
+    const uint32_t keys = LogBucketKeyCount(b);
+    uint64_t expected_low = 0;
+    for (uint32_t key = 0; key < keys; ++key) {
+      const uint64_t lo = LogBucketLow(key, b);
+      const uint64_t hi = LogBucketHigh(key, b);
+      ASSERT_EQ(lo, expected_low) << "b=" << b << " key=" << key;
+      ASSERT_GE(hi, lo) << "b=" << b << " key=" << key;
+      ASSERT_EQ(LogBucketKey(lo, b), key) << "b=" << b;
+      ASSERT_EQ(LogBucketKey(hi, b), key) << "b=" << b;
+      if (key + 1 < keys) {
+        expected_low = hi + 1;
+        ASSERT_GT(hi + 1, hi) << "b=" << b << " key=" << key;  // no wrap early
+      } else {
+        ASSERT_EQ(hi, kU64Max) << "b=" << b;
+      }
+    }
+  }
+}
+
+// Key order agrees with value order: the codec is monotone, which is what
+// makes snapshot CDFs and quantiles well-defined.
+TEST(LogBucketTest, KeysAreMonotoneInValue) {
+  Rng rng(0x10C);
+  for (int b : kWidths) {
+    for (int i = 0; i < 4096; ++i) {
+      const uint64_t x = rng.NextU64();
+      const uint64_t y = rng.NextU64();
+      const uint64_t small = x < y ? x : y;
+      const uint64_t big = x < y ? y : x;
+      EXPECT_LE(LogBucketKey(small, b), LogBucketKey(big, b)) << "b=" << b;
+    }
+  }
+}
+
+TEST(LogBucketTest, DefaultWidthMeetsTheAdvertisedBudget) {
+  // README/ISSUE contract: the default width costs <= 7424 counters and
+  // keeps relative value error under 1%.
+  EXPECT_EQ(LogBucketKeyCount(kLogBucketDefaultMantissaBits), 7424u);
+  EXPECT_LT(LogBucketMaxRelativeError(kLogBucketDefaultMantissaBits), 0.01);
+}
+
+}  // namespace
+}  // namespace histk

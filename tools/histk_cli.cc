@@ -23,6 +23,20 @@
 //                     [--scale S] [--seed X] [--reservoir R] [--budget B]
 //                     [--json] < items.txt
 //   histk_cli voptimal --k 8 [--n N] < items.txt > histogram.txt
+//   histk_cli ingest  [--mantissa-bits B] [--threads W] [--cdf-at V]
+//                     [--sketch-out FILE] [--json] < values.txt
+//
+// ingest is the live-telemetry entry point: stdin values (any u64 range —
+// latencies, sizes) stream into a lock-free ConcurrentHistogram
+// (stream/concurrent_histogram.h), fanned out across --threads writer
+// threads, and the snapshot is reported as a quantile summary (plus
+// cdf(V) for each --cdf-at), --json (the snapshot's JSON form), and/or
+// --sketch-out FILE (the compact wire format). The snapshot is identical
+// whatever --threads is: bucket counts commute. learn and test accept
+// --from-sketch FILE instead of stdin items: the sketch's occupied
+// log-buckets become a bucket Distribution (exact on occupied buckets) and
+// the task runs against that bridged oracle (engine/telemetry.h), so
+// synopses are learned from ingested traffic with no item stream kept.
 //
 // property-test asks whether the (unknown) stream distribution is a
 // k-histogram AT ALL (no reference needed): it learns a candidate and runs
@@ -71,13 +85,17 @@
 #include <algorithm>
 #include <cerrno>
 #include <climits>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/histk.h"
@@ -111,6 +129,11 @@ struct Args {
   double contrast = 20.0;
   int threads = 0;  // sharded DrawMany workers; 0 = hardware concurrency
   std::string pmf_out;
+  // ingest / --from-sketch:
+  int64_t mantissa_bits = kLogBucketDefaultMantissaBits;
+  std::vector<uint64_t> cdf_at;  // ingest: report cdf(V) for each --cdf-at V
+  std::string sketch_out;        // ingest: write the wire-format snapshot here
+  std::string from_sketch;       // learn/test: bridge this sketch, skip stdin
 };
 
 // Exit codes, one per outcome class (see file comment).
@@ -123,12 +146,14 @@ constexpr int kExitBudget = 4;
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: histk_cli <gen|learn|test|property-test|closeness|compare|voptimal>\n"
-      "                 [flags] < items.txt\n"
+      "usage: histk_cli <gen|learn|test|property-test|closeness|compare|voptimal\n"
+      "                 |ingest> [flags] < items.txt\n"
       "       histk_cli learn   --k K --eps E [--n N] [--scale S] [--full-enum]\n"
       "                 [--reduce] [--seed X] [--reservoir R] [--budget B] [--json]\n"
+      "                 [--from-sketch FILE]\n"
       "       histk_cli test    --k K --eps E --norm l1|l2 [--n N] [--scale S]\n"
       "                 [--seed X] [--reservoir R] [--budget B] [--json]\n"
+      "                 [--from-sketch FILE]\n"
       "       histk_cli property-test --k K --eps E [--norm l1|l2] [--n N]\n"
       "                 [--scale S] [--seed X] [--reservoir R] [--budget B] [--json]\n"
       "       histk_cli closeness --k K [--k2 K] --eps E --other OTHER.txt [--n N]\n"
@@ -139,6 +164,11 @@ void Usage() {
       "                 zigzag|uniform [--n N] [--k K] [--samples M]\n"
       "                 [--seed X] [--skew S] [--eps E] [--contrast C]\n"
       "                 [--threads T] [--pmf-out FILE]  > items.txt\n"
+      "       histk_cli ingest  [--mantissa-bits B] [--threads W] [--cdf-at V]\n"
+      "                 [--sketch-out FILE] [--json]  < values.txt\n"
+      "                 (quantile summary in text mode; --json prints the\n"
+      "                 snapshot object; learn/test --from-sketch consume\n"
+      "                 the --sketch-out file)\n"
       "       all sampling commands also take --kernel replay|packed|simd\n"
       "                 (oracle draw kernel; default replay)\n"
       "exit codes: 0 ok/accept, 1 reject, 2 usage/invalid, 3 parse error,\n"
@@ -265,6 +295,22 @@ bool Parse(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return bad();
       args.pmf_out = v;
+    } else if (flag == "--mantissa-bits") {
+      const char* v = next();
+      if (!v || !ToI64(v, args.mantissa_bits)) return bad();
+    } else if (flag == "--cdf-at") {
+      const char* v = next();
+      uint64_t at = 0;
+      if (!v || !ToU64(v, at)) return bad();
+      args.cdf_at.push_back(at);
+    } else if (flag == "--sketch-out") {
+      const char* v = next();
+      if (!v) return bad();
+      args.sketch_out = v;
+    } else if (flag == "--from-sketch") {
+      const char* v = next();
+      if (!v) return bad();
+      args.from_sketch = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -273,7 +319,7 @@ bool Parse(int argc, char** argv, Args& args) {
   return args.command == "gen" || args.command == "learn" ||
          args.command == "test" || args.command == "property-test" ||
          args.command == "closeness" || args.command == "compare" ||
-         args.command == "voptimal";
+         args.command == "voptimal" || args.command == "ingest";
 }
 
 // Streaming ingestion: stdin is consumed line by line and fed to the
@@ -387,10 +433,10 @@ int ReportFailure(const Result<Report>& result, bool json) {
   return -1;  // no failure; caller handles the success path
 }
 
-int RunLearn(const Args& args, const Ingested& in) {
-  const DatasetSampler sampler(in.n, in.items, args.kernel);
-  const Engine engine(sampler);
-
+// learn/test run against whichever Engine the caller built — the dataset
+// oracle (stdin items) or a telemetry bridge (--from-sketch). `source_note`
+// is the stderr provenance line ("stream: ..." / "sketch: ...").
+int RunLearnOn(const Args& args, const Engine& engine, const std::string& source_note) {
   LearnSpec spec;
   spec.seed = args.seed;
   spec.budget = args.budget;
@@ -412,9 +458,7 @@ int RunLearn(const Args& args, const Ingested& in) {
   }
   const TilingHistogram& out = args.reduce ? *report.reduced : report.learn->tiling;
   WriteTilingHistogram(std::cout, out);
-  std::fprintf(stderr, "stream: %lld items, %lld held\n",
-               static_cast<long long>(in.stream_items),
-               static_cast<long long>(in.items.size()));
+  std::fprintf(stderr, "%s\n", source_note.c_str());
   std::fprintf(stderr, "drew %lld samples (l=%lld, r=%lld x m=%lld), %lld pieces\n",
                static_cast<long long>(report.learn->total_samples),
                static_cast<long long>(report.learn->params.l),
@@ -424,10 +468,18 @@ int RunLearn(const Args& args, const Ingested& in) {
   return kExitOk;
 }
 
-int RunTest(const Args& args, const Ingested& in) {
+std::string StreamNote(const Ingested& in) {
+  return "stream: " + std::to_string(in.stream_items) + " items, " +
+         std::to_string(in.items.size()) + " held";
+}
+
+int RunLearn(const Args& args, const Ingested& in) {
   const DatasetSampler sampler(in.n, in.items, args.kernel);
   const Engine engine(sampler);
+  return RunLearnOn(args, engine, StreamNote(in));
+}
 
+int RunTestOn(const Args& args, const Engine& engine, const std::string& source_note) {
   TestSpec spec;
   spec.seed = args.seed;
   spec.budget = args.budget;
@@ -445,9 +497,7 @@ int RunTest(const Args& args, const Ingested& in) {
     WriteReportJson(std::cout, report);
     return report.test->accepted ? kExitOk : kExitReject;
   }
-  std::fprintf(stderr, "stream: %lld items, %lld held\n",
-               static_cast<long long>(in.stream_items),
-               static_cast<long long>(in.items.size()));
+  std::fprintf(stderr, "%s\n", source_note.c_str());
   const TestOutcome& out = *report.test;
   std::printf("%s\n", out.accepted ? "ACCEPT" : "REJECT");
   std::printf("samples: %lld (r=%lld x m=%lld), norm: %s\n",
@@ -460,6 +510,12 @@ int RunTest(const Args& args, const Ingested& in) {
   }
   std::printf("\n");
   return out.accepted ? kExitOk : kExitReject;
+}
+
+int RunTest(const Args& args, const Ingested& in) {
+  const DatasetSampler sampler(in.n, in.items, args.kernel);
+  const Engine engine(sampler);
+  return RunTestOn(args, engine, StreamNote(in));
 }
 
 int RunPropertyTest(const Args& args, const Ingested& in) {
@@ -663,6 +719,157 @@ int RunVOptimal(const Args& args, const Ingested& in) {
   return kExitOk;
 }
 
+int RunIngest(const Args& args) {
+  if (!LogBucketMantissaBitsValid(static_cast<int>(args.mantissa_bits))) {
+    std::fprintf(stderr, "ingest: --mantissa-bits must be in [%d, %d]\n",
+                 kLogBucketMinMantissaBits, kLogBucketMaxMantissaBits);
+    return kExitUsage;
+  }
+  ConcurrentHistogram hist(static_cast<int>(args.mantissa_bits));
+  const int writers = std::clamp(args.threads, 1, ConcurrentHistogram::kMaxShards);
+
+  // Writer fan-out: parsed chunks go to `writers` threads through a small
+  // bounded mutex/cv queue. Locks are fine HERE — the CLI driver is not
+  // hot-path code; the point is that ConcurrentHistogram::Record itself
+  // needs no coordination, so the snapshot is identical whatever --threads
+  // is (bucket counts commute).
+  std::mutex mu;
+  std::condition_variable can_pop, can_push;
+  std::deque<std::vector<uint64_t>> pending;
+  bool producer_done = false;
+  const size_t max_pending = 4 * static_cast<size_t>(writers);
+  std::vector<std::thread> pool;
+  if (writers > 1) {
+    pool.reserve(static_cast<size_t>(writers));
+    for (int w = 0; w < writers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          std::vector<uint64_t> batch;
+          {
+            std::unique_lock<std::mutex> lock(mu);
+            can_pop.wait(lock, [&] { return producer_done || !pending.empty(); });
+            if (pending.empty()) return;
+            batch = std::move(pending.front());
+            pending.pop_front();
+          }
+          can_push.notify_one();
+          for (uint64_t v : batch) hist.Record(v);
+        }
+      });
+    }
+  }
+
+  std::vector<uint64_t> chunk;
+  chunk.reserve(static_cast<size_t>(kIngestChunk));
+  auto flush = [&] {
+    if (chunk.empty()) return;
+    if (writers == 1) {
+      for (uint64_t v : chunk) hist.Record(v);
+      chunk.clear();
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      can_push.wait(lock, [&] { return pending.size() < max_pending; });
+      pending.push_back(std::move(chunk));
+    }
+    can_pop.notify_one();
+    chunk = std::vector<uint64_t>();
+    chunk.reserve(static_cast<size_t>(kIngestChunk));
+  };
+  // Same dataset grammar as every other subcommand (ScanDataset); the same
+  // CLI policy for negatives (warn and drop). Values use the full u64 range
+  // the library supports only via the API — the shared grammar is int64, so
+  // the CLI tops out at 2^63 - 1, plenty for ns-scale latencies.
+  const Status scan = ScanDataset(std::cin, [&](int64_t v, int64_t) -> Status {
+    if (v < 0) {
+      std::fprintf(stderr, "negative item %lld ignored\n", static_cast<long long>(v));
+      return Status::Ok();
+    }
+    chunk.push_back(static_cast<uint64_t>(v));
+    if (static_cast<int64_t>(chunk.size()) == kIngestChunk) flush();
+    return Status::Ok();
+  });
+  if (scan.ok()) flush();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    producer_done = true;
+  }
+  can_pop.notify_all();
+  for (std::thread& t : pool) t.join();
+  if (!scan.ok()) {
+    std::fprintf(stderr, "%s\n", scan.ToString().c_str());
+    return scan.code() == StatusCode::kParseError ? kExitParse : kExitUsage;
+  }
+
+  const HistogramSnapshot snap = hist.Snapshot();
+  if (snap.TotalCount() == 0) {
+    std::fprintf(stderr, "no values on stdin\n");
+    return kExitUsage;
+  }
+  if (!args.sketch_out.empty()) {
+    std::ofstream f(args.sketch_out);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", args.sketch_out.c_str());
+      return kExitUsage;
+    }
+    WriteSnapshot(f, snap);
+  }
+  if (args.json) {
+    WriteSnapshotJson(std::cout, snap);
+  } else {
+    auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+    std::printf("count %llu\n", u(snap.TotalCount()));
+    std::printf("min   %llu\n", u(*snap.MinValueBound()));
+    std::printf("p50   %llu\n", u(snap.Quantile(0.50)));
+    std::printf("p90   %llu\n", u(snap.Quantile(0.90)));
+    std::printf("p99   %llu\n", u(snap.Quantile(0.99)));
+    std::printf("p999  %llu\n", u(snap.Quantile(0.999)));
+    std::printf("max   %llu\n", u(*snap.MaxValueBound()));
+    for (uint64_t at : args.cdf_at) {
+      std::printf("cdf(%llu) %.6f\n", u(at), snap.CdfAt(at));
+    }
+  }
+  std::fprintf(stderr,
+               "ingest: %llu values, %lld occupied buckets "
+               "(mantissa_bits=%d, max rel err %.4g), %d writer thread(s)\n",
+               static_cast<unsigned long long>(snap.TotalCount()),
+               static_cast<long long>(snap.OccupiedBuckets()), snap.mantissa_bits(),
+               LogBucketMaxRelativeError(snap.mantissa_bits()), writers);
+  return kExitOk;
+}
+
+// learn/test --from-sketch: parse the wire-format snapshot, bridge it into
+// an Engine session (engine/telemetry.h), run the task. Sketch parse errors
+// exit 3 with the offending line, like every other malformed input.
+int RunFromSketch(const Args& args) {
+  std::ifstream f(args.from_sketch);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", args.from_sketch.c_str());
+    return kExitUsage;
+  }
+  const Result<HistogramSnapshot> snap = ParseSnapshot(f);
+  if (!snap.ok()) {
+    std::fprintf(stderr, "%s: %s\n", args.from_sketch.c_str(),
+                 snap.status().ToString().c_str());
+    return snap.status().code() == StatusCode::kParseError ? kExitParse
+                                                           : kExitUsage;
+  }
+  const Result<TelemetrySession> session =
+      TelemetrySession::FromSnapshot(*snap, args.kernel);
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s: %s\n", args.from_sketch.c_str(),
+                 session.status().ToString().c_str());
+    return kExitUsage;
+  }
+  const std::string note =
+      "sketch: " + std::to_string(snap->TotalCount()) + " values, " +
+      std::to_string(snap->OccupiedBuckets()) + " occupied buckets over domain [0, " +
+      std::to_string(session->n()) + ")";
+  if (args.command == "learn") return RunLearnOn(args, session->engine(), note);
+  return RunTestOn(args, session->engine(), note);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -672,6 +879,14 @@ int main(int argc, char** argv) {
     return kExitUsage;
   }
   if (args.command == "gen") return RunGen(args);
+  if (args.command == "ingest") return RunIngest(args);
+  if (!args.from_sketch.empty()) {
+    if (args.command != "learn" && args.command != "test") {
+      std::fprintf(stderr, "--from-sketch applies to learn and test only\n");
+      return kExitUsage;
+    }
+    return RunFromSketch(args);
+  }
   const IngestMode mode =
       args.command == "voptimal" || args.command == "compare" ? IngestMode::kCounts
                                                               : IngestMode::kReservoir;

@@ -20,9 +20,19 @@ histk idioms the codebase relies on:
                    std::lock_guard / std::unique_lock / std::condition_-
                    variable. The sharded pipeline's thread safety comes
                    from per-worker ownership, not locks (see
-                   src/sample/counter.cc); a lock on one of these paths is
-                   a design regression, not a fix. Everything under
-                   src/dist/simd/ is hot-path by location, tag or no tag.
+                   src/sample/counter.cc) or from designed lock-freedom
+                   (src/stream/concurrent_histogram.*); a lock on one of
+                   these paths is a design regression, not a fix.
+                   Everything under src/dist/simd/ and the files in
+                   HOT_PATH_FILES are hot-path by location, tag or no tag.
+  atomics-containment
+                   std::atomic / <atomic> / std::memory_order appear ONLY
+                   in the designated concurrency kernels (HOT_ATOMICS_ALLOW:
+                   the concurrent histogram, the sharded draw dispatcher,
+                   the SIMD backend override). Atomics sprinkled anywhere
+                   else are either a data-race band-aid or a new concurrent
+                   design that belongs behind one of those reviewed,
+                   tsan-covered facades.
   simd-containment <immintrin.h>-family includes and vector intrinsics
                    (_mm*, __m128/256/512, __builtin_ia32_*) are allowed ONLY
                    under src/dist/simd/. Everyone else programs against the
@@ -68,10 +78,30 @@ RNG_RE = re.compile(
 # kernel that needed a lock would be wrong by construction.
 HOT_PATH_TAG = "histk:hot-path"
 SIMD_DIR = "src/dist/simd/"
+# Hot-path by location (belt to the tag's suspenders: removing the tag from
+# one of these files must not silently lift the no-locks rule).
+HOT_PATH_FILES = {
+    "src/stream/concurrent_histogram.h",
+    "src/stream/concurrent_histogram.cc",
+    "src/stream/log_bucket.h",
+    "src/stream/log_bucket.cc",
+}
 MUTEX_RE = re.compile(
     r"\bstd::(?:mutex|recursive_mutex|shared_mutex|timed_mutex|"
     r"lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable)\b"
     r"|#include\s*<(?:mutex|shared_mutex|condition_variable)>"
+)
+
+# atomics-containment: the designated concurrency kernels. Everything else
+# must build on these facades instead of rolling its own atomics.
+HOT_ATOMICS_ALLOW = {
+    "src/stream/concurrent_histogram.h",
+    "src/stream/concurrent_histogram.cc",
+    "src/dist/sampler.cc",       # sharded DrawMany chunk dispenser
+    "src/dist/simd/dispatch.cc",  # runtime backend override knob
+}
+ATOMIC_RE = re.compile(
+    r"\bstd::(?:atomic\w*|memory_order\w*)\b|#include\s*<atomic>"
 )
 
 # engine-budget: Draw* receivers inside src/engine/ that are exempt because
@@ -165,7 +195,7 @@ def lint_file(root, rel):
         findings.append(Finding(rel, line, rule, msg))
 
     in_simd_dir = rel.startswith(SIMD_DIR)
-    is_hot_path = HOT_PATH_TAG in raw or in_simd_dir
+    is_hot_path = HOT_PATH_TAG in raw or in_simd_dir or rel in HOT_PATH_FILES
 
     for idx, line in enumerate(code_lines, start=1):
         if rel not in STRICT_PARSE_ALLOW and PARSE_RE.search(line):
@@ -185,6 +215,11 @@ def lint_file(root, rel):
             emit(idx, "simd-containment",
                  "vector intrinsics outside src/dist/simd/ — program "
                  "against the dispatch API in src/dist/simd/draw_kernels.h")
+        if rel not in HOT_ATOMICS_ALLOW and ATOMIC_RE.search(line):
+            emit(idx, "atomics-containment",
+                 "std::atomic outside the designated concurrency kernels — "
+                 "build on ConcurrentHistogram / the sharded samplers "
+                 "instead of ad-hoc atomics")
 
     # engine-budget: collect BudgetedSampler variable names, then require
     # every member Draw* receiver (and SampleSet::Draw* sampler argument)
