@@ -30,6 +30,8 @@
 
 #include "benchutil/harness.h"
 #include "core/histk.h"
+#include "engine/budget.h"
+#include "engine/runtime.h"
 #include "sample/counter.h"
 #include "sample/sample_set.h"
 #include "util/timer.h"
@@ -120,6 +122,36 @@ double ShardedCountSeconds(const AliasSampler& sampler, int64_t m, int workers) 
   int64_t got = s.m();
   const double sec = timer.ElapsedSeconds();
   benchmark::DoNotOptimize(got);
+  return sec;
+}
+
+/// Wall seconds for one batch through the budget meter; `policy` may be
+/// null (the historical meter), inert, or armed (chunked deadline/cancel
+/// checks at the metering points).
+double MeteredDrawSeconds(const AliasSampler& sampler, int64_t m,
+                          const RunPolicy* policy) {
+  Rng rng(23);
+  WallTimer timer;
+  const BudgetedSampler metered(sampler, BudgetedSampler::kUnlimited, policy);
+  const std::vector<int64_t> draws = metered.DrawMany(m, rng);
+  const double sec = timer.ElapsedSeconds();
+  benchmark::DoNotOptimize(draws.data());
+  return sec;
+}
+
+/// Same batch as a fully governed session: SessionGovernor admission, an
+/// armed policy, and the permit released at the end — the complete
+/// resilient-session shape minus the Engine bookkeeping.
+double GovernedDrawSeconds(const AliasSampler& sampler, int64_t m,
+                           const RunPolicy* policy, SessionGovernor& governor) {
+  Rng rng(23);
+  WallTimer timer;
+  Result<SessionGovernor::Permit> permit = governor.Admit(m);
+  const BudgetedSampler metered(sampler, BudgetedSampler::kUnlimited, policy);
+  const std::vector<int64_t> draws = metered.DrawMany(m, rng);
+  permit->Release();
+  const double sec = timer.ElapsedSeconds();
+  benchmark::DoNotOptimize(draws.data());
   return sec;
 }
 
@@ -308,6 +340,47 @@ void RunExperiment() {
       }
     }
     sweep.Print(std::cout);
+  }
+
+  // ---- 6. session runtime overhead -----------------------------------
+  // The resilient-session guard rails priced on the bucket replay kernel:
+  // plain is the historical meter (no policy), inert attaches a RunPolicy
+  // that never arms (must be one null/flag branch per request — the <= 1%
+  // bar), armed runs the chunked deadline+cancel checks with a far-future
+  // deadline, governed adds SessionGovernor admission and release. None of
+  // these rows may drift from plain by more than noise: the runtime's whole
+  // design is that sessions not under threat pay nothing.
+  {
+    const int64_t m = alias_m;
+    RunPolicy inert;  // no deadline, no cancel, no retries: hardened() false
+    RunPolicy armed;
+    armed.deadline = Deadline::AfterMillis(3600 * 1000);
+    armed.cancel = CancelToken::Create();
+    SessionGovernor governor(SessionGovernor::Limits{});
+    Table runtime({"variant", "m", "seconds", "ns/draw", "overhead vs plain"});
+    const RunPolicy* policies[] = {nullptr, &inert, &armed, &armed};
+    const char* names[] = {"plain", "inert_policy", "armed", "governed"};
+    (void)MeteredDrawSeconds(bucket_replay, m, nullptr);  // warm-up batch
+    // min-of-trials, not mean: the guard-rail cost is one branch (plain /
+    // inert) or one clock read per 2^16 draws (armed), far below run-to-run
+    // scheduler noise, and min is the noise-robust floor estimator.
+    const int64_t runtime_trials = trials * 3;
+    double plain_min = 0.0;
+    for (int v = 0; v < 4; ++v) {
+      NextBenchLabel(std::string("session_bucket_") + names[v] + "_s");
+      const ScalarStats s = MeasureScalar(runtime_trials, [&](int64_t) {
+        return v == 3 ? GovernedDrawSeconds(bucket_replay, m, policies[v],
+                                            governor)
+                      : MeteredDrawSeconds(bucket_replay, m, policies[v]);
+      });
+      if (v == 0) plain_min = s.min;
+      runtime.AddRow({names[v], FmtM(m), FmtE(s.min, 2),
+                      FmtF(s.min / static_cast<double>(m) * 1e9, 1),
+                      v == 0 ? "--"
+                             : FmtF((s.min / plain_min - 1.0) * 100.0, 2) +
+                                   "%"});
+    }
+    runtime.Print(std::cout);
   }
 
   std::printf(

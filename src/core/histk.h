@@ -45,6 +45,8 @@
 #include "dist/sampler.h"
 #include "engine/budget.h"
 #include "engine/engine.h"
+#include "engine/fault_injection.h"
+#include "engine/runtime.h"
 #include "engine/telemetry.h"
 #include "histogram/ops.h"
 #include "histogram/priority.h"

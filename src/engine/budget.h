@@ -24,6 +24,26 @@
 // up front and then delegates to the inner sampler's thread-invariant
 // fan-out, so the counters need no synchronization and budget rejection
 // never unwinds across a worker thread.
+//
+// The meter is also where the resilient-session runtime (engine/runtime.h)
+// hooks in. A session may attach a RunPolicy; the metering points then
+// additionally
+//
+//   * poll the CancelToken (one relaxed load per request) and check the
+//     Deadline — throttled to once per 2^16 draws, so the clock is never
+//     read on the per-draw hot path,
+//   * split batches into 2^16-draw chunks when the policy is armed, so a
+//     deadline or cancel fires mid-batch instead of after a 10^8-draw
+//     request completes (sequential chunking is stream-identical; armed
+//     sharded sessions get a new-but-deterministic stream that is still
+//     byte-identical at any worker count),
+//   * retry chunks whose inner oracle throws TransientUnavailableError,
+//     under the policy's bounded-backoff RetryPolicy. A faulted chunk is
+//     accounted only once served, so samples_drawn counts delivered
+//     samples — never wasted partial draws.
+//
+// Without a policy (or with an inert one) every path is byte-identical to
+// the historical meter: one branch on a null pointer per request.
 #ifndef HISTK_ENGINE_BUDGET_H_
 #define HISTK_ENGINE_BUDGET_H_
 
@@ -33,6 +53,7 @@
 #include <vector>
 
 #include "dist/sampler.h"
+#include "engine/runtime.h"
 #include "util/rng.h"
 
 namespace histk {
@@ -72,8 +93,11 @@ class BudgetedSampler : public Sampler {
   };
 
   /// Wraps `inner` (not owned; must outlive this). budget < 0 = unlimited;
-  /// budget = 0 rejects the first draw.
-  explicit BudgetedSampler(const Sampler& inner, int64_t budget = kUnlimited);
+  /// budget = 0 rejects the first draw. `policy` (optional, not owned, must
+  /// outlive this) attaches the resilient-session runtime: deadline/cancel
+  /// checks at the metering points and transient-fault retries.
+  explicit BudgetedSampler(const Sampler& inner, int64_t budget = kUnlimited,
+                           const RunPolicy* policy = nullptr);
 
   int64_t n() const override { return inner_.n(); }
   int64_t Draw(Rng& rng) const override;
@@ -100,14 +124,54 @@ class BudgetedSampler : public Sampler {
   /// BeginPhase land in an implicit "oracle" phase.
   const std::vector<PhaseDraws>& phases() const { return phases_; }
 
+  /// Transient-fault retries performed so far (Report::retries).
+  int64_t retries() const { return retries_; }
+
+  /// Deadline checks are throttled to once per this many charged draws, so
+  /// arming a deadline never puts a clock read on the per-draw hot path.
+  static constexpr int64_t kDeadlineCheckDraws = int64_t{1} << 16;
+
  private:
   /// Admits a request of `m` draws or throws BudgetExhaustedError. Nothing
   /// is drawn on rejection — requests are all-or-nothing.
   void Charge(int64_t m) const;
 
+  /// The runtime metering point: polls the CancelToken and (throttled to
+  /// kDeadlineCheckDraws) the Deadline. Throws CancelledError /
+  /// DeadlineExceededError; no-op without a policy.
+  void CheckRuntime(int64_t m) const;
+
+  /// Budget admission alone — would this request exceed the cap? Throws
+  /// BudgetExhaustedError; accounts nothing.
+  void AdmitWindow(int64_t m) const;
+
+  /// Accounts `m` served draws to the counters and the current phase.
+  void Account(int64_t m) const;
+
+  /// True when requests take the chunked/retrying path: an armed policy
+  /// (deadline or live cancel) or a nonzero retry allowance.
+  bool hardened() const {
+    return policy_ != nullptr &&
+           (policy_->armed() || policy_->retry.max_retries > 0);
+  }
+
+  /// Runs one chunk-serve attempt under the retry policy: backs off and
+  /// retries on TransientUnavailableError, rethrows when retries run out,
+  /// and re-checks deadline/cancel between attempts.
+  template <typename ServeFn>
+  void ServeWithRetry(const ServeFn& serve) const;
+
   const Sampler& inner_;
   int64_t budget_;
+  const RunPolicy* policy_;
   mutable int64_t drawn_ = 0;
+  mutable int64_t retries_ = 0;
+  /// Draws left before the next deadline clock read (starts at 0 so the
+  /// first metering point always checks).
+  mutable int64_t draws_until_deadline_check_ = 0;
+  /// Jitter stream for retry backoff. Fixed seed: it never touches a draw
+  /// stream, it only spaces out sleeps, deterministically per session.
+  mutable Rng backoff_rng_;
   mutable std::vector<PhaseDraws> phases_;
 };
 

@@ -37,21 +37,65 @@ SampleSetGroup DrawSessionGroup(const BudgetedSampler& bs, int64_t r, int64_t m,
   return SampleSetGroup::DrawSharded(bs, r, m, rng, threads);
 }
 
+/// Best-so-far state a hardened learn session snapshots as it goes, so an
+/// interruption can degrade to a coarse answer instead of nothing.
+struct LearnProgress {
+  /// The completed main sample (set once the main phase finishes).
+  std::optional<SampleSet> main;
+};
+
 /// Algorithm 1 under the session: identical draw order to LearnHistogram
 /// (main set of l, then r collision sets of m), with phase attribution.
 /// Property-test and closeness sessions reuse it under their own phase
-/// names.
+/// names. `progress` (armed sessions only — the copy is not free) receives
+/// the best-so-far state consumed by the degraded-report path.
 LearnResult LearnOnSession(const BudgetedSampler& bs, const LearnOptions& options,
                            Rng& rng, int threads,
                            const char* main_phase = "learn-main",
-                           const char* collisions_phase = "learn-collisions") {
+                           const char* collisions_phase = "learn-collisions",
+                           LearnProgress* progress = nullptr) {
   const GreedyParams params = ComputeLearnParams(bs.n(), options);
   bs.BeginPhase(main_phase);
   SampleSet main = DrawSessionSet(bs, params.l, rng, threads);
+  if (progress != nullptr) progress->main = main;
   bs.BeginPhase(collisions_phase);
   SampleSetGroup group = DrawSessionGroup(bs, params.r, params.m, rng, threads);
   const GreedyEstimator estimator(std::move(main), std::move(group));
   return LearnHistogramWithEstimator(estimator, options, params);
+}
+
+/// The shared unhappy-path handler: runs a task body and converts the
+/// facade's internal interruption exceptions — budget, deadline, cancel,
+/// exhausted retries — into typed outcomes on the report. Any other
+/// exception propagates (it is a bug, not an interruption).
+template <typename Body>
+void RunGuarded(Report& report, Body&& body) {
+  try {
+    body();
+  } catch (const BudgetExhaustedError&) {
+    report.outcome = TaskOutcome::kBudgetExhausted;
+  } catch (const DeadlineExceededError&) {
+    report.outcome = TaskOutcome::kDeadlineExceeded;
+  } catch (const CancelledError&) {
+    report.outcome = TaskOutcome::kCancelled;
+  } catch (const TransientUnavailableError&) {
+    report.outcome = TaskOutcome::kUnavailable;
+  }
+}
+
+/// Derives the typed status + degraded flag from the outcome the guarded
+/// body (or its interruption) left on the report.
+void FinalizeOutcome(Report& report) {
+  report.status = TaskOutcomeStatus(report.outcome);
+  report.degraded = report.status != StatusCode::kOk;
+}
+
+/// Admission control: consults the policy's governor (when one is set) and
+/// returns the session's permit — inactive when ungoverned. The permit is
+/// held for the duration of the Run and releases its slot on destruction.
+Result<SessionGovernor::Permit> AdmitSession(const SpecCommon& common) {
+  if (common.policy.governor == nullptr) return SessionGovernor::Permit();
+  return common.policy.governor->Admit(common.budget);
 }
 
 void FillSessionTelemetry(Report& report, const BudgetedSampler& bs) {
@@ -93,8 +137,32 @@ const char* TaskOutcomeName(TaskOutcome outcome) {
       return "rejected";
     case TaskOutcome::kBudgetExhausted:
       return "budget-exhausted";
+    case TaskOutcome::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case TaskOutcome::kCancelled:
+      return "cancelled";
+    case TaskOutcome::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
+}
+
+StatusCode TaskOutcomeStatus(TaskOutcome outcome) {
+  switch (outcome) {
+    case TaskOutcome::kOk:
+    case TaskOutcome::kAccepted:
+    case TaskOutcome::kRejected:
+      return StatusCode::kOk;
+    case TaskOutcome::kBudgetExhausted:
+      return StatusCode::kBudgetExhausted;
+    case TaskOutcome::kDeadlineExceeded:
+      return StatusCode::kDeadlineExceeded;
+    case TaskOutcome::kCancelled:
+      return StatusCode::kCancelled;
+    case TaskOutcome::kUnavailable:
+      return StatusCode::kUnavailable;
+  }
+  return StatusCode::kInternal;
 }
 
 Engine::Engine(const Sampler& oracle) : oracle_(oracle) {}
@@ -128,22 +196,35 @@ Result<Report> Engine::RunLearn(const LearnSpec& spec) const {
     return Status::InvalidArgument("reduce_to must be >= 0 (0 = off)");
   }
 
+  Result<SessionGovernor::Permit> permit = AdmitSession(spec);
+  if (!permit.ok()) return permit.status();
+
   const WallTimer timer;
   Report report;
   report.task = "learn";
-  const BudgetedSampler bs(oracle_, spec.budget);
+  const BudgetedSampler bs(oracle_, spec.budget, &spec.policy);
   Rng rng(spec.seed);
-  try {
-    LearnResult result = LearnOnSession(bs, spec.options, rng, spec.draw_threads);
+  LearnProgress progress;
+  RunGuarded(report, [&] {
+    LearnResult result =
+        LearnOnSession(bs, spec.options, rng, spec.draw_threads, "learn-main",
+                       "learn-collisions",
+                       spec.policy.armed() ? &progress : nullptr);
     FillLearnTelemetry(report, result);
     if (spec.reduce_to > 0) {
       report.reduced = ReduceToKPieces(result.tiling, spec.reduce_to);
     }
     report.learn = std::move(result);
     report.outcome = TaskOutcome::kOk;
-  } catch (const BudgetExhaustedError&) {
-    report.outcome = TaskOutcome::kBudgetExhausted;
+  });
+  FinalizeOutcome(report);
+  if (report.degraded && progress.main.has_value() && progress.main->m() > 0) {
+    // Best-so-far degradation: the interruption hit after the main sample
+    // completed, so an equi-depth fit of the samples in hand is a coarse
+    // but data-backed tiling — strictly better than returning nothing.
+    report.reduced = EquiDepthFromSamples(spec.options.k, *progress.main);
   }
+  report.retries = bs.retries();
   FillSessionTelemetry(report, bs);
   report.telemetry.wall_ms = timer.ElapsedMillis();
   return report;
@@ -153,12 +234,15 @@ Result<Report> Engine::RunTest(const TestSpec& spec) const {
   if (Status s = ValidateCommon(spec); !s.ok()) return s;
   if (Status s = ValidateTestConfig(oracle_.n(), spec.config); !s.ok()) return s;
 
+  Result<SessionGovernor::Permit> permit = AdmitSession(spec);
+  if (!permit.ok()) return permit.status();
+
   const WallTimer timer;
   Report report;
   report.task = "test";
-  const BudgetedSampler bs(oracle_, spec.budget);
+  const BudgetedSampler bs(oracle_, spec.budget, &spec.policy);
   Rng rng(spec.seed);
-  try {
+  RunGuarded(report, [&] {
     const TestConfig& config = spec.config;
     const TesterParams params = ComputeTesterParams(bs.n(), config);
     bs.BeginPhase("test-draw");
@@ -168,9 +252,11 @@ Result<Report> Engine::RunTest(const TestSpec& spec) const {
     outcome.params = params;
     report.outcome = outcome.accepted ? TaskOutcome::kAccepted : TaskOutcome::kRejected;
     report.test = std::move(outcome);
-  } catch (const BudgetExhaustedError&) {
-    report.outcome = TaskOutcome::kBudgetExhausted;
-  }
+  });
+  // An interrupted test is inconclusive: no accept/reject payload, just the
+  // typed outcome + degraded flag (RunGuarded left report.test unset).
+  FinalizeOutcome(report);
+  report.retries = bs.retries();
   FillSessionTelemetry(report, bs);
   report.telemetry.wall_ms = timer.ElapsedMillis();
   return report;
@@ -194,12 +280,15 @@ Result<Report> Engine::RunCompare(const CompareSpec& spec) const {
     return Status::InvalidArgument("max_dp_domain must be >= 1");
   }
 
+  Result<SessionGovernor::Permit> permit = AdmitSession(spec);
+  if (!permit.ok()) return permit.status();
+
   const WallTimer timer;
   Report report;
   report.task = "compare";
-  const BudgetedSampler bs(oracle_, spec.budget);
+  const BudgetedSampler bs(oracle_, spec.budget, &spec.policy);
   Rng rng(spec.seed);
-  try {
+  RunGuarded(report, [&] {
     LearnOptions options;
     options.k = spec.k;
     options.eps = spec.eps;
@@ -239,13 +328,15 @@ Result<Report> Engine::RunCompare(const CompareSpec& spec) const {
     report.reduced = std::move(reduced);
     report.learn = std::move(result);
     report.outcome = TaskOutcome::kOk;
-  } catch (const BudgetExhaustedError&) {
-    report.outcome = TaskOutcome::kBudgetExhausted;
-    // Keep the kBudgetExhausted contract uniform — telemetry only. Rows
-    // pushed before the baselines phase ran out would otherwise read as a
-    // complete (but baseline-less) comparison.
+  });
+  FinalizeOutcome(report);
+  if (report.degraded) {
+    // Keep the interrupted-outcome contract uniform — telemetry only. Rows
+    // pushed before the baselines phase was cut short would otherwise read
+    // as a complete (but baseline-less) comparison.
     report.compare.clear();
   }
+  report.retries = bs.retries();
   FillSessionTelemetry(report, bs);
   report.telemetry.wall_ms = timer.ElapsedMillis();
   return report;
@@ -273,12 +364,16 @@ Result<Report> Engine::RunEstimate(const EstimateSpec& spec) const {
     return Status::InvalidArgument("session truth domain differs from the oracle's");
   }
 
+  Result<SessionGovernor::Permit> permit = AdmitSession(spec);
+  if (!permit.ok()) return permit.status();
+
   const WallTimer timer;
   Report report;
   report.task = "estimate";
-  const BudgetedSampler bs(oracle_, spec.budget);
+  const BudgetedSampler bs(oracle_, spec.budget, &spec.policy);
   Rng rng(spec.seed);
-  try {
+  Status failure = Status::Ok();
+  RunGuarded(report, [&] {
     LearnOptions options;
     options.k = spec.k;
     options.eps = spec.eps;
@@ -297,7 +392,8 @@ Result<Report> Engine::RunEstimate(const EstimateSpec& spec) const {
                 static_cast<double>(synopsis.pieces()[static_cast<size_t>(j)].length());
       }
       if (mass <= 0.0) {
-        return Status::Internal("learned synopsis has zero mass; cannot answer quantiles");
+        failure = Status::Internal("learned synopsis has zero mass; cannot answer quantiles");
+        return;
       }
       const Distribution synopsis_dist = synopsis.ToDistribution();
       for (double q : spec.quantile_levels) {
@@ -317,9 +413,10 @@ Result<Report> Engine::RunEstimate(const EstimateSpec& spec) const {
     report.reduced = std::move(synopsis);
     report.learn = std::move(result);
     report.outcome = TaskOutcome::kOk;
-  } catch (const BudgetExhaustedError&) {
-    report.outcome = TaskOutcome::kBudgetExhausted;
-  }
+  });
+  if (!failure.ok()) return failure;
+  FinalizeOutcome(report);
+  report.retries = bs.retries();
   FillSessionTelemetry(report, bs);
   report.telemetry.wall_ms = timer.ElapsedMillis();
   return report;
@@ -331,12 +428,15 @@ Result<Report> Engine::RunPropertyTest(const PropertyTestSpec& spec) const {
     return s;
   }
 
+  Result<SessionGovernor::Permit> permit = AdmitSession(spec);
+  if (!permit.ok()) return permit.status();
+
   const WallTimer timer;
   Report report;
   report.task = "property-test";
-  const BudgetedSampler bs(oracle_, spec.budget);
+  const BudgetedSampler bs(oracle_, spec.budget, &spec.policy);
   Rng rng(spec.seed);
-  try {
+  RunGuarded(report, [&] {
     const PropertyTestConfig& config = spec.config;
     const PropertyTesterParams params = ComputePropertyTestParams(bs.n(), config);
     // Phase 1: candidate fit — identical draw order to the free function
@@ -357,9 +457,9 @@ Result<Report> Engine::RunPropertyTest(const PropertyTestSpec& spec) const {
     report.outcome =
         outcome.accepted ? TaskOutcome::kAccepted : TaskOutcome::kRejected;
     report.property_test = std::move(outcome);
-  } catch (const BudgetExhaustedError&) {
-    report.outcome = TaskOutcome::kBudgetExhausted;
-  }
+  });
+  FinalizeOutcome(report);
+  report.retries = bs.retries();
   FillSessionTelemetry(report, bs);
   report.telemetry.wall_ms = timer.ElapsedMillis();
   return report;
@@ -378,15 +478,19 @@ Result<Report> Engine::RunCloseness(const ClosenessSpec& spec) const {
     return s;
   }
 
+  Result<SessionGovernor::Permit> permit = AdmitSession(spec);
+  if (!permit.ok()) return permit.status();
+
   const WallTimer timer;
   Report report;
   report.task = "closeness";
   // Both oracles draw against the one budget: q's sampler gets whatever p's
   // left. All p draws happen before any q draw (the free-function order),
   // so the handoff point is well defined.
-  const BudgetedSampler bs_p(oracle_, spec.budget);
+  const BudgetedSampler bs_p(oracle_, spec.budget, &spec.policy);
   Rng rng(spec.seed);
-  try {
+  bool q_phase_reached = false;
+  RunGuarded(report, [&] {
     const ClosenessConfig& config = spec.config;
     const ClosenessParams params = ComputeClosenessTestParams(bs_p.n(), config);
 
@@ -399,8 +503,10 @@ Result<Report> Engine::RunCloseness(const ClosenessSpec& spec) const {
         DrawSessionGroup(bs_p, params.verify_r, params.verify_m, rng, spec.draw_threads);
 
     const BudgetedSampler bs_q(
-        *spec.other, bs_p.unlimited() ? BudgetedSampler::kUnlimited : bs_p.remaining());
-    try {
+        *spec.other, bs_p.unlimited() ? BudgetedSampler::kUnlimited : bs_p.remaining(),
+        &spec.policy);
+    q_phase_reached = true;
+    RunGuarded(report, [&] {
       const LearnResult learned_q = LearnOnSession(
           bs_q, ClosenessLearnOptions(config, config.k_q), rng, spec.draw_threads,
           "close-learn-q-main", "close-learn-q-collisions");
@@ -419,18 +525,22 @@ Result<Report> Engine::RunCloseness(const ClosenessSpec& spec) const {
       report.outcome =
           outcome.accepted ? TaskOutcome::kAccepted : TaskOutcome::kRejected;
       report.closeness = std::move(outcome);
-    } catch (const BudgetExhaustedError&) {
-      report.outcome = TaskOutcome::kBudgetExhausted;
-    }
+    });
+    // The inner guard swallowed any q-phase interruption, so both meters'
+    // telemetry is always merged here.
     FillSessionTelemetry(report, bs_p);
     report.telemetry.samples_drawn += bs_q.samples_drawn();
     for (const BudgetedSampler::PhaseDraws& phase : bs_q.phases()) {
       report.telemetry.phases.push_back(phase);
     }
-  } catch (const BudgetExhaustedError&) {
-    report.outcome = TaskOutcome::kBudgetExhausted;
+    report.retries = bs_p.retries() + bs_q.retries();
+  });
+  if (!q_phase_reached) {
+    // Interrupted during the p phase: only p's meter exists.
     FillSessionTelemetry(report, bs_p);
+    report.retries = bs_p.retries();
   }
+  FinalizeOutcome(report);
   report.telemetry.wall_ms = timer.ElapsedMillis();
   return report;
 }
@@ -499,6 +609,10 @@ void WriteReportJson(std::ostream& os, const Report& report) {
   JsonString(os, report.task);
   os << ", \"outcome\": ";
   JsonString(os, TaskOutcomeName(report.outcome));
+  os << ", \"status\": ";
+  JsonString(os, StatusCodeName(report.status));
+  os << ", \"degraded\": " << (report.degraded ? "true" : "false")
+     << ", \"retries\": " << report.retries;
 
   const ReportTelemetry& t = report.telemetry;
   os << ", \"telemetry\": {\"budget\": " << t.budget

@@ -46,6 +46,7 @@
 #include "dist/distribution.h"
 #include "dist/sampler.h"
 #include "engine/budget.h"
+#include "engine/runtime.h"
 #include "histogram/tiling.h"
 #include "util/interval.h"
 #include "util/status.h"
@@ -63,6 +64,13 @@ struct SpecCommon {
   /// is then byte-identical at ANY worker count (but distinct from the
   /// sequential stream).
   int draw_threads = 0;
+  /// The resilient-session runtime: deadline, cancellation, retry/backoff,
+  /// admission control (engine/runtime.h). Inert by default — draw streams
+  /// are then byte-identical to pre-policy sessions. Arming a deadline or
+  /// cancel token switches the session to chunked metering: sequential
+  /// sessions keep their exact stream; sharded sessions get a new (still
+  /// deterministic, still thread-count-invariant) stream.
+  RunPolicy policy;
 };
 
 /// Algorithm 1: learn a near-optimal priority k-histogram.
@@ -129,14 +137,25 @@ using TaskSpec = std::variant<LearnSpec, TestSpec, CompareSpec, EstimateSpec,
 
 /// How a task ended. Learn/compare/estimate end kOk; tests end
 /// kAccepted/kRejected; any task that hits its budget ends kBudgetExhausted.
+/// The resilient runtime adds three interrupted endings: the session
+/// deadline expired (kDeadlineExceeded), the CancelToken fired
+/// (kCancelled), or a transient oracle fault survived every retry
+/// (kUnavailable). Reports with those outcomes are flagged degraded.
 enum class TaskOutcome {
   kOk,
   kAccepted,
   kRejected,
   kBudgetExhausted,
+  kDeadlineExceeded,
+  kCancelled,
+  kUnavailable,
 };
 
 const char* TaskOutcomeName(TaskOutcome outcome);
+
+/// The Status code a Report outcome maps to (kOk for ok/accepted/rejected)
+/// — the "status" field of the JSON report and the CLI's exit-code driver.
+StatusCode TaskOutcomeStatus(TaskOutcome outcome);
 
 /// The uniform telemetry block every Report carries.
 struct ReportTelemetry {
@@ -176,12 +195,24 @@ struct EstimateAnswers {
 };
 
 /// Outcome + telemetry + the task's payload. Payload fields are set per
-/// task type; on kBudgetExhausted only the telemetry is meaningful.
+/// task type. On an interrupted outcome (budget/deadline/cancel/
+/// unavailable) the report is flagged `degraded`: telemetry is always
+/// meaningful, and learn sessions additionally carry a best-so-far tiling
+/// in `reduced` when the interruption hit after the main sample completed
+/// (an equi-depth fit of the samples in hand — coarse but data-backed).
+/// Tests interrupted mid-phase are inconclusive: no accept/reject payload.
 struct Report {
   /// "learn" | "test" | "compare" | "estimate" | "property-test" |
   /// "closeness"
   std::string task;
   TaskOutcome outcome = TaskOutcome::kOk;
+  /// Typed reason, mirroring the outcome (TaskOutcomeStatus); kOk for the
+  /// conclusive outcomes.
+  StatusCode status = StatusCode::kOk;
+  /// True iff the session was interrupted (any non-conclusive outcome).
+  bool degraded = false;
+  /// Transient-fault retries the session's oracles performed.
+  int64_t retries = 0;
   ReportTelemetry telemetry;
 
   std::optional<LearnResult> learn;         ///< learn / compare / estimate

@@ -1,0 +1,137 @@
+#include "engine/runtime.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "util/check.h"
+
+namespace histk {
+
+DeadlineExceededError::DeadlineExceededError(int64_t overrun_ms)
+    : overrun_ms_(overrun_ms) {
+  what_ = "session deadline exceeded (" + std::to_string(overrun_ms_) +
+          " ms past the deadline at the metering point)";
+}
+
+CancelledError::CancelledError() : what_("session cancelled") {}
+
+TransientUnavailableError::TransientUnavailableError(std::string reason)
+    : what_("oracle transiently unavailable: " + std::move(reason)) {}
+
+Deadline Deadline::AfterMillis(int64_t ms) {
+  Deadline d;
+  d.set_ = true;
+  d.when_ = Clock::now() + std::chrono::milliseconds(ms);
+  return d;
+}
+
+int64_t Deadline::RemainingMillis() const {
+  if (!set_) return std::numeric_limits<int64_t>::max();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(when_ -
+                                                               Clock::now())
+      .count();
+}
+
+CancelToken CancelToken::Create() {
+  CancelToken token;
+  token.flag_ = std::make_shared<std::atomic<bool>>(false);
+  return token;
+}
+
+int64_t RetryPolicy::BackoffMillis(int attempt, Rng& rng) const {
+  HISTK_CHECK(attempt >= 1);
+  const int64_t floor_ms = std::max<int64_t>(initial_backoff_ms, 0);
+  // Exponential growth capped both by max_backoff_ms and by the shift width
+  // (attempt counts are tiny; the clamp keeps the left-shift defined).
+  const int shift = std::min(attempt - 1, 30);
+  int64_t base = floor_ms << shift;
+  base = std::min(base, std::max(max_backoff_ms, floor_ms));
+  if (jitter > 0.0 && base > 0) {
+    base += static_cast<int64_t>(static_cast<double>(base) * jitter *
+                                 rng.NextDouble());
+  }
+  return base;
+}
+
+SessionGovernor::SessionGovernor(Limits limits) : limits_(limits) {
+  HISTK_CHECK_MSG(limits_.max_sessions >= 1,
+                  "governor max_sessions must be >= 1");
+  HISTK_CHECK_MSG(limits_.retry_after_ms >= 0,
+                  "governor retry_after_ms must be >= 0");
+}
+
+SessionGovernor::Permit& SessionGovernor::Permit::operator=(
+    Permit&& other) noexcept {
+  if (this != &other) {
+    Release();
+    governor_ = other.governor_;
+    budget_ = other.budget_;
+    other.governor_ = nullptr;
+    other.budget_ = 0;
+  }
+  return *this;
+}
+
+void SessionGovernor::Permit::Release() {
+  if (governor_ == nullptr) return;
+  governor_->Release(budget_);
+  governor_ = nullptr;
+  budget_ = 0;
+}
+
+Result<SessionGovernor::Permit> SessionGovernor::Admit(int64_t budget) {
+  const int64_t charge = budget < 0 ? 0 : budget;
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool session_slot_free = in_flight_ < limits_.max_sessions;
+  const bool budget_fits =
+      limits_.max_outstanding_budget < 0 ||
+      outstanding_ + charge <= limits_.max_outstanding_budget;
+  if (!session_slot_free || !budget_fits) {
+    ++rejected_;
+    std::string why = !session_slot_free
+                          ? std::to_string(in_flight_) + " of " +
+                                std::to_string(limits_.max_sessions) +
+                                " session slots in flight"
+                          : "outstanding budget " + std::to_string(outstanding_) +
+                                " + requested " + std::to_string(charge) +
+                                " exceeds cap " +
+                                std::to_string(limits_.max_outstanding_budget);
+    return Status::Unavailable("session admission rejected (" + why +
+                               "); retry after " +
+                               std::to_string(limits_.retry_after_ms) + " ms");
+  }
+  ++in_flight_;
+  outstanding_ += charge;
+  return Permit(this, charge);
+}
+
+void SessionGovernor::Release(int64_t budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HISTK_CHECK_INVARIANT(in_flight_ >= 1 && outstanding_ >= budget,
+                        "governor released more than it admitted");
+  --in_flight_;
+  outstanding_ -= budget;
+}
+
+int SessionGovernor::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+int64_t SessionGovernor::outstanding_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
+int64_t SessionGovernor::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+void SleepMs(int64_t ms) {
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace histk

@@ -1,0 +1,253 @@
+// The resilient-session runtime: deadlines, cancellation, retry policy,
+// and global admission control for budgeted Engine sessions.
+//
+// histk:clock-containment — this header and runtime.cc are (with
+// util/timer.h) the only files allowed to touch std::chrono clocks
+// (tools/lint_histk.py). Everything else expresses time as plain
+// millisecond integers.
+//
+// The paper's algorithms are naturally anytime — greedy refinement and
+// learn-then-verify both hold a best-so-far candidate at every step — so a
+// session interrupted by a deadline or a cancel can degrade to a
+// coarser-but-honest answer instead of aborting, exactly the way
+// kBudgetExhausted already returns partial telemetry. This header supplies
+// the four pieces the hardened run layer is built from:
+//
+//   * Deadline     — a steady-clock expiry point. BudgetedSampler checks it
+//                    at 2^16-draw granularity inside Charge(), so the
+//                    per-draw hot path never reads the clock.
+//   * CancelToken  — a single relaxed atomic flag shared by all copies of
+//                    the token; Cancel() from any thread stops the session
+//                    at its next metering point.
+//   * RetryPolicy  — bounded exponential backoff with deterministic
+//                    Rng-derived jitter, applied by BudgetedSampler when
+//                    the inner oracle throws TransientUnavailableError.
+//   * SessionGovernor — admission control shared by concurrent sessions: a
+//                    cap on in-flight sessions plus a cap on the aggregate
+//                    outstanding sample budget. Over-limit requests are
+//                    rejected with a typed kUnavailable Status carrying a
+//                    retry-after hint — the daemon's backpressure signal.
+//
+// RunPolicy bundles the first three plus an optional governor pointer and
+// rides on SpecCommon, so every TaskSpec can be run hardened. A
+// default-constructed RunPolicy is inert: no deadline, a token that never
+// cancels, zero retries, no governor — and the engine's draw paths stay
+// byte-identical to the policy-free ones.
+//
+// Like BudgetExhaustedError, the exceptions here are internal to the
+// facade: Engine::Run catches them and returns a degraded Report with a
+// typed outcome; they never escape to callers.
+#ifndef HISTK_ENGINE_RUNTIME_H_
+#define HISTK_ENGINE_RUNTIME_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace histk {
+
+/// Thrown by BudgetedSampler when the session deadline expires at a
+/// metering point. Internal to the facade (see engine/engine.h).
+class DeadlineExceededError : public std::exception {
+ public:
+  explicit DeadlineExceededError(int64_t overrun_ms);
+
+  const char* what() const noexcept override { return what_.c_str(); }
+
+  /// Milliseconds past the deadline at the metering point that fired.
+  int64_t overrun_ms() const { return overrun_ms_; }
+
+ private:
+  int64_t overrun_ms_;
+  std::string what_;
+};
+
+/// Thrown by BudgetedSampler when the session's CancelToken has fired.
+/// Internal to the facade.
+class CancelledError : public std::exception {
+ public:
+  CancelledError();
+
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  std::string what_;
+};
+
+/// Thrown by a transiently-failing oracle (FaultInjectingSampler, or a
+/// future remote oracle) to signal "retry me". BudgetedSampler retries
+/// under the session's RetryPolicy; if retries run out the error reaches
+/// Engine::Run, which reports outcome kUnavailable.
+class TransientUnavailableError : public std::exception {
+ public:
+  explicit TransientUnavailableError(std::string reason);
+
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  std::string what_;
+};
+
+/// A steady-clock expiry point. Default-constructed = unset (never
+/// expires). Value type: copies share the expiry instant.
+class Deadline {
+ public:
+  Deadline() = default;  ///< unset — Expired() is always false
+
+  /// Expires `ms` milliseconds from now (ms <= 0 = already expired).
+  static Deadline AfterMillis(int64_t ms);
+
+  bool set() const { return set_; }
+
+  /// True iff the deadline is set and has passed. Reads the clock — callers
+  /// throttle (BudgetedSampler checks once per 2^16 draws).
+  bool Expired() const { return set_ && Clock::now() >= when_; }
+
+  /// Milliseconds until expiry: negative once past, INT64_MAX when unset.
+  int64_t RemainingMillis() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  bool set_ = false;
+  Clock::time_point when_{};
+};
+
+/// A cross-thread cancellation flag. Default-constructed tokens are inert
+/// (never cancelled, Cancel() is a no-op); Create() makes a live token and
+/// all copies share its flag, so a controller thread can Cancel() while the
+/// session thread polls cancelled(). One relaxed atomic load per poll —
+/// cheap enough for every metering point.
+class CancelToken {
+ public:
+  CancelToken() = default;  ///< inert
+
+  static CancelToken Create();
+
+  /// True for Create()d tokens, false for inert ones.
+  bool live() const { return flag_ != nullptr; }
+
+  void Cancel() const {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Bounded exponential backoff for transient oracle faults. Deterministic:
+/// the jitter is drawn from an Rng the caller owns, so a seeded session
+/// replays its exact backoff schedule.
+struct RetryPolicy {
+  /// Retries allowed per draw request (0 = fail on the first fault).
+  int max_retries = 0;
+  /// Backoff before the first retry; doubles per attempt up to the cap.
+  int64_t initial_backoff_ms = 1;
+  int64_t max_backoff_ms = 64;
+  /// Fraction of the backoff drawn uniformly as jitter in [0, jitter).
+  double jitter = 0.5;
+
+  /// Backoff before retry `attempt` (1-based) in milliseconds.
+  int64_t BackoffMillis(int attempt, Rng& rng) const;
+};
+
+/// Global admission control across concurrent Engine sessions. Thread-safe;
+/// shared by reference between sessions (the future daemon holds one).
+///
+/// Admission is two-dimensional: at most `max_sessions` permits in flight,
+/// and the sum of admitted finite budgets at most `max_outstanding_budget`
+/// (sessions with an unlimited budget count only against the session cap —
+/// an unbounded session cannot be budget-accounted). Over-limit requests
+/// get a typed kUnavailable Status whose message carries a retry-after
+/// hint; nothing is queued — backpressure is the caller's to handle
+/// (RetryPolicy exists for exactly that).
+class SessionGovernor {
+ public:
+  struct Limits {
+    /// Max concurrently admitted sessions (>= 1).
+    int max_sessions = 8;
+    /// Cap on the summed budgets of admitted sessions (< 0 = uncapped).
+    int64_t max_outstanding_budget = -1;
+    /// The retry-after hint attached to rejections.
+    int64_t retry_after_ms = 10;
+  };
+
+  /// An admitted session's slot. Move-only RAII: releases its session slot
+  /// and budget reservation on destruction (or Release()).
+  class Permit {
+   public:
+    Permit() = default;  ///< inactive
+    Permit(Permit&& other) noexcept { *this = std::move(other); }
+    Permit& operator=(Permit&& other) noexcept;
+    Permit(const Permit&) = delete;
+    Permit& operator=(const Permit&) = delete;
+    ~Permit() { Release(); }
+
+    bool active() const { return governor_ != nullptr; }
+    void Release();
+
+   private:
+    friend class SessionGovernor;
+    Permit(SessionGovernor* governor, int64_t budget)
+        : governor_(governor), budget_(budget) {}
+
+    SessionGovernor* governor_ = nullptr;
+    int64_t budget_ = 0;
+  };
+
+  explicit SessionGovernor(Limits limits);
+
+  /// Admits a session that will draw up to `budget` samples (< 0 =
+  /// unlimited) or rejects with kUnavailable + retry-after hint.
+  Result<Permit> Admit(int64_t budget);
+
+  int in_flight() const;
+  int64_t outstanding_budget() const;
+  /// Total rejections since construction (overload telemetry).
+  int64_t rejected() const;
+
+ private:
+  void Release(int64_t budget);
+
+  const Limits limits_;
+  mutable std::mutex mu_;
+  int in_flight_ = 0;
+  int64_t outstanding_ = 0;
+  int64_t rejected_ = 0;
+};
+
+/// The hardened-run knobs a session carries (SpecCommon::policy). Inert by
+/// default: no deadline, never cancelled, no retries, no governor — and
+/// the engine's draw streams are byte-identical to pre-policy sessions.
+struct RunPolicy {
+  Deadline deadline;
+  CancelToken cancel;
+  RetryPolicy retry;
+  /// Optional shared admission control; not owned, must outlive the run.
+  SessionGovernor* governor = nullptr;
+
+  /// True when the session needs mid-batch metering points (deadline or
+  /// live cancel token). Retries alone do not arm chunking — faults arrive
+  /// as exceptions regardless of batch size.
+  bool armed() const { return deadline.set() || cancel.live(); }
+};
+
+/// Blocks the calling thread for `ms` milliseconds (<= 0 = no-op). The one
+/// sleep primitive of the library, so std::chrono stays contained here.
+void SleepMs(int64_t ms);
+
+}  // namespace histk
+
+#endif  // HISTK_ENGINE_RUNTIME_H_

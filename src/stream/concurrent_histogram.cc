@@ -112,32 +112,48 @@ uint64_t HistogramSnapshot::Quantile(double q) const {
   return LogBucketHigh(static_cast<uint32_t>(last_occupied), mantissa_bits_);
 }
 
-void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
-  HISTK_CHECK_MSG(mantissa_bits_ == other.mantissa_bits_,
-                  "merge needs matching mantissa widths");
+Status HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (mantissa_bits_ != other.mantissa_bits_) {
+    return Status::InvalidArgument(
+        "merge needs matching mantissa widths (" +
+        std::to_string(mantissa_bits_) + " vs " +
+        std::to_string(other.mantissa_bits_) + ")");
+  }
   for (size_t key = 0; key < counts_.size(); ++key) {
     counts_[key] += other.counts_[key];
   }
   total_ += other.total_;
   CheckInvariants();
+  return Status::Ok();
 }
 
-HistogramSnapshot HistogramSnapshot::DeltaSince(const HistogramSnapshot& earlier) const {
-  HISTK_CHECK_MSG(mantissa_bits_ == earlier.mantissa_bits_,
-                  "delta needs matching mantissa widths");
+Result<HistogramSnapshot> HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& earlier) const {
+  if (mantissa_bits_ != earlier.mantissa_bits_) {
+    return Status::InvalidArgument(
+        "delta needs matching mantissa widths (" +
+        std::to_string(mantissa_bits_) + " vs " +
+        std::to_string(earlier.mantissa_bits_) + ")");
+  }
   std::vector<uint64_t> delta(counts_.size(), 0);
   uint64_t total = 0;
   for (size_t key = 0; key < counts_.size(); ++key) {
-    HISTK_CHECK_MSG(counts_[key] >= earlier.counts_[key],
-                    "later snapshot must dominate the earlier one bucketwise");
+    if (counts_[key] < earlier.counts_[key]) {
+      return Status::InvalidArgument(
+          "later snapshot must dominate the earlier one bucketwise (bucket " +
+          std::to_string(key) + " went backwards: not an ordered pair of "
+          "snapshots of one histogram)");
+    }
     delta[key] = counts_[key] - earlier.counts_[key];
     total += delta[key];
   }
   return HistogramSnapshot(mantissa_bits_, std::move(delta), total);
 }
 
-HistogramSnapshot HistogramSnapshot::Decayed(double factor) const {
-  HISTK_CHECK_MSG(factor >= 0.0 && factor <= 1.0, "decay factor must be in [0, 1]");
+Result<HistogramSnapshot> HistogramSnapshot::Decayed(double factor) const {
+  if (!(factor >= 0.0 && factor <= 1.0)) {
+    return Status::InvalidArgument("decay factor must be in [0, 1]");
+  }
   std::vector<uint64_t> decayed(counts_.size(), 0);
   uint64_t total = 0;
   for (size_t key = 0; key < counts_.size(); ++key) {

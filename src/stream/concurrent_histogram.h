@@ -96,23 +96,27 @@ class HistogramSnapshot {
   uint64_t Quantile(double q) const;
 
   /// Commutative O(buckets) accumulation: adds `other`'s counts into this
-  /// snapshot. Mantissa widths must match (always-on check). Checks builds
-  /// re-verify count conservation (sum == total) after the merge.
-  void Merge(const HistogramSnapshot& other);
+  /// snapshot. InvalidArgument (this snapshot untouched) on a mantissa
+  /// width mismatch — snapshots cross process boundaries via the wire
+  /// format, so a mixed-width pair is reachable from user input and must
+  /// surface as a typed error, never an abort. Checks builds re-verify
+  /// count conservation (sum == total) after the merge.
+  Status Merge(const HistogramSnapshot& other);
 
   /// The window between two snapshots of the SAME histogram: per-bucket
   /// counts_ - earlier.counts_. Bucket counters are monotone, so a later
-  /// snapshot dominates an earlier one bucketwise; that is checked
-  /// always-on (a violation means the arguments are not an ordered pair of
-  /// snapshots of one histogram). This is the windowed view drift checks
-  /// difference against.
-  HistogramSnapshot DeltaSince(const HistogramSnapshot& earlier) const;
+  /// snapshot dominates an earlier one bucketwise; a width mismatch or a
+  /// domination violation returns InvalidArgument (the arguments are not
+  /// an ordered pair of snapshots of one histogram — with parsed snapshots
+  /// in the mix, that is user-reachable). This is the windowed view drift
+  /// checks difference against.
+  Result<HistogramSnapshot> DeltaSince(const HistogramSnapshot& earlier) const;
 
-  /// Exponentially decayed copy: each count rounded from count * factor,
-  /// factor in [0, 1]. Merge(live.DeltaSince(prev)) onto a Decayed
-  /// accumulator implements the classic decayed sliding window for drift
-  /// detection.
-  HistogramSnapshot Decayed(double factor) const;
+  /// Exponentially decayed copy: each count rounded from count * factor.
+  /// InvalidArgument unless factor is in [0, 1]. Merge(live.DeltaSince
+  /// (prev)) onto a Decayed accumulator implements the classic decayed
+  /// sliding window for drift detection.
+  Result<HistogramSnapshot> Decayed(double factor) const;
 
   /// Maps the occupied log-buckets onto a bucket-backed Distribution over
   /// [0, max bucket end]: each occupied bucket becomes a run carrying

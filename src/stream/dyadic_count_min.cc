@@ -38,7 +38,25 @@ void CountMin::Update(uint64_t id, int64_t delta) {
   }
 }
 
+int64_t CountMin::RowSum(int64_t row) const {
+  int64_t sum = 0;
+  for (int64_t c = 0; c < width_; ++c) {
+    sum += counters_[static_cast<size_t>(row * width_ + c)];
+  }
+  return sum;
+}
+
 int64_t CountMin::Estimate(uint64_t id) const {
+#if HISTK_CHECKS_ENABLED
+  // Conservation contract: each Update touches exactly one counter per row
+  // with the same delta, so all row sums are equal at every query point. A
+  // divergence means a lost or double-counted update — the min-over-rows
+  // estimate below would silently be garbage.
+  for (int64_t row = 1; row < depth_; ++row) {
+    HISTK_CHECK_INVARIANT(RowSum(row) == RowSum(0),
+                          "count-min row sums diverged (lost or duplicated update)");
+  }
+#endif
   int64_t best = std::numeric_limits<int64_t>::max();
   for (int64_t row = 0; row < depth_; ++row) {
     const uint64_t h = HashId(hash_keys_[static_cast<size_t>(row)], id) %
@@ -67,6 +85,13 @@ DyadicCountMin::DyadicCountMin(int64_t n, double eps_cm, double delta_cm,
   for (int64_t lvl = 0; lvl < levels_; ++lvl) {
     sketches_.emplace_back(width, depth, SplitMix64(state));
   }
+  // Structural contract the dyadic walk in RangeCount relies on: a
+  // power-of-two domain with one sketch per tree level, leaves included.
+  HISTK_CHECK_INVARIANT(
+      (padded_ & (padded_ - 1)) == 0 && padded_ >= n_ &&
+          (int64_t{1} << (levels_ - 1)) == padded_ &&
+          static_cast<int64_t>(sketches_.size()) == levels_,
+      "dyadic sketch must have one level per power-of-two scale");
 }
 
 void DyadicCountMin::Update(int64_t i, int64_t delta) {

@@ -36,6 +36,10 @@ class CountMin {
   int64_t depth() const { return depth_; }
 
  private:
+  // Sum of one row's counters; every row absorbs every update exactly once,
+  // so all rows agree. Gated conservation checks compare rows against row 0.
+  int64_t RowSum(int64_t row) const;
+
   int64_t width_;
   int64_t depth_;
   std::vector<uint64_t> hash_keys_;   // one per row

@@ -11,13 +11,19 @@ void Reservoir::Add(int64_t item) {
   ++seen_;
   if (static_cast<int64_t>(sample_.size()) < capacity_) {
     sample_.push_back(item);
-    return;
+  } else {
+    // Replace a random slot with probability capacity/seen (Algorithm R).
+    const uint64_t j = rng_.UniformInt(static_cast<uint64_t>(seen_));
+    if (j < static_cast<uint64_t>(capacity_)) {
+      sample_[static_cast<size_t>(j)] = item;
+    }
   }
-  // Replace a random slot with probability capacity/seen (Algorithm R).
-  const uint64_t j = rng_.UniformInt(static_cast<uint64_t>(seen_));
-  if (j < static_cast<uint64_t>(capacity_)) {
-    sample_[static_cast<size_t>(j)] = item;
-  }
+  // Algorithm R's structural contract: the reservoir fills to exactly
+  // min(seen, capacity) and never beyond — a violation means the sample is
+  // no longer uniform over the stream.
+  HISTK_CHECK_INVARIANT(
+      static_cast<int64_t>(sample_.size()) == (seen_ < capacity_ ? seen_ : capacity_),
+      "reservoir size must equal min(stream_size, capacity)");
 }
 
 ReservoirBank::ReservoirBank(const std::vector<int64_t>& capacities, uint64_t seed) {
@@ -31,6 +37,14 @@ ReservoirBank::ReservoirBank(const std::vector<int64_t>& capacities, uint64_t se
 
 void ReservoirBank::Add(int64_t item) {
   for (auto& r : reservoirs_) r.Add(item);
+#if HISTK_CHECKS_ENABLED
+  // One-pass contract: every reservoir in the bank has seen the identical
+  // stream (the learner's r+1 sets must be views of ONE pass).
+  for (const auto& r : reservoirs_) {
+    HISTK_CHECK_INVARIANT(r.stream_size() == reservoirs_.front().stream_size(),
+                          "bank reservoirs diverged in stream position");
+  }
+#endif
 }
 
 const Reservoir& ReservoirBank::reservoir(int64_t i) const {

@@ -8,10 +8,15 @@
 // status-or-value union returned by fallible constructors and parsers.
 //
 // Codes mirror the facade's outcomes:
-//   kInvalidArgument — a spec or parameter fails validation
-//   kParseError      — malformed text input (message carries the line)
-//   kBudgetExhausted — an oracle budget was hit (see engine/budget.h)
-//   kInternal        — an invariant the facade could not uphold
+//   kInvalidArgument   — a spec or parameter fails validation
+//   kParseError        — malformed text input (message carries the line)
+//   kBudgetExhausted   — an oracle budget was hit (see engine/budget.h)
+//   kInternal          — an invariant the facade could not uphold
+//   kDeadlineExceeded  — a session deadline expired (engine/runtime.h)
+//   kCancelled         — a session's CancelToken fired
+//   kUnavailable       — transient overload: a fault exhausted its retries
+//                        or the SessionGovernor rejected admission (the
+//                        message carries a retry-after hint)
 #ifndef HISTK_UTIL_STATUS_H_
 #define HISTK_UTIL_STATUS_H_
 
@@ -29,6 +34,9 @@ enum class StatusCode {
   kParseError,
   kBudgetExhausted,
   kInternal,
+  kDeadlineExceeded,
+  kCancelled,
+  kUnavailable,
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -43,6 +51,12 @@ inline const char* StatusCodeName(StatusCode code) {
       return "budget-exhausted";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }
@@ -64,6 +78,15 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -11,6 +11,7 @@
 #include "dist/generators.h"
 #include "dist/sampler.h"
 #include "engine/engine.h"
+#include "engine/runtime.h"
 #include "util/rng.h"
 
 namespace histk {
@@ -316,6 +317,81 @@ TEST(BudgetedSamplerTest, ShardedIsThreadCountInvariant) {
   EXPECT_EQ(draws1, draws2);
   EXPECT_EQ(draws1, draws4);
   EXPECT_EQ(bs.samples_drawn(), 3 * m);
+}
+
+TEST(BudgetedSamplerTest, ArmedSequentialChunkingPreservesTheStream) {
+  // An armed policy makes DrawMany serve in kShardChunk slices with a
+  // deadline check between them. Chunked sequential draws are
+  // stream-identical for every kernel (the simd kernel is block-structured
+  // at exactly those boundaries), so arming a session must not change a
+  // single byte of its sequential draws.
+  const Distribution d = TestDist();
+  const AliasSampler inner(d);
+
+  RunPolicy armed;
+  armed.deadline = Deadline::AfterMillis(int64_t{1} << 40);
+  ASSERT_TRUE(armed.armed());
+  const BudgetedSampler hardened(inner, BudgetedSampler::kUnlimited, &armed);
+  const BudgetedSampler plain(inner);
+
+  const int64_t m = 2 * Sampler::kShardChunk + 123;
+  Rng rng_h(31), rng_p(31);
+  EXPECT_EQ(hardened.DrawMany(m, rng_h), plain.DrawMany(m, rng_p));
+  EXPECT_EQ(hardened.samples_drawn(), m);
+}
+
+TEST(BudgetedSamplerTest, InertPolicyIsByteIdenticalToNoPolicy) {
+  const Distribution d = TestDist();
+  const AliasSampler inner(d);
+
+  const RunPolicy inert;  // default: no deadline, inert token, no retries
+  const BudgetedSampler with_policy(inner, 1 << 20, &inert);
+  const BudgetedSampler without(inner, 1 << 20);
+
+  Rng rng_a(32), rng_b(32);
+  EXPECT_EQ(with_policy.DrawMany(5000, rng_a), without.DrawMany(5000, rng_b));
+  Rng rng_c(33), rng_d(33);
+  EXPECT_EQ(with_policy.DrawManySharded(70000, rng_c, 4),
+            without.DrawManySharded(70000, rng_d, 4));
+}
+
+TEST(BudgetedSamplerTest, HardenedPathsHandleEmptyRequests) {
+  const Distribution d = TestDist();
+  const AliasSampler inner(d);
+  RunPolicy armed;
+  armed.deadline = Deadline::AfterMillis(int64_t{1} << 40);
+  const BudgetedSampler bs(inner, 100, &armed);
+
+  Rng rng(34);
+  EXPECT_TRUE(bs.DrawMany(0, rng).empty());
+  EXPECT_TRUE(bs.DrawManySharded(0, rng, 2).empty());
+  EXPECT_EQ(bs.samples_drawn(), 0);
+}
+
+TEST(BudgetedSamplerTest, ExpiredDeadlineStopsAtAMeteringPoint) {
+  const Distribution d = TestDist();
+  const AliasSampler inner(d);
+  RunPolicy armed;
+  armed.deadline = Deadline::AfterMillis(0);  // already expired
+  const BudgetedSampler bs(inner, BudgetedSampler::kUnlimited, &armed);
+
+  Rng rng(35);
+  EXPECT_THROW((void)bs.DrawMany(10, rng), DeadlineExceededError);
+  EXPECT_EQ(bs.samples_drawn(), 0);  // nothing charged past the deadline
+}
+
+TEST(BudgetedSamplerTest, CancelTokenStopsAtAMeteringPoint) {
+  const Distribution d = TestDist();
+  const AliasSampler inner(d);
+  RunPolicy policy;
+  policy.cancel = CancelToken::Create();
+  const BudgetedSampler bs(inner, BudgetedSampler::kUnlimited, &policy);
+
+  Rng rng(36);
+  EXPECT_EQ(bs.DrawMany(100, rng).size(), 100u);  // live but not cancelled
+  policy.cancel.Cancel();
+  EXPECT_THROW((void)bs.DrawMany(100, rng), CancelledError);
+  EXPECT_EQ(bs.samples_drawn(), 100);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 // Death tests pin the failure messages so a tripped invariant stays
 // attributable from a CI log alone.
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -19,12 +20,15 @@
 #include "dist/generators.h"
 #include "dist/sampler.h"
 #include "engine/budget.h"
+#include "engine/fault_injection.h"
+#include "engine/runtime.h"
 #include "histogram/tiling.h"
 #include "stream/concurrent_histogram.h"
 #include "stream/log_bucket.h"
 #include "util/check.h"
 #include "util/interval.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace histk {
 namespace {
@@ -81,24 +85,34 @@ TEST(CheckDeathTest, InvariantAbortsWithContextWhenEnabled) {
 
 // ------------------------------------------------- telemetry snapshots
 
-// Mantissa-width agreement is an always-on contract: merging sketches from
-// two differently-configured processes is data corruption, not a nuisance.
-TEST(CheckDeathTest, SnapshotMergeWidthMismatchAborts) {
+// Mantissa-width agreement used to be an always-on abort; snapshots cross
+// process boundaries via the wire format, so a mixed-width pair is
+// user-reachable and must surface as a typed Status instead (the facade
+// boundary audit). These pins keep the conversion honest: wrong pairs are
+// still rejected, the process just survives to report it.
+TEST(CheckTest, SnapshotMergeWidthMismatchIsTypedStatus) {
   const ConcurrentHistogram a(/*mantissa_bits=*/7);
   const ConcurrentHistogram b(/*mantissa_bits=*/8);
   HistogramSnapshot snap = a.Snapshot();
-  EXPECT_DEATH(snap.Merge(b.Snapshot()), "mantissa");
+  const HistogramSnapshot before = snap;
+  const Status s = snap.Merge(b.Snapshot());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("mantissa"), std::string::npos);
+  EXPECT_EQ(snap, before);  // rejected merges leave the target untouched
 }
 
-TEST(CheckDeathTest, SnapshotDeltaRequiresDominationAlwaysOn) {
+TEST(CheckTest, SnapshotDeltaDominationViolationIsTypedStatus) {
   ConcurrentHistogram hist(/*mantissa_bits=*/7);
   hist.Record(3, 5);
   const HistogramSnapshot later = hist.Snapshot();
   hist.Record(3, 1);
   const HistogramSnapshot even_later = hist.Snapshot();
   // Arguments swapped: the "earlier" snapshot dominates, which can only
-  // mean the pair is not ordered — always-on abort.
-  EXPECT_DEATH(later.DeltaSince(even_later), "dominate");
+  // mean the pair is not ordered — typed rejection.
+  const Result<HistogramSnapshot> delta = later.DeltaSince(even_later);
+  ASSERT_FALSE(delta.ok());
+  EXPECT_EQ(delta.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(delta.status().message().find("dominate"), std::string::npos);
 }
 
 TEST(CheckDeathTest, QuantileOfEmptySnapshotAborts) {
@@ -121,6 +135,34 @@ TEST(CheckDeathTest, SnapshotCountConservationIsGated) {
       HistogramSnapshot::FromCounts(7, counts, /*total=*/5);
   EXPECT_EQ(snap.TotalCount(), 5u);  // trusted as-given when gates are off
 #endif
+}
+
+// ------------------------------------------------- session runtime
+
+// Misconfigured runtime components are programmer errors (no user input
+// reaches these constructors), so they stay always-on aborts — pinned here
+// so the messages remain attributable from a CI log.
+
+TEST(CheckDeathTest, GovernorWithZeroSessionSlotsAborts) {
+  EXPECT_DEATH(SessionGovernor(SessionGovernor::Limits{0, -1, 10}),
+               "max_sessions");
+}
+
+TEST(CheckDeathTest, FaultScheduleWithOverfullRatesAborts) {
+  FaultSchedule schedule;
+  schedule.transient_rate = 0.7;
+  schedule.short_batch_rate = 0.7;
+  const Distribution d = MakeZipf(16, 1.2);
+  const AliasSampler inner(d);
+  EXPECT_DEATH(FaultInjectingSampler(inner, schedule), "fault rates");
+}
+
+TEST(CheckDeathTest, RetryBackoffForAttemptZeroAborts) {
+  const RetryPolicy policy;
+  Rng rng(1);
+  // Attempts are 1-based: attempt 0 would mean "backoff before the first
+  // try", which no caller can mean.
+  EXPECT_DEATH(policy.BackoffMillis(0, rng), "");
 }
 
 // ------------------------------------------------- budget metering

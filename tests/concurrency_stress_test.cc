@@ -304,11 +304,14 @@ TEST(ConcurrencyStressTest, ConcurrentHistogramWritersAndReaders) {
           reader_failures[r] = 1;
           return;
         }
-        // DeltaSince aborts (always-on) if `now` fails to dominate `prev`
-        // bucketwise — per-reader snapshots of one histogram must be an
-        // ordered pair even mid-write.
-        const HistogramSnapshot window = now.DeltaSince(prev);
-        merged.Merge(window);
+        // DeltaSince returns InvalidArgument if `now` fails to dominate
+        // `prev` bucketwise — per-reader snapshots of one histogram must be
+        // an ordered pair even mid-write.
+        const Result<HistogramSnapshot> window = now.DeltaSince(prev);
+        if (!window.ok() || !merged.Merge(*window).ok()) {
+          reader_failures[r] = 1;
+          return;
+        }
         if (merged != now) {
           reader_failures[r] = 1;  // rolling merge lost or invented counts
           return;
@@ -350,18 +353,77 @@ TEST(ConcurrencyStressTest, ConcurrentHistogramMergeUnderWrites) {
     const HistogramSnapshot sa = a.Snapshot();
     const HistogramSnapshot sb = b.Snapshot();
     HistogramSnapshot ab = sa;
-    ab.Merge(sb);
+    ASSERT_TRUE(ab.Merge(sb).ok());
     HistogramSnapshot ba = sb;
-    ba.Merge(sa);
+    ASSERT_TRUE(ba.Merge(sa).ok());
     ASSERT_EQ(ab, ba) << "round " << round;
     ASSERT_EQ(ab.TotalCount(), sa.TotalCount() + sb.TotalCount());
   }
   for (std::thread& th : writers) th.join();
 
   HistogramSnapshot final_ab = a.Snapshot();
-  final_ab.Merge(b.Snapshot());
+  ASSERT_TRUE(final_ab.Merge(b.Snapshot()).ok());
   EXPECT_EQ(final_ab.TotalCount(),
             2 * static_cast<uint64_t>(kPerHistogram));
+}
+
+TEST(ConcurrencyStressTest, GovernedSessionsBackpressureUnderLoad) {
+  // 8 threads hammer one governor with Engine sessions while only 2 slots
+  // (and a finite aggregate budget) exist. Every run must end ok or be
+  // rejected with a typed kUnavailable — never crash, hang, or trip the
+  // governor's release-accounting invariant — and afterwards the governor
+  // must drain back to zero.
+  const Distribution d = MakeZipf(256, 1.1);
+  const AliasSampler oracle(d);
+  const Engine engine(oracle);
+
+  SessionGovernor governor(
+      {/*max_sessions=*/2, /*max_outstanding_budget=*/1 << 26, /*retry_after_ms=*/1});
+
+  constexpr int kThreads = 8;
+  constexpr int kRunsPerThread = 6;
+  std::vector<std::thread> workers;
+  std::vector<int> completed(kThreads, 0), rejected(kThreads, 0), wrong(kThreads, 0);
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int run = 0; run < kRunsPerThread; ++run) {
+        TestSpec spec;
+        spec.seed = static_cast<uint64_t>(101 + t * kRunsPerThread + run);
+        spec.budget = 1 << 23;  // a ~5M-draw session fits with headroom
+        spec.config.k = 4;
+        spec.config.eps = 0.3;
+        spec.config.sample_scale = 0.005;  // keep each session small
+        spec.config.r_override = 9;        // and fast (like the parity tests)
+        spec.policy.governor = &governor;
+        spec.policy.retry.max_retries = 0;
+        const Result<Report> result = engine.Run(spec);
+        if (result.ok() && result->status == StatusCode::kOk &&
+            !result->degraded) {
+          ++completed[static_cast<size_t>(t)];
+        } else if (!result.ok() &&
+                   result.status().code() == StatusCode::kUnavailable) {
+          ++rejected[static_cast<size_t>(t)];
+        } else {
+          ++wrong[static_cast<size_t>(t)];
+        }
+      }
+    });
+  }
+  for (std::thread& th : workers) th.join();
+
+  int total_completed = 0, total_rejected = 0, total_wrong = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    total_completed += completed[static_cast<size_t>(t)];
+    total_rejected += rejected[static_cast<size_t>(t)];
+    total_wrong += wrong[static_cast<size_t>(t)];
+  }
+  EXPECT_EQ(total_wrong, 0);
+  EXPECT_EQ(total_completed + total_rejected, kThreads * kRunsPerThread);
+  EXPECT_GT(total_completed, 0);  // 2 slots: someone always gets through
+  EXPECT_EQ(governor.in_flight(), 0);
+  EXPECT_EQ(governor.outstanding_budget(), 0);
+  EXPECT_EQ(governor.rejected(), total_rejected);
 }
 
 }  // namespace

@@ -97,9 +97,9 @@ TEST(ConcurrentHistogramTest, MergeIsCommutativeAndConservesCounts) {
   h2.Record(uint64_t{1} << 50, 11);
 
   HistogramSnapshot ab = h1.Snapshot();
-  ab.Merge(h2.Snapshot());
+  ASSERT_TRUE(ab.Merge(h2.Snapshot()).ok());
   HistogramSnapshot ba = h2.Snapshot();
-  ba.Merge(h1.Snapshot());
+  ASSERT_TRUE(ba.Merge(h1.Snapshot()).ok());
 
   EXPECT_EQ(ab, ba);
   EXPECT_EQ(ab.TotalCount(), 23u);
@@ -114,26 +114,26 @@ TEST(ConcurrentHistogramTest, DeltaSinceIsTheWindowBetweenSnapshots) {
   hist.Record(99, 5);
   const HistogramSnapshot after = hist.Snapshot();
 
-  const HistogramSnapshot window = after.DeltaSince(before);
+  const HistogramSnapshot window = after.DeltaSince(before).value();
   EXPECT_EQ(window.TotalCount(), 7u);
   EXPECT_EQ(window.counts()[10], 2u);
   EXPECT_EQ(window.counts()[99], 5u);
   // before + window == after: the decomposition is exact.
   HistogramSnapshot recombined = before;
-  recombined.Merge(window);
+  ASSERT_TRUE(recombined.Merge(window).ok());
   EXPECT_EQ(recombined, after);
 }
 
 TEST(ConcurrentHistogramTest, DecayedHalvesCountsWithRounding) {
   const HistogramSnapshot snap = SmallSnapshot();
-  const HistogramSnapshot half = snap.Decayed(0.5);
+  const HistogramSnapshot half = snap.Decayed(0.5).value();
   EXPECT_EQ(half.counts()[0], 5u);
   EXPECT_EQ(half.counts()[1], 10u);
   EXPECT_EQ(half.counts()[2], 15u);
   EXPECT_EQ(half.counts()[100], 20u);
   EXPECT_EQ(half.TotalCount(), 50u);
-  EXPECT_EQ(snap.Decayed(0.0).TotalCount(), 0u);
-  EXPECT_EQ(snap.Decayed(1.0), snap);
+  EXPECT_EQ(snap.Decayed(0.0).value().TotalCount(), 0u);
+  EXPECT_EQ(snap.Decayed(1.0).value(), snap);
 }
 
 // ------------------------------------------------------------ wire format

@@ -95,9 +95,56 @@ TEST(DyadicCountMinTest, EquiDepthEndsBalanced) {
   for (size_t j = 1; j < ends.size(); ++j) EXPECT_GT(ends[j], ends[j - 1]);
 }
 
+TEST(CountMinTest, WidthOneSketchCollapsesToRowTotals) {
+  // Degenerate geometry: one counter per row, so every id collides and each
+  // estimate is the whole stream mass. Also the cheapest end-to-end check of
+  // the gated row-conservation invariant (all rows hold the same counter).
+  CountMin cm(1, 3, 913);
+  cm.Update(0, 4);
+  cm.Update(99, 6);
+  EXPECT_EQ(cm.Estimate(0), 10);
+  EXPECT_EQ(cm.Estimate(12345), 10);
+}
+
+TEST(DyadicCountMinTest, SingletonDomain) {
+  // n = 1 pads to one leaf and one level; every query collapses to total.
+  DyadicCountMin sketch(1, 0.1, 0.1, 914);
+  sketch.Update(0, 7);
+  EXPECT_EQ(sketch.total(), 7);
+  EXPECT_EQ(sketch.RangeCount(Interval::Full(1)), 7);
+  EXPECT_EQ(sketch.Quantile(0.0), 0);
+  EXPECT_EQ(sketch.Quantile(1.0), 0);
+  EXPECT_EQ(sketch.EquiDepthEnds(4), std::vector<int64_t>{0});
+}
+
+TEST(DyadicCountMinTest, EmptySketchQueriesAreBenign) {
+  // No updates: counts are zero everywhere and quantiles resolve to the
+  // leftmost element instead of reading uninitialized state.
+  const DyadicCountMin sketch(32, 0.1, 0.1, 915);
+  EXPECT_EQ(sketch.total(), 0);
+  EXPECT_EQ(sketch.RangeCount(Interval::Full(32)), 0);
+  EXPECT_EQ(sketch.Quantile(0.5), 0);
+  EXPECT_EQ(sketch.EquiDepthEnds(3).back(), 31);
+}
+
+TEST(DyadicCountMinTest, BoundaryQuantilesStayInDomain) {
+  // Wide sketch: exact estimates, so the boundary quantiles are exact too.
+  DyadicCountMin sketch(128, 0.002, 0.01, 916);
+  for (int64_t i = 0; i < 128; ++i) sketch.Update(i);
+  EXPECT_EQ(sketch.Quantile(0.0), 0);
+  EXPECT_EQ(sketch.Quantile(1.0), 127);
+}
+
 TEST(DyadicCountMinDeathTest, RejectsOutOfDomain) {
   DyadicCountMin sketch(16, 0.1, 0.1, 912);
   EXPECT_DEATH(sketch.Update(16), "i >= 0");
+}
+
+TEST(DyadicCountMinDeathTest, RejectsDegenerateGeometry) {
+  EXPECT_DEATH(DyadicCountMin(0, 0.1, 0.1, 1), "n >= 1");
+  EXPECT_DEATH(DyadicCountMin(16, 0.0, 0.1, 1), "eps");
+  EXPECT_DEATH(DyadicCountMin(16, 0.1, 1.0, 1), "delta");
+  EXPECT_DEATH(CountMin(0, 1, 1), "width");
 }
 
 }  // namespace

@@ -63,8 +63,42 @@ TEST(ReservoirBankTest, MixedCapacities) {
   EXPECT_EQ(bank.reservoir(1).sample().size(), 50u);  // under capacity
 }
 
+TEST(ReservoirTest, CapacityOneHoldsExactlyOneStreamElement) {
+  // Degenerate reservoir: one slot, long stream. The invariant in Add pins
+  // size == min(seen, 1) on every step; the retained element must be real.
+  Reservoir r(1, 805);
+  for (int64_t i = 0; i < 300; ++i) r.Add(i * 3);
+  EXPECT_EQ(r.stream_size(), 300);
+  ASSERT_EQ(r.sample().size(), 1u);
+  EXPECT_EQ(r.sample()[0] % 3, 0);
+  EXPECT_LT(r.sample()[0], 900);
+}
+
+TEST(ReservoirTest, EmptyReservoirReportsEmptySample) {
+  const Reservoir r(4, 806);
+  EXPECT_EQ(r.stream_size(), 0);
+  EXPECT_TRUE(r.sample().empty());
+}
+
+TEST(ReservoirBankTest, SingleReservoirBankMatchesStandalone) {
+  ReservoirBank bank({5}, 807);
+  for (int64_t i = 0; i < 100; ++i) bank.Add(i);
+  EXPECT_EQ(bank.size(), 1);
+  EXPECT_EQ(bank.reservoir(0).stream_size(), 100);
+  EXPECT_EQ(bank.reservoir(0).sample().size(), 5u);
+}
+
 TEST(ReservoirDeathTest, RejectsZeroCapacity) {
   EXPECT_DEATH(Reservoir(0, 1), "capacity");
+}
+
+TEST(ReservoirDeathTest, BankRejectsEmptyCapacityList) {
+  EXPECT_DEATH(ReservoirBank({}, 1), "empty");
+}
+
+TEST(ReservoirDeathTest, BankRejectsOutOfRangeIndex) {
+  const ReservoirBank bank({3}, 808);
+  EXPECT_DEATH(bank.reservoir(1), "");
 }
 
 }  // namespace

@@ -25,6 +25,9 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
   EXPECT_EQ(Status::BudgetExhausted("x").code(), StatusCode::kBudgetExhausted);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
 }
 
 TEST(StatusTest, CodeNamesAreDistinct) {
@@ -33,6 +36,11 @@ TEST(StatusTest, CodeNamesAreDistinct) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "parse-error");
   EXPECT_STREQ(StatusCodeName(StatusCode::kBudgetExhausted), "budget-exhausted");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "internal");
+  // The resilient-session codes: pinned because check_report_json.py and
+  // the chaos CI job match on these exact strings.
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded), "deadline-exceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "cancelled");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "unavailable");
 }
 
 Result<int> ParsePositive(int x) {

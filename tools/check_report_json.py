@@ -4,7 +4,11 @@
 Usage: check_report_json.py REPORT.json [TASK]
 
 Validates the structural contract of WriteReportJson (src/engine/engine.cc):
-required top-level fields, the telemetry block, and the per-task payload.
+required top-level fields, the telemetry block, the resilience triple
+(status / degraded / retries — see src/engine/runtime.h), and the per-task
+payload. Degraded reports (deadline, cancellation, fault exhaustion, governor
+rejection) must still be schema-valid: typed outcome, status consistent with
+it, and at most a best-effort "reduced" tiling in place of the payload.
 TASK, when given, must match the report's "task" field. Exits nonzero with a
 message on the first violation, so CI can assert on structured output
 instead of grepping text.
@@ -12,7 +16,34 @@ instead of grepping text.
 import json
 import sys
 
-OUTCOMES = {"ok", "accepted", "rejected", "budget-exhausted"}
+OUTCOMES = {
+    "ok",
+    "accepted",
+    "rejected",
+    "budget-exhausted",
+    "deadline-exceeded",
+    "cancelled",
+    "unavailable",
+}
+# Outcomes that mark a degraded session: the run was cut short and the
+# payload is replaced by best-effort state (optionally a "reduced" tiling).
+DEGRADED_OUTCOMES = {
+    "budget-exhausted",
+    "deadline-exceeded",
+    "cancelled",
+    "unavailable",
+}
+# outcome -> required "status" string (TaskOutcomeStatus in engine.cc;
+# names pinned by tests/status_test.cc).
+OUTCOME_STATUS = {
+    "ok": "ok",
+    "accepted": "ok",
+    "rejected": "ok",
+    "budget-exhausted": "budget-exhausted",
+    "deadline-exceeded": "deadline-exceeded",
+    "cancelled": "cancelled",
+    "unavailable": "unavailable",
+}
 TASKS = {"learn", "test", "compare", "estimate", "property-test", "closeness"}
 
 
@@ -50,7 +81,24 @@ def main():
     require(task in TASKS, f"unknown task {task!r}")
     if len(sys.argv) > 2:
         require(task == sys.argv[2], f"task {task!r} != expected {sys.argv[2]!r}")
-    require(report.get("outcome") in OUTCOMES, f"bad outcome {report.get('outcome')!r}")
+    outcome = report.get("outcome")
+    require(outcome in OUTCOMES, f"bad outcome {outcome!r}")
+
+    # Resilience triple: every report carries a typed status, a degraded
+    # flag that agrees with it, and a non-negative retry count.
+    require("status" in report, "status missing")
+    require(
+        report["status"] == OUTCOME_STATUS[outcome],
+        f"status {report['status']!r} inconsistent with outcome {outcome!r}",
+    )
+    require(isinstance(report.get("degraded"), bool), "degraded must be a bool")
+    require(
+        report["degraded"] == (outcome in DEGRADED_OUTCOMES),
+        f"degraded={report['degraded']} disagrees with outcome {outcome!r}",
+    )
+    retries = report.get("retries")
+    require(isinstance(retries, int) and retries >= 0,
+            "retries must be a non-negative integer")
 
     tel = report.get("telemetry")
     require(isinstance(tel, dict), "telemetry missing")
@@ -75,9 +123,12 @@ def main():
     if tel["budget"] >= 0:
         require(tel["samples_drawn"] <= tel["budget"], "samples_drawn exceeds budget")
 
-    if report["outcome"] == "budget-exhausted":
-        # Payload intentionally absent; telemetry already checked.
-        print(f"check_report_json: {task} report ok (budget-exhausted)")
+    if outcome in DEGRADED_OUTCOMES:
+        # Payload intentionally absent; a degraded learn-family session may
+        # still ship its best-so-far tiling under "reduced".
+        if "reduced" in report:
+            check_tiling(report["reduced"], "reduced")
+        print(f"check_report_json: {task} report ok ({outcome}, degraded)")
         return
 
     if task in ("learn", "compare", "estimate"):

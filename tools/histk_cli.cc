@@ -61,6 +61,22 @@
 //   2  usage error or invalid arguments (engine spec validation)
 //   3  malformed input (parse error; message names the line)
 //   4  oracle budget exhausted before the task finished
+//   5  session interrupted: deadline exceeded, cancelled, or unavailable
+//      (admission rejected / fault retries exhausted); with --json the
+//      degraded report (status/degraded/retries fields) is still emitted
+//
+// Resilient sessions: every Engine-backed subcommand takes
+//   --deadline-ms D   wall-clock deadline for the session (steady clock);
+//                     an expired deadline degrades the run instead of
+//                     hanging — learn still emits its best-so-far tiling
+//   --max-retries R   transient-fault retry budget (bounded exponential
+//                     backoff with deterministic jitter)
+//   --inject-faults S wrap the data-set oracle in the seeded deterministic
+//                     fault injector (engine/fault_injection.h): same S,
+//                     same fault schedule, byte-identical reports. Ignored
+//                     by --from-sketch (the bridge owns its oracle).
+//   --draw-threads T  sharded session draw workers (reports are identical
+//                     for any T; the chaos CI job sweeps this)
 //
 // Ingestion is streaming: stdin is consumed line by line in fixed-size
 // chunks that feed either a bounded uniform reservoir (learn/test;
@@ -134,6 +150,12 @@ struct Args {
   std::vector<uint64_t> cdf_at;  // ingest: report cdf(V) for each --cdf-at V
   std::string sketch_out;        // ingest: write the wire-format snapshot here
   std::string from_sketch;       // learn/test: bridge this sketch, skip stdin
+  // resilient sessions (engine-backed subcommands):
+  int64_t deadline_ms = 0;    // 0 = no deadline
+  int max_retries = 0;        // transient-fault retry budget
+  bool inject_faults = false; // wrap the oracle in the fault injector
+  uint64_t fault_seed = 0;    // --inject-faults SEED (schedule derivation)
+  int draw_threads = 0;       // sharded session workers; 0 = sequential
 };
 
 // Exit codes, one per outcome class (see file comment).
@@ -142,6 +164,7 @@ constexpr int kExitReject = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitParse = 3;
 constexpr int kExitBudget = 4;
+constexpr int kExitDeadline = 5;  // deadline exceeded / cancelled / unavailable
 
 void Usage() {
   std::fprintf(
@@ -171,8 +194,11 @@ void Usage() {
       "                 the --sketch-out file)\n"
       "       all sampling commands also take --kernel replay|packed|simd\n"
       "                 (oracle draw kernel; default replay)\n"
+      "       engine subcommands also take --deadline-ms D --max-retries R\n"
+      "                 --inject-faults SEED --draw-threads T (resilient\n"
+      "                 sessions; see the file comment)\n"
       "exit codes: 0 ok/accept, 1 reject, 2 usage/invalid, 3 parse error,\n"
-      "            4 budget exhausted\n");
+      "            4 budget exhausted, 5 deadline/cancelled/unavailable\n");
 }
 
 // Full-token numeric flag parses: a typo must be a usage error (exit 2)
@@ -311,6 +337,19 @@ bool Parse(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return bad();
       args.from_sketch = v;
+    } else if (flag == "--deadline-ms") {
+      const char* v = next();
+      if (!v || !ToI64(v, args.deadline_ms) || args.deadline_ms < 1) return bad();
+    } else if (flag == "--max-retries") {
+      const char* v = next();
+      if (!v || !ToInt(v, args.max_retries) || args.max_retries < 0) return bad();
+    } else if (flag == "--inject-faults") {
+      const char* v = next();
+      if (!v || !ToU64(v, args.fault_seed)) return bad();
+      args.inject_faults = true;
+    } else if (flag == "--draw-threads") {
+      const char* v = next();
+      if (!v || !ToInt(v, args.draw_threads) || args.draw_threads < 0) return bad();
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -412,13 +451,37 @@ Result<Ingested> IngestStream(std::istream& is, int64_t explicit_n, IngestMode m
   return out;
 }
 
+// The runtime flags become the spec's RunPolicy; every Engine-backed
+// subcommand funnels through here so a deadline means the same thing to all
+// six tasks.
+void ApplyRuntimeFlags(const Args& args, SpecCommon& spec) {
+  if (args.deadline_ms > 0) {
+    spec.policy.deadline = Deadline::AfterMillis(args.deadline_ms);
+  }
+  spec.policy.retry.max_retries = args.max_retries;
+  if (args.draw_threads > 0) spec.draw_threads = args.draw_threads;
+}
+
+// --inject-faults: interpose the seeded fault injector between the Engine's
+// meter and the real oracle. `storage` keeps the decorator alive alongside
+// the returned reference (the Engine holds references, not copies).
+const Sampler& MaybeInjectFaults(const Args& args, const Sampler& inner,
+                                 std::optional<FaultInjectingSampler>& storage) {
+  if (!args.inject_faults) return inner;
+  storage.emplace(inner, FaultSchedule::FromSeed(args.fault_seed));
+  return *storage;
+}
+
 /// Shared unhappy-path handling for the Engine-backed subcommands: invalid
-/// specs exit 2, exhausted budgets exit 4 (after emitting the JSON report
-/// when asked — the report documents the partial telemetry).
+/// specs exit 2, rejected admission exits 5, exhausted budgets exit 4, and
+/// interrupted sessions (deadline/cancel/unavailable) exit 5 — each after
+/// emitting the JSON report when asked (the report documents the partial
+/// telemetry plus the status/degraded/retries triple).
 int ReportFailure(const Result<Report>& result, bool json) {
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return kExitUsage;
+    return result.status().code() == StatusCode::kUnavailable ? kExitDeadline
+                                                              : kExitUsage;
   }
   const Report& report = *result;
   if (report.outcome == TaskOutcome::kBudgetExhausted) {
@@ -430,6 +493,24 @@ int ReportFailure(const Result<Report>& result, bool json) {
                  static_cast<long long>(report.telemetry.budget));
     return kExitBudget;
   }
+  if (report.degraded) {
+    if (json) {
+      WriteReportJson(std::cout, report);
+    } else if (report.reduced) {
+      // Graceful degradation: the best-so-far tiling from the completed part
+      // of the sample still goes to stdout, flagged on stderr.
+      WriteTilingHistogram(std::cout, *report.reduced);
+      std::fprintf(stderr, "emitted the best-effort tiling from the partial sample\n");
+    }
+    std::fprintf(stderr,
+                 "session degraded (%s) after %lld oracle draws, %lld "
+                 "retr%s\n",
+                 TaskOutcomeName(report.outcome),
+                 static_cast<long long>(report.telemetry.samples_drawn),
+                 static_cast<long long>(report.retries),
+                 report.retries == 1 ? "y" : "ies");
+    return kExitDeadline;
+  }
   return -1;  // no failure; caller handles the success path
 }
 
@@ -440,6 +521,7 @@ int RunLearnOn(const Args& args, const Engine& engine, const std::string& source
   LearnSpec spec;
   spec.seed = args.seed;
   spec.budget = args.budget;
+  ApplyRuntimeFlags(args, spec);
   spec.options.k = args.k;
   spec.options.eps = args.eps;
   spec.options.sample_scale = args.scale;
@@ -475,7 +557,8 @@ std::string StreamNote(const Ingested& in) {
 
 int RunLearn(const Args& args, const Ingested& in) {
   const DatasetSampler sampler(in.n, in.items, args.kernel);
-  const Engine engine(sampler);
+  std::optional<FaultInjectingSampler> faulty;
+  const Engine engine(MaybeInjectFaults(args, sampler, faulty));
   return RunLearnOn(args, engine, StreamNote(in));
 }
 
@@ -483,6 +566,7 @@ int RunTestOn(const Args& args, const Engine& engine, const std::string& source_
   TestSpec spec;
   spec.seed = args.seed;
   spec.budget = args.budget;
+  ApplyRuntimeFlags(args, spec);
   spec.config.k = args.k;
   spec.config.eps = args.eps;
   spec.config.norm = args.norm;
@@ -514,17 +598,20 @@ int RunTestOn(const Args& args, const Engine& engine, const std::string& source_
 
 int RunTest(const Args& args, const Ingested& in) {
   const DatasetSampler sampler(in.n, in.items, args.kernel);
-  const Engine engine(sampler);
+  std::optional<FaultInjectingSampler> faulty;
+  const Engine engine(MaybeInjectFaults(args, sampler, faulty));
   return RunTestOn(args, engine, StreamNote(in));
 }
 
 int RunPropertyTest(const Args& args, const Ingested& in) {
   const DatasetSampler sampler(in.n, in.items, args.kernel);
-  const Engine engine(sampler);
+  std::optional<FaultInjectingSampler> faulty;
+  const Engine engine(MaybeInjectFaults(args, sampler, faulty));
 
   PropertyTestSpec spec;
   spec.seed = args.seed;
   spec.budget = args.budget;
+  ApplyRuntimeFlags(args, spec);
   spec.config.k = args.k;
   spec.config.eps = args.eps;
   // The CDKL22 object is total variation; --norm l2 opts into the tighter
@@ -567,16 +654,24 @@ int RunCloseness(const Args& args, const Ingested& in, const Ingested& other) {
   const int64_t n = args.n > 0 ? args.n : std::max(in.n, other.n);
   const DatasetSampler sampler_p(n, in.items, args.kernel);
   const DatasetSampler sampler_q(n, other.items, args.kernel);
-  const Engine engine(sampler_p);
+  // Chaos coverage spans both oracles: p's faults surface in the learn
+  // phases, q's in the verification draws (distinct derived seed so the two
+  // schedules cannot correlate).
+  std::optional<FaultInjectingSampler> faulty_p, faulty_q;
+  const Engine engine(MaybeInjectFaults(args, sampler_p, faulty_p));
+  Args q_args = args;
+  q_args.fault_seed = args.fault_seed ^ 0x9E3779B97F4A7C15ULL;
+  const Sampler& oracle_q = MaybeInjectFaults(q_args, sampler_q, faulty_q);
 
   ClosenessSpec spec;
   spec.seed = args.seed;
   spec.budget = args.budget;
+  ApplyRuntimeFlags(args, spec);
   spec.config.k_p = args.k;
   spec.config.k_q = args.k2 > 0 ? args.k2 : args.k;
   spec.config.eps = args.eps;
   spec.config.sample_scale = args.scale;
-  spec.other = &sampler_q;
+  spec.other = &oracle_q;
 
   const Result<Report> result = engine.Run(spec);
   if (const int failure = ReportFailure(result, args.json); failure >= 0) {
@@ -608,11 +703,13 @@ int RunCompare(const Args& args, const Ingested& in) {
   }
   const Distribution truth = Distribution::FromWeights(std::move(weights));
   const AliasSampler sampler(truth, args.kernel);
-  const Engine engine(sampler, truth);
+  std::optional<FaultInjectingSampler> faulty;
+  const Engine engine(MaybeInjectFaults(args, sampler, faulty), truth);
 
   CompareSpec spec;
   spec.seed = args.seed;
   spec.budget = args.budget;
+  ApplyRuntimeFlags(args, spec);
   spec.k = args.k;
   spec.eps = args.eps;
   spec.sample_scale = args.scale;

@@ -29,10 +29,18 @@ histk idioms the codebase relies on:
                    std::atomic / <atomic> / std::memory_order appear ONLY
                    in the designated concurrency kernels (HOT_ATOMICS_ALLOW:
                    the concurrent histogram, the sharded draw dispatcher,
-                   the SIMD backend override). Atomics sprinkled anywhere
-                   else are either a data-race band-aid or a new concurrent
-                   design that belongs behind one of those reviewed,
-                   tsan-covered facades.
+                   the SIMD backend override, the session runtime's
+                   CancelToken). Atomics sprinkled anywhere else are either
+                   a data-race band-aid or a new concurrent design that
+                   belongs behind one of those reviewed, tsan-covered
+                   facades.
+  clock-containment
+                   std::chrono / steady_clock / sleep_for and the <chrono>
+                   include appear ONLY in src/util/timer.h and the session
+                   runtime (src/engine/runtime.*). Everything else asks a
+                   Deadline or WallTimer for time — scattered clock reads
+                   make deadline behavior untestable and are the #1 source
+                   of nondeterministic reports.
   simd-containment <immintrin.h>-family includes and vector intrinsics
                    (_mm*, __m128/256/512, __builtin_ia32_*) are allowed ONLY
                    under src/dist/simd/. Everyone else programs against the
@@ -99,14 +107,37 @@ HOT_ATOMICS_ALLOW = {
     "src/stream/concurrent_histogram.cc",
     "src/dist/sampler.cc",       # sharded DrawMany chunk dispenser
     "src/dist/simd/dispatch.cc",  # runtime backend override knob
+    "src/engine/runtime.h",      # CancelToken's shared cancellation flag
+    "src/engine/runtime.cc",
 }
 ATOMIC_RE = re.compile(
     r"\bstd::(?:atomic\w*|memory_order\w*)\b|#include\s*<atomic>"
 )
 
+# clock-containment: wall/monotonic time is read in exactly two places —
+# the WallTimer (telemetry) and the session runtime (Deadline, backoff
+# sleeps). Everyone else receives a Deadline or a WallTimer.
+CLOCK_ALLOW = {
+    "src/util/timer.h",
+    "src/engine/runtime.h",
+    "src/engine/runtime.cc",
+}
+CLOCK_RE = re.compile(
+    r"\bstd::chrono\b|\bchrono::\w+|"
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\b|"
+    r"\bthis_thread::sleep_(?:for|until)\b|"
+    r"#include\s*<chrono>"
+)
+
 # engine-budget: Draw* receivers inside src/engine/ that are exempt because
-# they ARE the metering layer or operate on already-drawn data.
-ENGINE_ALLOW = {"src/engine/budget.cc", "src/engine/budget.h"}
+# they ARE the metering layer or sit below it in the decorator stack
+# (BudgetedSampler wraps FaultInjectingSampler wraps the oracle).
+ENGINE_ALLOW = {
+    "src/engine/budget.cc",
+    "src/engine/budget.h",
+    "src/engine/fault_injection.cc",
+    "src/engine/fault_injection.h",
+}
 DRAW_CALL_RE = re.compile(r"\b(\w+)\s*(?:\.|->)\s*(Draw\w*)\s*\(")
 STATIC_DRAW_RE = re.compile(r"\b(SampleSet|SampleSetGroup)::(Draw\w*)\s*\(\s*(\w+)")
 BUDGETED_DECL_RE = re.compile(r"\bBudgetedSampler[&\s]+(\w+)\s*[({=;,)]")
@@ -220,6 +251,11 @@ def lint_file(root, rel):
                  "std::atomic outside the designated concurrency kernels — "
                  "build on ConcurrentHistogram / the sharded samplers "
                  "instead of ad-hoc atomics")
+        if rel not in CLOCK_ALLOW and CLOCK_RE.search(line):
+            emit(idx, "clock-containment",
+                 "raw clock access outside src/util/timer.h and "
+                 "src/engine/runtime.* — take a Deadline / WallTimer "
+                 "so time-dependent behavior stays testable")
 
     # engine-budget: collect BudgetedSampler variable names, then require
     # every member Draw* receiver (and SampleSet::Draw* sampler argument)
