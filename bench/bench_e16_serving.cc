@@ -1,0 +1,239 @@
+// E16 — the histkd serving core (serve/server.h): what one daemon process
+// sustains once learned synopses are cached, and what the edges cost.
+//
+// Three question groups:
+//   1. throughput — requests/s through Submit + the worker pool for
+//      cache-hit estimate traffic at w workers. Hits bypass the governor
+//      and draw nothing, so this is the pure serving path: parse, dataset
+//      fingerprint, canonical key, cached-synopsis answer, envelope;
+//   2. latency split — ns per cache-hit estimate (HandleLine, steady
+//      state) versus seconds per cold learn (miss path: admission, engine
+//      session, cache insert). The gap is the cache's whole value
+//      proposition — repeat traffic must not pay the learner;
+//   3. governor saturation — rejections/s when every session slot is
+//      held. The typed-503 fast path runs before any engine work, so a
+//      saturated daemon must shed load at queue speed, not learn speed.
+//
+// HISTK_E16_SMOKE=1 shrinks request counts and skips the worker sweep so
+// CI finishes in seconds; the emitted BENCH_e16.json then matches
+// bench/baselines/BENCH_e16.json record-for-record (CI smoke-diffs it via
+// perf_diff.py --strict-labels). The full run sweeps w in {1, 2, 4, 8}.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "benchutil/harness.h"
+#include "core/histk.h"
+#include "engine/runtime.h"
+#include "serve/server.h"
+#include "util/timer.h"
+
+namespace histk {
+namespace {
+
+bool SmokeMode() {
+  const char* flag = std::getenv("HISTK_E16_SMOKE");
+  return flag != nullptr && std::string(flag) == "1";
+}
+
+// A small k-histogram-shaped workload, inlined into every request so the
+// serving path pays dataset resolution (parse + fingerprint + store hit)
+// the way real repeat traffic does.
+std::string InlineDatasetJson() {
+  Rng rng(0xE16);
+  std::string items = "[";
+  for (int i = 0; i < 2000; ++i) {
+    if (i > 0) items += ", ";
+    // Four plateaus over n = 256 with distinct masses.
+    const uint64_t plateau = rng.NextU64() % 4;
+    const uint64_t value = plateau * 64 + rng.NextU64() % 64;
+    items += std::to_string(value);
+  }
+  items += "]";
+  return items;
+}
+
+std::string LearnLine(const std::string& dataset, uint64_t seed,
+                      const std::string& id) {
+  return "{\"id\": \"" + id + "\", \"kind\": \"learn\", \"k\": 4, "
+         "\"eps\": 0.3, \"scale\": 0.25, \"seed\": " + std::to_string(seed) +
+         ", \"dataset\": " + dataset + "}";
+}
+
+std::string EstimateLine(const std::string& dataset, uint64_t seed,
+                         const std::string& id) {
+  return "{\"id\": \"" + id + "\", \"kind\": \"estimate\", \"k\": 4, "
+         "\"eps\": 0.3, \"scale\": 0.25, \"seed\": " + std::to_string(seed) +
+         ", \"quantiles\": [0.25, 0.5, 0.9], \"ranges\": [[0, 64], [64, 192]]"
+         ", \"dataset\": " + dataset + "}";
+}
+
+std::string InlineRef(const std::string& items) {
+  return "{\"items\": " + items + "}";
+}
+
+// Uploads the dataset via one learn and returns the fingerprint reference
+// repeat traffic uses ({"fingerprint": "..."}), so steady-state requests
+// are a few hundred bytes instead of re-shipping the items every line.
+std::string WarmAndGetRef(serve::HistkdServer& server,
+                          const std::string& items) {
+  const std::string response =
+      server.HandleLine(LearnLine(InlineRef(items), 7, "warm"));
+  HISTK_CHECK(response.find("\"status\": \"ok\"") != std::string::npos);
+  const std::string key = "\"fingerprint\": \"";
+  const size_t at = response.find(key);
+  HISTK_CHECK(at != std::string::npos);
+  return "{\"fingerprint\": \"" + response.substr(at + key.size(), 16) + "\"}";
+}
+
+serve::ServeOptions Options(int workers) {
+  serve::ServeOptions options;
+  options.workers = workers;
+  options.queue_limit = 1 << 16;  // throughput runs queue entire batches
+  return options;
+}
+
+// Requests/s for `count` cache-hit estimates pushed through Submit on a
+// fresh server with `workers` workers (cache warmed outside the timer).
+double MeasureHitThroughput(const std::string& items, int workers,
+                            int64_t count, int64_t trials) {
+  return MeasureScalar(trials, [&](int64_t) {
+    serve::HistkdServer server(Options(workers));
+    const std::string ref = WarmAndGetRef(server, items);
+    const std::string line = EstimateLine(ref, 7, "hit");
+    std::mutex mu;
+    int64_t ok = 0;
+    const WallTimer timer;
+    for (int64_t i = 0; i < count; ++i) {
+      server.Submit(line, [&mu, &ok](std::string response) {
+        const bool hit =
+            response.find("\"cache\": \"hit\"") != std::string::npos;
+        const std::lock_guard<std::mutex> lock(mu);
+        ok += hit;
+      });
+    }
+    server.Drain();
+    const double seconds = timer.ElapsedSeconds();
+    HISTK_CHECK(ok == count);
+    return static_cast<double>(count) / seconds;
+  }).mean;
+}
+
+void RunExperiment() {
+  const bool smoke = SmokeMode();
+  const int64_t kHits = smoke ? 2000 : 20000;
+  const int64_t kRejects = smoke ? 2000 : 20000;
+  const int64_t trials = smoke ? 3 : 5;
+  const std::string items = InlineDatasetJson();
+
+  PrintExperimentHeader(
+      "e16: histkd serving (request API + learned-synopsis cache)",
+      "cache-hit estimates serve at queue speed from the synopsis cache "
+      "(no oracle draws, no governor slot); cold learns pay the engine "
+      "once; a saturated governor sheds load with typed 503s at far above "
+      "learn rate",
+      std::string("inline dataset: 2000 items over n = 256, k = 4, "
+                  "eps = 0.3, scale = 0.25; ") +
+          (smoke ? "SMOKE (2k requests, w=1 only)"
+                 : "full (20k requests, w sweep)"));
+
+  // -------------------------------------------------- 1. hit throughput
+  Table tput_table({"workers", "req/s"});
+  NextBenchLabel("serve_hit_w1_req_per_s");
+  const double w1 = MeasureHitThroughput(items, 1, kHits, trials);
+  tput_table.AddRow({"1", FmtF(w1, 0)});
+  if (!smoke) {
+    for (int w : {2, 4, 8}) {
+      NextBenchLabel("sweep_serve_hit_w" + std::to_string(w) + "_req_per_s");
+      const double rps = MeasureHitThroughput(items, w, kHits, trials);
+      tput_table.AddRow({std::to_string(w), FmtF(rps, 0)});
+    }
+  }
+  tput_table.Print(std::cout);
+
+  // ------------------------------------------------------ 2. latency split
+  serve::HistkdServer server(Options(1));
+  const std::string ref = WarmAndGetRef(server, items);
+
+  NextBenchLabel("serve_estimate_hit_ns");
+  const int64_t kLatencyBatch = smoke ? 200 : 1000;
+  const double hit_ns = MeasureScalar(trials, [&](int64_t) {
+    const std::string line = EstimateLine(ref, 7, "lat");
+    const WallTimer timer;
+    for (int64_t i = 0; i < kLatencyBatch; ++i) {
+      benchmark::DoNotOptimize(server.HandleLine(line));
+    }
+    return timer.ElapsedSeconds() * 1e9 / static_cast<double>(kLatencyBatch);
+  }).mean;
+
+  NextBenchLabel("serve_cold_learn_s");
+  uint64_t fresh_seed = 1000;  // new seed every call: every learn is a miss
+  const double cold_s = MeasureScalar(trials, [&](int64_t) {
+    const WallTimer timer;
+    const std::string response =
+        server.HandleLine(LearnLine(ref, ++fresh_seed, "cold"));
+    HISTK_CHECK(response.find("\"cache\": \"miss\"") != std::string::npos);
+    return timer.ElapsedSeconds();
+  }).mean;
+
+  Table lat_table({"path", "per request"});
+  lat_table.AddRow({"estimate (cache hit)", FmtF(hit_ns / 1e3, 1) + " us"});
+  lat_table.AddRow({"learn (cold miss)", FmtF(cold_s * 1e3, 2) + " ms"});
+  lat_table.Print(std::cout);
+
+  // ------------------------------------------------ 3. governor saturation
+  serve::ServeOptions saturated = Options(1);
+  saturated.governor.max_sessions = 1;
+  serve::HistkdServer full(saturated);
+  // Load the dataset while the slot is free, then hold the only session
+  // slot so every oracle-touching request takes the typed-rejection fast
+  // path. The accessor is const (frontends only read counters); the bench
+  // claims a slot the way an in-flight session would.
+  const std::string full_ref = WarmAndGetRef(full, items);
+  SessionGovernor& governor =
+      const_cast<SessionGovernor&>(full.governor());  // NOLINT
+  const Result<SessionGovernor::Permit> held = governor.Admit(1);
+  HISTK_CHECK(held.ok());
+
+  NextBenchLabel("governor_reject_per_s");
+  const double reject_per_s = MeasureScalar(trials, [&](int64_t) {
+    // A fresh seed fragments the synopsis key, so this is a would-be cold
+    // learn: it must shed at the governor, not serve from cache.
+    const std::string line = LearnLine(full_ref, 99, "shed");
+    const WallTimer timer;
+    for (int64_t i = 0; i < kRejects; ++i) {
+      const std::string response = full.HandleLine(line);
+      HISTK_CHECK(response.find("\"status\": \"unavailable\"") !=
+                  std::string::npos);
+    }
+    return static_cast<double>(kRejects) / timer.ElapsedSeconds();
+  }).mean;
+
+  Table shed_table({"path", "req/s"});
+  shed_table.AddRow({"typed 503 (slots full)", FmtF(reject_per_s, 0)});
+  shed_table.Print(std::cout);
+
+  std::printf(
+      "\nshape check: hit throughput is tens of thousands of req/s and\n"
+      "grows (or at worst stays flat) with workers; a cache-hit estimate\n"
+      "is microseconds while a cold learn is milliseconds — orders of\n"
+      "magnitude apart; governor rejections outpace hit serving (no\n"
+      "engine work on the shed path). BENCH_e16.json accumulates the\n"
+      "records; CI smoke-diffs against bench/baselines/BENCH_e16.json.\n");
+}
+
+void BM_E16(benchmark::State& state) {
+  for (auto _ : state) RunExperiment();
+}
+BENCHMARK(BM_E16)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace histk
+
+BENCHMARK_MAIN();

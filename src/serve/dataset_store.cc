@@ -1,0 +1,237 @@
+#include "serve/dataset_store.h"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dist/io.h"
+#include "serve/fingerprint.h"
+#include "stream/concurrent_histogram.h"
+
+namespace histk {
+namespace serve {
+
+Result<std::shared_ptr<ServedDataset>> ServedDataset::FromItems(
+    int64_t n, std::vector<int64_t> items, AliasKernel kernel) {
+  if (items.empty()) {
+    return Status::InvalidArgument("dataset has no items");
+  }
+  int64_t max_item = -1;
+  for (int64_t item : items) {
+    if (item < 0) return Status::InvalidArgument("dataset items must be >= 0");
+    max_item = std::max(max_item, item);
+  }
+  if (n <= 0) n = max_item + 1;
+  if (max_item >= n) {
+    return Status::InvalidArgument(
+        "dataset item " + std::to_string(max_item) + " outside domain [0, " +
+        std::to_string(n) + ")");
+  }
+  std::shared_ptr<ServedDataset> ds(new ServedDataset());
+  ds->n_ = n;
+  ds->item_count_ = static_cast<int64_t>(items.size());
+  ds->fingerprint_ = FingerprintItems(n, items);
+  ds->fingerprint_hex_ = FingerprintHex(ds->fingerprint_);
+  ds->items_oracle_ =
+      std::make_unique<DatasetSampler>(n, std::move(items), kernel);
+  ds->engine_ = std::make_unique<Engine>(*ds->items_oracle_);
+  return ds;
+}
+
+Result<std::shared_ptr<ServedDataset>> ServedDataset::FromSketchWire(
+    const std::string& wire, AliasKernel kernel) {
+  std::istringstream is(wire);
+  Result<HistogramSnapshot> snap = ParseSnapshot(is);
+  if (!snap.ok()) return snap.status();
+  Result<Distribution> bridged = snap->ToBucketDistribution();
+  if (!bridged.ok()) return bridged.status();
+  std::shared_ptr<ServedDataset> ds(new ServedDataset());
+  ds->n_ = bridged->n();
+  ds->fingerprint_ = FingerprintSketchBytes(wire);
+  ds->fingerprint_hex_ = FingerprintHex(ds->fingerprint_);
+  ds->bridged_ = std::make_unique<Distribution>(std::move(*bridged));
+  ds->sketch_oracle_ = std::make_unique<AliasSampler>(*ds->bridged_, kernel);
+  // Same bridge as TelemetrySession: the bridged distribution doubles as
+  // the session truth, so compare/estimate report against the sketch.
+  ds->engine_ = std::make_unique<Engine>(*ds->sketch_oracle_, *ds->bridged_);
+  return ds;
+}
+
+const Sampler& ServedDataset::oracle() const {
+  if (items_oracle_ != nullptr) return *items_oracle_;
+  return *sketch_oracle_;
+}
+
+Result<const Engine*> ServedDataset::TruthEngine() const {
+  if (sketch_backed()) return engine_.get();  // already carries truth
+  std::call_once(truth_once_, [this] {
+    if (n_ > kMaxTruthDomain) {
+      truth_status_ = Status::InvalidArgument(
+          "compare needs a dense ground truth; domain " + std::to_string(n_) +
+          " exceeds the serving cap " + std::to_string(kMaxTruthDomain));
+      return;
+    }
+    truth_engine_ = std::make_unique<Engine>(*items_oracle_,
+                                             items_oracle_->EmpiricalDist());
+  });
+  if (!truth_status_.ok()) return truth_status_;
+  return truth_engine_.get();
+}
+
+DatasetStore::DatasetStore(int64_t max_entries, AliasKernel kernel)
+    : max_entries_(max_entries < 1 ? 1 : max_entries), kernel_(kernel) {}
+
+std::shared_ptr<ServedDataset> DatasetStore::LookupLocked(uint64_t fingerprint) {
+  auto it = index_.find(fingerprint);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return *it->second;
+}
+
+void DatasetStore::InsertLocked(std::shared_ptr<ServedDataset> dataset) {
+  lru_.push_front(std::move(dataset));
+  index_[lru_.front()->fingerprint()] = lru_.begin();
+  while (static_cast<int64_t>(lru_.size()) > max_entries_) {
+    index_.erase(lru_.back()->fingerprint());
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+Result<std::shared_ptr<ServedDataset>> DatasetStore::Resolve(
+    const api::DatasetRef& ref, int64_t n, int64_t reservoir) {
+  using Kind = api::DatasetRef::Kind;
+  switch (ref.kind) {
+    case Kind::kNone:
+      return Status::InvalidArgument(
+          "request needs a dataset source (\"items\", \"path\", \"sketch\", "
+          "or \"fingerprint\")");
+
+    case Kind::kFingerprint: {
+      Result<uint64_t> fp = ParseFingerprintHex(ref.fingerprint);
+      if (!fp.ok()) return fp.status();
+      std::lock_guard<std::mutex> lock(mu_);
+      std::shared_ptr<ServedDataset> ds = LookupLocked(*fp);
+      if (ds == nullptr) {
+        return Status::InvalidArgument(
+            "unknown dataset fingerprint \"" + ref.fingerprint +
+            "\" (never loaded, or evicted — resend the dataset)");
+      }
+      ++counters_.reuses;
+      return ds;
+    }
+
+    case Kind::kInline: {
+      // The fingerprint depends on the resolved domain, so compute it the
+      // same way FromItems will before probing the store.
+      int64_t max_item = -1;
+      for (int64_t item : ref.items) max_item = std::max(max_item, item);
+      const int64_t resolved_n = n > 0 ? n : max_item + 1;
+      const uint64_t resolved_fp = FingerprintItems(resolved_n, ref.items);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::shared_ptr<ServedDataset> ds = LookupLocked(resolved_fp);
+        if (ds != nullptr) {
+          ++counters_.reuses;
+          return ds;
+        }
+      }
+      Result<std::shared_ptr<ServedDataset>> built =
+          ServedDataset::FromItems(resolved_n, ref.items, kernel_);
+      if (!built.ok()) return built.status();
+      std::lock_guard<std::mutex> lock(mu_);
+      std::shared_ptr<ServedDataset> raced = LookupLocked((*built)->fingerprint());
+      if (raced != nullptr) {
+        ++counters_.reuses;
+        return raced;
+      }
+      ++counters_.loads;
+      InsertLocked(*built);
+      return built;
+    }
+
+    case Kind::kPath: {
+      std::ifstream file(ref.path);
+      if (!file) {
+        return Status::InvalidArgument("cannot open dataset file \"" +
+                                       ref.path + "\"");
+      }
+      std::vector<int64_t> items;
+      Status scan = ScanDataset(
+          file, [&items, n, reservoir](int64_t item, int64_t line) -> Status {
+            if (item < 0 || (n > 0 && item >= n)) {
+              return Status::ParseError(
+                  "line " + std::to_string(line) + ": item " +
+                  std::to_string(item) + " outside the dataset domain");
+            }
+            if (static_cast<int64_t>(items.size()) >= reservoir) {
+              return Status::InvalidArgument(
+                  "dataset exceeds the reservoir cap of " +
+                  std::to_string(reservoir) +
+                  " items; raise \"reservoir\" or pre-sample the file");
+            }
+            items.push_back(item);
+            return Status::Ok();
+          });
+      if (!scan.ok()) return scan;
+      // Content-addressed from here on — identical file contents resolve
+      // to the inline-upload entry and vice versa.
+      api::DatasetRef inline_ref;
+      inline_ref.kind = Kind::kInline;
+      inline_ref.items = std::move(items);
+      return Resolve(inline_ref, n, reservoir);
+    }
+
+    case Kind::kSketch: {
+      std::ifstream file(ref.path);
+      if (!file) {
+        return Status::InvalidArgument("cannot open sketch file \"" +
+                                       ref.path + "\"");
+      }
+      Result<HistogramSnapshot> snap = ParseSnapshot(file);
+      if (!snap.ok()) return snap.status();
+      // Canonicalize before fingerprinting: formatting differences in the
+      // file must not fragment the store.
+      std::ostringstream canonical;
+      WriteSnapshot(canonical, *snap);
+      const std::string wire = canonical.str();
+      const uint64_t fp = FingerprintSketchBytes(wire);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::shared_ptr<ServedDataset> ds = LookupLocked(fp);
+        if (ds != nullptr) {
+          ++counters_.reuses;
+          return ds;
+        }
+      }
+      Result<std::shared_ptr<ServedDataset>> built =
+          ServedDataset::FromSketchWire(wire, kernel_);
+      if (!built.ok()) return built.status();
+      std::lock_guard<std::mutex> lock(mu_);
+      std::shared_ptr<ServedDataset> raced = LookupLocked(fp);
+      if (raced != nullptr) {
+        ++counters_.reuses;
+        return raced;
+      }
+      ++counters_.loads;
+      InsertLocked(*built);
+      return built;
+    }
+  }
+  return Status::Internal("unhandled dataset ref kind");
+}
+
+DatasetStore::Counters DatasetStore::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counters out = counters_;
+  out.entries = static_cast<int64_t>(lru_.size());
+  return out;
+}
+
+}  // namespace serve
+}  // namespace histk

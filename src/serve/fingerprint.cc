@@ -1,0 +1,67 @@
+#include "serve/fingerprint.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace histk {
+namespace serve {
+
+namespace {
+// Domain-separation tags: an item stream and a sketch that happen to
+// serialize alike must not collide.
+constexpr uint64_t kItemsTag = 0x6974656d732d7631ULL;   // "items-v1"
+constexpr uint64_t kSketchTag = 0x736b657463682d76ULL;  // "sketch-v"
+}  // namespace
+
+uint64_t FingerprintItems(int64_t n, const std::vector<int64_t>& items) {
+  Fingerprinter fp;
+  fp.MixU64(kItemsTag);
+  fp.MixU64(static_cast<uint64_t>(n));
+  fp.MixU64(static_cast<uint64_t>(items.size()));
+  for (int64_t item : items) fp.MixU64(static_cast<uint64_t>(item));
+  return fp.digest();
+}
+
+uint64_t FingerprintSketchBytes(const std::string& wire) {
+  Fingerprinter fp;
+  fp.MixU64(kSketchTag);
+  fp.MixU64(static_cast<uint64_t>(wire.size()));
+  fp.MixBytes(wire.data(), wire.size());
+  return fp.digest();
+}
+
+std::string FingerprintHex(uint64_t fingerprint) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[fingerprint & 0xF];
+    fingerprint >>= 4;
+  }
+  return out;
+}
+
+Result<uint64_t> ParseFingerprintHex(const std::string& hex) {
+  if (hex.size() != 16) {
+    return Status::InvalidArgument("fingerprint must be 16 hex digits, got \"" +
+                                   hex + "\"");
+  }
+  uint64_t value = 0;
+  for (char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return Status::InvalidArgument(
+          "fingerprint must be 16 hex digits, got \"" + hex + "\"");
+    }
+  }
+  return value;
+}
+
+}  // namespace serve
+}  // namespace histk

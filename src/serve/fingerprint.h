@@ -1,0 +1,63 @@
+// Content fingerprints for served datasets: a 64-bit FNV-1a over the
+// canonical item stream (or sketch wire bytes), printed as 16 lowercase
+// hex digits. The fingerprint is the daemon's dataset identity — clients
+// upload items once, then reference `{"fingerprint": "..."}` in follow-up
+// requests, and the synopsis cache keys on it — so it must be a pure
+// function of content: the same items at the same domain hash identically
+// whether they arrived inline, from a file, or in a different request.
+#ifndef HISTK_SERVE_FINGERPRINT_H_
+#define HISTK_SERVE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace histk {
+namespace serve {
+
+/// Incremental FNV-1a (64-bit, standard offset basis / prime).
+class Fingerprinter {
+ public:
+  void MixByte(uint8_t byte) {
+    digest_ ^= byte;
+    digest_ *= kPrime;
+  }
+  /// Mixes a 64-bit value little-endian, one byte at a time.
+  void MixU64(uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      MixByte(static_cast<uint8_t>(value >> (8 * i)));
+    }
+  }
+  void MixBytes(const char* data, size_t size) {
+    for (size_t i = 0; i < size; ++i) {
+      MixByte(static_cast<uint8_t>(data[i]));
+    }
+  }
+  uint64_t digest() const { return digest_; }
+
+ private:
+  static constexpr uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr uint64_t kPrime = 0x100000001b3ULL;
+  uint64_t digest_ = kOffsetBasis;
+};
+
+/// Fingerprint of an item-backed dataset: a domain tag, n, then every
+/// item in stream order (order matters — it is the draw replay order).
+uint64_t FingerprintItems(int64_t n, const std::vector<int64_t>& items);
+
+/// Fingerprint of a sketch-backed dataset: a sketch tag over the
+/// canonical WriteSnapshot wire bytes.
+uint64_t FingerprintSketchBytes(const std::string& wire);
+
+/// 16 lowercase hex digits, zero-padded.
+std::string FingerprintHex(uint64_t fingerprint);
+
+/// Inverse of FingerprintHex; rejects anything but exactly 16 hex digits.
+Result<uint64_t> ParseFingerprintHex(const std::string& hex);
+
+}  // namespace serve
+}  // namespace histk
+
+#endif  // HISTK_SERVE_FINGERPRINT_H_

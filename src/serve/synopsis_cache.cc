@@ -1,0 +1,53 @@
+#include "serve/synopsis_cache.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace histk {
+namespace serve {
+
+SynopsisCache::SynopsisCache(int64_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {}
+
+std::shared_ptr<const CachedSynopsis> SynopsisCache::Lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++counters_.hits;
+  return it->second->second;
+}
+
+void SynopsisCache::Insert(const std::string& key,
+                           std::shared_ptr<const CachedSynopsis> synopsis) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(synopsis);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(synopsis));
+  index_[key] = lru_.begin();
+  ++counters_.insertions;
+  while (static_cast<int64_t>(lru_.size()) > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+SynopsisCache::Counters SynopsisCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counters out = counters_;
+  out.entries = static_cast<int64_t>(lru_.size());
+  return out;
+}
+
+}  // namespace serve
+}  // namespace histk

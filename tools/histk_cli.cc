@@ -15,6 +15,9 @@
 //                     [--json] < items.txt
 //   histk_cli test    --k 8 --eps 0.3 --norm l2|l1 [--n N] [--scale S]
 //                     [--seed X] [--reservoir R] [--budget B] [--json] < items.txt
+//   histk_cli estimate --k 8 --eps 0.1 [--quantile Q]... [--range LO:HI]...
+//                     [--n N] [--scale S] [--seed X] [--reservoir R]
+//                     [--budget B] [--json] < items.txt
 //   histk_cli compare --k 8 --eps 0.1 [--n N] [--scale S] [--seed X]
 //                     [--budget B] [--json] < items.txt
 //   histk_cli property-test --k 8 --eps 0.3 [--norm l1|l2] [--n N] [--scale S]
@@ -46,6 +49,14 @@
 // (both promised approximate histograms; DKN17-flavored reduction to the
 // common candidate refinement). Both honor the test exit-code contract
 // (0 accept / 1 reject) and --json.
+//
+// Every engine-backed subcommand builds its TaskSpec through the unified
+// request API (src/api/request.h): flags fill an api::RequestSpec and
+// api::BuildTaskSpec performs the one flags→spec translation — the same
+// path histkd serves over NDJSON, so the CLI and the daemon cannot drift
+// on what a knob means. estimate is the query twin of the daemon's
+// cache-friendliest request: learn a synopsis, reduce to k pieces, answer
+// --quantile / --range predicates from it.
 //
 // learn/test/compare are thin clients of histk::Engine: the session wraps
 // the data-set oracle in a BudgetedSampler (--budget B caps oracle draws;
@@ -114,6 +125,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/request.h"
 #include "core/histk.h"
 #include "util/table.h"
 
@@ -156,6 +168,9 @@ struct Args {
   bool inject_faults = false; // wrap the oracle in the fault injector
   uint64_t fault_seed = 0;    // --inject-faults SEED (schedule derivation)
   int draw_threads = 0;       // sharded session workers; 0 = sequential
+  // estimate-only:
+  std::vector<double> quantiles;  // --quantile Q (repeatable)
+  std::vector<Interval> ranges;   // --range LO:HI (repeatable, inclusive)
 };
 
 // Exit codes, one per outcome class (see file comment).
@@ -169,14 +184,17 @@ constexpr int kExitDeadline = 5;  // deadline exceeded / cancelled / unavailable
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: histk_cli <gen|learn|test|property-test|closeness|compare|voptimal\n"
-      "                 |ingest> [flags] < items.txt\n"
+      "usage: histk_cli <gen|learn|test|estimate|property-test|closeness|compare\n"
+      "                 |voptimal|ingest> [flags] < items.txt\n"
       "       histk_cli learn   --k K --eps E [--n N] [--scale S] [--full-enum]\n"
       "                 [--reduce] [--seed X] [--reservoir R] [--budget B] [--json]\n"
       "                 [--from-sketch FILE]\n"
       "       histk_cli test    --k K --eps E --norm l1|l2 [--n N] [--scale S]\n"
       "                 [--seed X] [--reservoir R] [--budget B] [--json]\n"
       "                 [--from-sketch FILE]\n"
+      "       histk_cli estimate --k K --eps E [--quantile Q]... [--range LO:HI]...\n"
+      "                 [--n N] [--scale S] [--seed X] [--reservoir R] [--budget B]\n"
+      "                 [--json]\n"
       "       histk_cli property-test --k K --eps E [--norm l1|l2] [--n N]\n"
       "                 [--scale S] [--seed X] [--reservoir R] [--budget B] [--json]\n"
       "       histk_cli closeness --k K [--k2 K] --eps E --other OTHER.txt [--n N]\n"
@@ -225,6 +243,15 @@ bool ToInt(const char* s, int& out) {
   if (!ToI64(s, wide) || wide < INT_MIN || wide > INT_MAX) return false;
   out = static_cast<int>(wide);
   return true;
+}
+
+// --range LO:HI — an inclusive interval, both endpoints full-token integers.
+bool ToRange(const char* s, Interval& out) {
+  const char* colon = std::strchr(s, ':');
+  if (colon == nullptr) return false;
+  const std::string lo(s, static_cast<size_t>(colon - s));
+  const std::string hi(colon + 1);
+  return TokenToI64(lo, out.lo) && TokenToI64(hi, out.hi);
 }
 
 bool Parse(int argc, char** argv, Args& args) {
@@ -350,6 +377,16 @@ bool Parse(int argc, char** argv, Args& args) {
     } else if (flag == "--draw-threads") {
       const char* v = next();
       if (!v || !ToInt(v, args.draw_threads) || args.draw_threads < 0) return bad();
+    } else if (flag == "--quantile") {
+      const char* v = next();
+      double q = 0.0;
+      if (!v || !ToF64(v, q)) return bad();
+      args.quantiles.push_back(q);
+    } else if (flag == "--range") {
+      const char* v = next();
+      Interval range;
+      if (!v || !ToRange(v, range)) return bad();
+      args.ranges.push_back(range);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -358,7 +395,8 @@ bool Parse(int argc, char** argv, Args& args) {
   return args.command == "gen" || args.command == "learn" ||
          args.command == "test" || args.command == "property-test" ||
          args.command == "closeness" || args.command == "compare" ||
-         args.command == "voptimal" || args.command == "ingest";
+         args.command == "estimate" || args.command == "voptimal" ||
+         args.command == "ingest";
 }
 
 // Streaming ingestion: stdin is consumed line by line and fed to the
@@ -451,15 +489,42 @@ Result<Ingested> IngestStream(std::istream& is, int64_t explicit_n, IngestMode m
   return out;
 }
 
-// The runtime flags become the spec's RunPolicy; every Engine-backed
-// subcommand funnels through here so a deadline means the same thing to all
-// six tasks.
-void ApplyRuntimeFlags(const Args& args, SpecCommon& spec) {
-  if (args.deadline_ms > 0) {
-    spec.policy.deadline = Deadline::AfterMillis(args.deadline_ms);
-  }
-  spec.policy.retry.max_retries = args.max_retries;
-  if (args.draw_threads > 0) spec.draw_threads = args.draw_threads;
+// Flags → RequestSpec: the CLI is now a client of the unified request API
+// (api/request.h) — the same RequestSpec histkd parses off the wire, and
+// the same BuildTaskSpec translation into engine specs. The daemon and the
+// CLI can no longer drift apart on what a knob means.
+api::RequestSpec RequestFromArgs(const Args& args) {
+  api::RequestSpec req;
+  if (args.command == "learn") req.kind = api::RequestKind::kLearn;
+  if (args.command == "test") req.kind = api::RequestKind::kTest;
+  if (args.command == "compare") req.kind = api::RequestKind::kCompare;
+  if (args.command == "estimate") req.kind = api::RequestKind::kEstimate;
+  if (args.command == "property-test") req.kind = api::RequestKind::kPropertyTest;
+  if (args.command == "closeness") req.kind = api::RequestKind::kCloseness;
+  req.k = args.k;
+  req.k2 = args.k2;
+  req.eps = args.eps;
+  req.norm = args.norm;
+  req.norm_set = args.norm_set;
+  req.scale = args.scale;
+  req.full_enum = args.full_enum;
+  req.reduce = args.reduce;
+  req.seed = args.seed;
+  req.budget = args.budget;
+  req.deadline_ms = args.deadline_ms;
+  req.max_retries = args.max_retries;
+  req.draw_threads = args.draw_threads;
+  req.quantiles = args.quantiles;
+  req.ranges = args.ranges;
+  req.n = args.n;
+  req.reservoir = args.reservoir;
+  return req;
+}
+
+// The one flags→TaskSpec path. A rejected combination (--reduce off learn,
+// --quantile off estimate, ...) is a usage error with the API's message.
+Result<TaskSpec> SpecFromArgs(const Args& args) {
+  return api::BuildTaskSpec(RequestFromArgs(args));
 }
 
 // --inject-faults: interpose the seeded fault injector between the Engine's
@@ -518,18 +583,13 @@ int ReportFailure(const Result<Report>& result, bool json) {
 // oracle (stdin items) or a telemetry bridge (--from-sketch). `source_note`
 // is the stderr provenance line ("stream: ..." / "sketch: ...").
 int RunLearnOn(const Args& args, const Engine& engine, const std::string& source_note) {
-  LearnSpec spec;
-  spec.seed = args.seed;
-  spec.budget = args.budget;
-  ApplyRuntimeFlags(args, spec);
-  spec.options.k = args.k;
-  spec.options.eps = args.eps;
-  spec.options.sample_scale = args.scale;
-  spec.options.strategy = args.full_enum ? CandidateStrategy::kAllIntervals
-                                         : CandidateStrategy::kSampleEndpoints;
-  if (args.reduce) spec.reduce_to = args.k;
+  const Result<TaskSpec> spec = SpecFromArgs(args);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return kExitUsage;
+  }
 
-  const Result<Report> result = engine.Run(spec);
+  const Result<Report> result = engine.Run(*spec);
   if (const int failure = ReportFailure(result, args.json); failure >= 0) {
     return failure;
   }
@@ -563,16 +623,13 @@ int RunLearn(const Args& args, const Ingested& in) {
 }
 
 int RunTestOn(const Args& args, const Engine& engine, const std::string& source_note) {
-  TestSpec spec;
-  spec.seed = args.seed;
-  spec.budget = args.budget;
-  ApplyRuntimeFlags(args, spec);
-  spec.config.k = args.k;
-  spec.config.eps = args.eps;
-  spec.config.norm = args.norm;
-  spec.config.sample_scale = args.scale;
+  const Result<TaskSpec> spec = SpecFromArgs(args);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return kExitUsage;
+  }
 
-  const Result<Report> result = engine.Run(spec);
+  const Result<Report> result = engine.Run(*spec);
   if (const int failure = ReportFailure(result, args.json); failure >= 0) {
     return failure;
   }
@@ -608,18 +665,13 @@ int RunPropertyTest(const Args& args, const Ingested& in) {
   std::optional<FaultInjectingSampler> faulty;
   const Engine engine(MaybeInjectFaults(args, sampler, faulty));
 
-  PropertyTestSpec spec;
-  spec.seed = args.seed;
-  spec.budget = args.budget;
-  ApplyRuntimeFlags(args, spec);
-  spec.config.k = args.k;
-  spec.config.eps = args.eps;
-  // The CDKL22 object is total variation; --norm l2 opts into the tighter
-  // per-part weighting.
-  spec.config.norm = args.norm_set ? args.norm : Norm::kL1;
-  spec.config.sample_scale = args.scale;
+  const Result<TaskSpec> spec = SpecFromArgs(args);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return kExitUsage;
+  }
 
-  const Result<Report> result = engine.Run(spec);
+  const Result<Report> result = engine.Run(*spec);
   if (const int failure = ReportFailure(result, args.json); failure >= 0) {
     return failure;
   }
@@ -663,17 +715,17 @@ int RunCloseness(const Args& args, const Ingested& in, const Ingested& other) {
   q_args.fault_seed = args.fault_seed ^ 0x9E3779B97F4A7C15ULL;
   const Sampler& oracle_q = MaybeInjectFaults(q_args, sampler_q, faulty_q);
 
-  ClosenessSpec spec;
-  spec.seed = args.seed;
-  spec.budget = args.budget;
-  ApplyRuntimeFlags(args, spec);
-  spec.config.k_p = args.k;
-  spec.config.k_q = args.k2 > 0 ? args.k2 : args.k;
-  spec.config.eps = args.eps;
-  spec.config.sample_scale = args.scale;
-  spec.other = &oracle_q;
+  Result<TaskSpec> spec = SpecFromArgs(args);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return kExitUsage;
+  }
+  // The API hands ClosenessSpec back with other == nullptr: the second
+  // oracle is the caller's to wire (the daemon resolves it from its store,
+  // the CLI from --other's ingested stream).
+  std::get<ClosenessSpec>(*spec).other = &oracle_q;
 
-  const Result<Report> result = engine.Run(spec);
+  const Result<Report> result = engine.Run(*spec);
   if (const int failure = ReportFailure(result, args.json); failure >= 0) {
     return failure;
   }
@@ -706,17 +758,13 @@ int RunCompare(const Args& args, const Ingested& in) {
   std::optional<FaultInjectingSampler> faulty;
   const Engine engine(MaybeInjectFaults(args, sampler, faulty), truth);
 
-  CompareSpec spec;
-  spec.seed = args.seed;
-  spec.budget = args.budget;
-  ApplyRuntimeFlags(args, spec);
-  spec.k = args.k;
-  spec.eps = args.eps;
-  spec.sample_scale = args.scale;
-  spec.strategy = args.full_enum ? CandidateStrategy::kAllIntervals
-                                 : CandidateStrategy::kSampleEndpoints;
+  const Result<TaskSpec> spec = SpecFromArgs(args);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return kExitUsage;
+  }
 
-  const Result<Report> result = engine.Run(spec);
+  const Result<Report> result = engine.Run(*spec);
   if (const int failure = ReportFailure(result, args.json); failure >= 0) {
     return failure;
   }
@@ -734,6 +782,45 @@ int RunCompare(const Args& args, const Ingested& in) {
                   FmtI(row.samples)});
   }
   table.Print(std::cout);
+  return kExitOk;
+}
+
+// estimate: learn a synopsis, reduce it to k pieces, and answer quantile /
+// range-selectivity queries from it — the CLI twin of the daemon's most
+// cache-friendly request (histkd serves repeats of this from its synopsis
+// cache with zero oracle draws).
+int RunEstimate(const Args& args, const Ingested& in) {
+  const DatasetSampler sampler(in.n, in.items, args.kernel);
+  std::optional<FaultInjectingSampler> faulty;
+  const Engine engine(MaybeInjectFaults(args, sampler, faulty));
+
+  const Result<TaskSpec> spec = SpecFromArgs(args);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return kExitUsage;
+  }
+
+  const Result<Report> result = engine.Run(*spec);
+  if (const int failure = ReportFailure(result, args.json); failure >= 0) {
+    return failure;
+  }
+  const Report& report = *result;
+  if (args.json) {
+    WriteReportJson(std::cout, report);
+    return kExitOk;
+  }
+  std::fprintf(stderr, "%s\n", StreamNote(in).c_str());
+  const EstimateAnswers& answers = *report.estimate;
+  for (const auto& q : answers.quantiles) {
+    std::printf("quantile %.6g -> %lld\n", q.q,
+                static_cast<long long>(q.value));
+  }
+  for (const auto& s : answers.selectivity) {
+    std::printf("range %s -> %.6g\n", s.range.ToString().c_str(), s.estimate);
+  }
+  std::fprintf(stderr, "synopsis: %lld pieces from %lld samples\n",
+               static_cast<long long>(report.reduced->k()),
+               static_cast<long long>(report.learn->total_samples));
   return kExitOk;
 }
 
@@ -1008,6 +1095,7 @@ int main(int argc, char** argv) {
   }
   if (args.command == "learn") return RunLearn(args, in);
   if (args.command == "test") return RunTest(args, in);
+  if (args.command == "estimate") return RunEstimate(args, in);
   if (args.command == "property-test") return RunPropertyTest(args, in);
   if (args.command == "closeness") {
     if (args.other.empty()) {

@@ -1,0 +1,290 @@
+// histkd — the long-lived k-histogram serving daemon.
+//
+//   histkd [--workers W] [--max-sessions S] [--max-outstanding-budget B]
+//          [--retry-after-ms MS] [--queue-limit Q] [--cache-entries C]
+//          [--max-datasets D] [--kernel replay|packed|simd]
+//          [--socket PATH]
+//
+// Speaks the newline-delimited JSON request protocol of src/api/request.h
+// (one request per line in, one response envelope per line out; schema
+// checked by tools/check_report_json.py --response). Two frontends over
+// the same src/serve/HistkdServer core:
+//
+//   * default: stdin/stdout. Lines are served in order, synchronously —
+//     the scripting/pipe mode (`echo '{"id":...}' | histkd`).
+//   * --socket PATH: a Unix-domain stream listener. Each connection gets
+//     a reader thread; its lines are dispatched onto the shared worker
+//     pool, so one connection can pipeline concurrent requests (responses
+//     carry the request id — order is not guaranteed). All connections
+//     share the daemon's governor, synopsis cache, and dataset store.
+//
+// A {"kind": "shutdown"} request stops the daemon gracefully after its
+// response is written (used by CI and tests; there is no auth story —
+// run it behind a socket with filesystem permissions).
+//
+// Exit codes: 0 clean shutdown / stdin EOF, 2 usage error, 3 socket error.
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dist/io.h"
+#include "dist/sampler.h"
+#include "serve/server.h"
+
+namespace histk {
+namespace {
+
+using serve::HistkdServer;
+using serve::ServeOptions;
+
+struct DaemonArgs {
+  ServeOptions serve;
+  std::string socket_path;  // empty = stdin/stdout mode
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: histkd [--workers W] [--max-sessions S]\n"
+      "              [--max-outstanding-budget B] [--retry-after-ms MS]\n"
+      "              [--queue-limit Q] [--cache-entries C] [--max-datasets D]\n"
+      "              [--kernel replay|packed|simd] [--socket PATH]\n"
+      "\n"
+      "Serves newline-delimited JSON requests (src/api/request.h schema)\n"
+      "from stdin, or from a Unix-domain socket with --socket.\n");
+}
+
+bool ToI64(const char* s, int64_t& out) { return TokenToI64(s, out); }
+
+bool ToInt(const char* s, int& out) {
+  int64_t wide = 0;
+  if (!ToI64(s, wide) || wide < 1 || wide > 1 << 20) return false;
+  out = static_cast<int>(wide);
+  return true;
+}
+
+bool Parse(int argc, char** argv, DaemonArgs& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    auto bad = [&]() {
+      std::fprintf(stderr, "bad or missing value for %s\n", flag.c_str());
+      return false;
+    };
+    if (flag == "--workers") {
+      const char* v = next();
+      if (!v || !ToInt(v, args.serve.workers)) return bad();
+    } else if (flag == "--max-sessions") {
+      const char* v = next();
+      if (!v || !ToInt(v, args.serve.governor.max_sessions)) return bad();
+    } else if (flag == "--max-outstanding-budget") {
+      const char* v = next();
+      if (!v || !ToI64(v, args.serve.governor.max_outstanding_budget)) {
+        return bad();
+      }
+    } else if (flag == "--retry-after-ms") {
+      const char* v = next();
+      if (!v || !ToI64(v, args.serve.governor.retry_after_ms)) return bad();
+    } else if (flag == "--queue-limit") {
+      const char* v = next();
+      if (!v || !ToI64(v, args.serve.queue_limit) ||
+          args.serve.queue_limit < 1) {
+        return bad();
+      }
+    } else if (flag == "--cache-entries") {
+      const char* v = next();
+      if (!v || !ToI64(v, args.serve.cache_entries) ||
+          args.serve.cache_entries < 1) {
+        return bad();
+      }
+    } else if (flag == "--max-datasets") {
+      const char* v = next();
+      if (!v || !ToI64(v, args.serve.max_datasets) ||
+          args.serve.max_datasets < 1) {
+        return bad();
+      }
+    } else if (flag == "--kernel") {
+      const char* v = next();
+      if (!v) return bad();
+      const std::string name = v;
+      if (name == "replay") {
+        args.serve.kernel = AliasKernel::kReplay;
+      } else if (name == "packed") {
+        args.serve.kernel = AliasKernel::kPacked;
+      } else if (name == "simd") {
+        args.serve.kernel = AliasKernel::kSimd;
+      } else {
+        return bad();
+      }
+    } else if (flag == "--socket") {
+      const char* v = next();
+      if (!v) return bad();
+      args.socket_path = v;
+    } else if (flag == "--help" || flag == "-h") {
+      Usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// stdin/stdout: strictly ordered, synchronous serving.
+int RunStdio(HistkdServer& server) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::cout << server.HandleLine(line) << std::flush;
+    if (server.shutdown_requested()) break;
+  }
+  return 0;
+}
+
+/// Shared per-connection state: callbacks from the worker pool may fire
+/// after the reader saw EOF, so writes go through one mutex and check the
+/// closed flag.
+struct Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  int fd;
+  std::mutex write_mu;
+  bool closed = false;
+};
+
+void WriteResponse(const std::shared_ptr<Connection>& conn,
+                   const std::string& response) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->closed) return;
+  size_t off = 0;
+  while (off < response.size()) {
+    const ssize_t wrote =
+        write(conn->fd, response.data() + off, response.size() - off);
+    if (wrote <= 0) {
+      if (wrote < 0 && errno == EINTR) continue;
+      conn->closed = true;  // peer went away; drop the rest
+      return;
+    }
+    off += static_cast<size_t>(wrote);
+  }
+}
+
+void ServeConnection(HistkdServer& server, std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t got = read(conn->fd, chunk, sizeof(chunk));
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(got));
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty()) {
+        server.Submit(std::move(line), [conn](std::string response) {
+          WriteResponse(conn, response);
+        });
+      }
+    }
+    buffer.erase(0, start);
+    if (server.shutdown_requested()) break;
+  }
+  server.Drain();  // flush this connection's in-flight responses
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    conn->closed = true;
+  }
+  close(conn->fd);
+}
+
+int RunSocket(HistkdServer& server, const std::string& path) {
+  const int listener = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("histkd: socket");
+    return 3;
+  }
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "histkd: socket path too long: %s\n", path.c_str());
+    close(listener);
+    return 3;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  unlink(path.c_str());
+  if (bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    std::perror("histkd: bind");
+    close(listener);
+    return 3;
+  }
+  if (listen(listener, 64) < 0) {
+    std::perror("histkd: listen");
+    close(listener);
+    return 3;
+  }
+  std::fprintf(stderr, "histkd: serving on %s\n", path.c_str());
+
+  std::vector<std::thread> connections;
+  while (!server.shutdown_requested()) {
+    // Poll with a coarse tick so a shutdown request served on any
+    // connection stops the accept loop promptly.
+    pollfd pfd{listener, POLLIN, 0};
+    const int ready = poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready < 0 && errno != EINTR) {
+      std::perror("histkd: poll");
+      break;
+    }
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      std::perror("histkd: accept");
+      break;
+    }
+    auto conn = std::make_shared<Connection>(fd);
+    connections.emplace_back(
+        [&server, conn] { ServeConnection(server, conn); });
+  }
+
+  close(listener);
+  unlink(path.c_str());
+  server.Drain();
+  for (std::thread& t : connections) t.join();
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  DaemonArgs args;
+  if (!Parse(argc, argv, args)) {
+    Usage();
+    return 2;
+  }
+  HistkdServer server(args.serve);
+  if (args.socket_path.empty()) return RunStdio(server);
+  return RunSocket(server, args.socket_path);
+}
+
+}  // namespace
+}  // namespace histk
+
+int main(int argc, char** argv) { return histk::Main(argc, argv); }
