@@ -1,5 +1,7 @@
 #include "serve/dataset_store.h"
 
+#include <cstdlib>
+
 #include <algorithm>
 #include <fstream>
 #include <memory>
@@ -15,6 +17,29 @@
 
 namespace histk {
 namespace serve {
+
+namespace {
+
+/// realpath() wrapper: absolute, symlink- and dot-free, or an error.
+Result<std::string> CanonicalPath(const std::string& path) {
+  char* resolved = ::realpath(path.c_str(), nullptr);
+  if (resolved == nullptr) {
+    return Status::InvalidArgument("cannot resolve path \"" + path + "\"");
+  }
+  std::string out(resolved);
+  std::free(resolved);
+  return out;
+}
+
+/// The typed error for a fingerprint that hashes onto different content.
+Status CollisionError(const std::string& hex) {
+  return Status::Internal(
+      "dataset fingerprint collision on " + hex +
+      ": the uploaded content differs from the live entry with the same "
+      "fingerprint; it cannot be served under this identity");
+}
+
+}  // namespace
 
 Result<std::shared_ptr<ServedDataset>> ServedDataset::FromItems(
     int64_t n, std::vector<int64_t> items, AliasKernel kernel) {
@@ -54,6 +79,7 @@ Result<std::shared_ptr<ServedDataset>> ServedDataset::FromSketchWire(
   ds->n_ = bridged->n();
   ds->fingerprint_ = FingerprintSketchBytes(wire);
   ds->fingerprint_hex_ = FingerprintHex(ds->fingerprint_);
+  ds->sketch_wire_ = wire;
   ds->bridged_ = std::make_unique<Distribution>(std::move(*bridged));
   ds->sketch_oracle_ = std::make_unique<AliasSampler>(*ds->bridged_, kernel);
   // Same bridge as TelemetrySession: the bridged distribution doubles as
@@ -65,6 +91,15 @@ Result<std::shared_ptr<ServedDataset>> ServedDataset::FromSketchWire(
 const Sampler& ServedDataset::oracle() const {
   if (items_oracle_ != nullptr) return *items_oracle_;
   return *sketch_oracle_;
+}
+
+bool ServedDataset::MatchesItems(int64_t n,
+                                 const std::vector<int64_t>& items) const {
+  return items_oracle_ != nullptr && n_ == n && items_oracle_->items() == items;
+}
+
+bool ServedDataset::MatchesSketchWire(const std::string& wire) const {
+  return sketch_oracle_ != nullptr && sketch_wire_ == wire;
 }
 
 Result<const Engine*> ServedDataset::TruthEngine() const {
@@ -83,8 +118,45 @@ Result<const Engine*> ServedDataset::TruthEngine() const {
   return truth_engine_.get();
 }
 
-DatasetStore::DatasetStore(int64_t max_entries, AliasKernel kernel)
-    : max_entries_(max_entries < 1 ? 1 : max_entries), kernel_(kernel) {}
+DatasetStore::DatasetStore(int64_t max_entries, AliasKernel kernel,
+                           FsRefPolicy fs_refs)
+    : max_entries_(max_entries < 1 ? 1 : max_entries),
+      kernel_(kernel),
+      fs_refs_(std::move(fs_refs)) {
+  if (fs_refs_.allow && !fs_refs_.root.empty()) {
+    Result<std::string> canonical = CanonicalPath(fs_refs_.root);
+    if (canonical.ok()) {
+      canonical_root_ = std::move(*canonical);
+    } else {
+      fs_root_status_ = Status::InvalidArgument(
+          "configured data root \"" + fs_refs_.root + "\" does not resolve");
+    }
+  }
+}
+
+Result<std::string> DatasetStore::CheckFsRef(const std::string& path) const {
+  if (!fs_refs_.allow) {
+    return Status::InvalidArgument(
+        "filesystem dataset refs are disabled on this server; send the "
+        "items inline or reference a loaded \"fingerprint\"");
+  }
+  if (fs_refs_.root.empty()) return path;
+  if (!fs_root_status_.ok()) return fs_root_status_;
+  Result<std::string> canonical = CanonicalPath(path);
+  if (!canonical.ok()) {
+    // Deliberately the same message an unreadable in-root file produces:
+    // out-of-root probes must not learn what exists elsewhere.
+    return Status::InvalidArgument("cannot open dataset file \"" + path +
+                                   "\"");
+  }
+  if (*canonical != canonical_root_ &&
+      canonical->compare(0, canonical_root_.size() + 1,
+                         canonical_root_ + "/") != 0) {
+    return Status::InvalidArgument("dataset path \"" + path +
+                                   "\" is outside the configured data root");
+  }
+  return canonical;
+}
 
 std::shared_ptr<ServedDataset> DatasetStore::LookupLocked(uint64_t fingerprint) {
   auto it = index_.find(fingerprint);
@@ -137,6 +209,12 @@ Result<std::shared_ptr<ServedDataset>> DatasetStore::Resolve(
         std::lock_guard<std::mutex> lock(mu_);
         std::shared_ptr<ServedDataset> ds = LookupLocked(resolved_fp);
         if (ds != nullptr) {
+          // FNV-1a is not collision-resistant: reusing a live entry for
+          // new bytes demands actual content equality, or a crafted
+          // collision silently serves another dataset's answers.
+          if (!ds->MatchesItems(resolved_n, ref.items)) {
+            return CollisionError(ds->fingerprint_hex());
+          }
           ++counters_.reuses;
           return ds;
         }
@@ -147,6 +225,9 @@ Result<std::shared_ptr<ServedDataset>> DatasetStore::Resolve(
       std::lock_guard<std::mutex> lock(mu_);
       std::shared_ptr<ServedDataset> raced = LookupLocked((*built)->fingerprint());
       if (raced != nullptr) {
+        if (!raced->MatchesItems(resolved_n, ref.items)) {
+          return CollisionError(raced->fingerprint_hex());
+        }
         ++counters_.reuses;
         return raced;
       }
@@ -156,7 +237,9 @@ Result<std::shared_ptr<ServedDataset>> DatasetStore::Resolve(
     }
 
     case Kind::kPath: {
-      std::ifstream file(ref.path);
+      Result<std::string> checked = CheckFsRef(ref.path);
+      if (!checked.ok()) return checked.status();
+      std::ifstream file(*checked);
       if (!file) {
         return Status::InvalidArgument("cannot open dataset file \"" +
                                        ref.path + "\"");
@@ -188,7 +271,9 @@ Result<std::shared_ptr<ServedDataset>> DatasetStore::Resolve(
     }
 
     case Kind::kSketch: {
-      std::ifstream file(ref.path);
+      Result<std::string> checked = CheckFsRef(ref.path);
+      if (!checked.ok()) return checked.status();
+      std::ifstream file(*checked);
       if (!file) {
         return Status::InvalidArgument("cannot open sketch file \"" +
                                        ref.path + "\"");
@@ -205,6 +290,9 @@ Result<std::shared_ptr<ServedDataset>> DatasetStore::Resolve(
         std::lock_guard<std::mutex> lock(mu_);
         std::shared_ptr<ServedDataset> ds = LookupLocked(fp);
         if (ds != nullptr) {
+          if (!ds->MatchesSketchWire(wire)) {
+            return CollisionError(ds->fingerprint_hex());
+          }
           ++counters_.reuses;
           return ds;
         }
@@ -215,6 +303,9 @@ Result<std::shared_ptr<ServedDataset>> DatasetStore::Resolve(
       std::lock_guard<std::mutex> lock(mu_);
       std::shared_ptr<ServedDataset> raced = LookupLocked(fp);
       if (raced != nullptr) {
+        if (!raced->MatchesSketchWire(wire)) {
+          return CollisionError(raced->fingerprint_hex());
+        }
         ++counters_.reuses;
         return raced;
       }

@@ -32,6 +32,20 @@
 namespace histk {
 namespace serve {
 
+/// What filesystem-backed dataset refs ("path"/"sketch") may open.
+/// Defaults to unrestricted — right for in-process use and the stdio
+/// frontend, where the caller already has filesystem access. A daemon
+/// serving untrusted socket clients must either disable fs refs or jail
+/// them to a data root, or any client can read server-side files.
+struct FsRefPolicy {
+  /// false: reject every path/sketch ref (inline items and fingerprints
+  /// still work).
+  bool allow = true;
+  /// Non-empty: canonicalize each ref (realpath, so ".." and symlinks
+  /// cannot escape) and require it to live under this directory.
+  std::string root;
+};
+
 /// One served dataset: the oracle plus the Engine facade(s) over it.
 /// Immutable after construction except the lazily built truth engine.
 class ServedDataset {
@@ -69,6 +83,14 @@ class ServedDataset {
   /// entries, the bridged distribution for sketch-backed ones.
   const Distribution* session_truth() const { return bridged_.get(); }
 
+  /// Content-equality guards for fingerprint reuse: the 64-bit FNV-1a
+  /// fingerprint is not collision-resistant, so the store re-verifies the
+  /// actual content whenever new bytes hash onto a live entry — a crafted
+  /// collision becomes a typed error instead of silently serving answers
+  /// (and cached synopses) computed from different data.
+  bool MatchesItems(int64_t n, const std::vector<int64_t>& items) const;
+  bool MatchesSketchWire(const std::string& wire) const;
+
   /// A session with ground truth, for compare tasks: sketch-backed entries
   /// already have one; item-backed entries lazily build the dense
   /// empirical pmf (guarded by kMaxTruthDomain — compare against a huge
@@ -90,6 +112,7 @@ class ServedDataset {
   // Sketch-backed members (bridged_ doubles as the session truth).
   std::unique_ptr<Distribution> bridged_;
   std::unique_ptr<AliasSampler> sketch_oracle_;
+  std::string sketch_wire_;  // canonical bytes, kept for collision checks
 
   std::unique_ptr<Engine> engine_;
 
@@ -101,7 +124,8 @@ class ServedDataset {
 /// Fingerprint-keyed LRU of served datasets.
 class DatasetStore {
  public:
-  DatasetStore(int64_t max_entries, AliasKernel kernel);
+  DatasetStore(int64_t max_entries, AliasKernel kernel,
+               FsRefPolicy fs_refs = FsRefPolicy{});
 
   /// Resolves a ref: loads + registers new content (inline/path/sketch),
   /// reuses the existing entry when the fingerprint is already live, and
@@ -122,10 +146,17 @@ class DatasetStore {
  private:
   std::shared_ptr<ServedDataset> LookupLocked(uint64_t fingerprint);
   void InsertLocked(std::shared_ptr<ServedDataset> dataset);
+  /// Applies the FsRefPolicy to a path/sketch ref: the path to open on
+  /// success (canonicalized when a root is configured), a typed error
+  /// when fs refs are disabled or the path escapes the root.
+  Result<std::string> CheckFsRef(const std::string& path) const;
 
   mutable std::mutex mu_;
   int64_t max_entries_;
   AliasKernel kernel_;
+  FsRefPolicy fs_refs_;
+  Status fs_root_status_ = Status::Ok();  ///< bad --data-root, surfaced per ref
+  std::string canonical_root_;
   std::list<std::shared_ptr<ServedDataset>> lru_;  // front = most recent
   std::unordered_map<uint64_t, std::list<std::shared_ptr<ServedDataset>>::iterator>
       index_;

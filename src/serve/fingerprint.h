@@ -5,6 +5,11 @@
 // requests, and the synopsis cache keys on it — so it must be a pure
 // function of content: the same items at the same domain hash identically
 // whether they arrived inline, from a file, or in a different request.
+//
+// FNV-1a is fast but not collision-resistant; the DatasetStore therefore
+// verifies actual content equality whenever freshly uploaded bytes hash
+// onto a live entry (ServedDataset::MatchesItems/MatchesSketchWire), so a
+// constructed collision is a typed error, never a silent alias.
 #ifndef HISTK_SERVE_FINGERPRINT_H_
 #define HISTK_SERVE_FINGERPRINT_H_
 

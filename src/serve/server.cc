@@ -146,7 +146,7 @@ HistkdServer::HistkdServer(const ServeOptions& options)
     : options_(options),
       governor_(options.governor),
       cache_(options.cache_entries),
-      datasets_(options.max_datasets, options.kernel) {
+      datasets_(options.max_datasets, options.kernel, options.fs_refs) {
   const int workers = options_.workers < 1 ? 1 : options_.workers;
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {

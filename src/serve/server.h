@@ -56,6 +56,9 @@ struct ServeOptions {
   int64_t max_datasets = 16;
   /// Draw kernel for oracles the store builds.
   AliasKernel kernel = AliasKernel::kReplay;
+  /// What "path"/"sketch" dataset refs may open (default: unrestricted —
+  /// the socket frontend tightens this; see histkd --data-root).
+  FsRefPolicy fs_refs;
 };
 
 class HistkdServer {

@@ -1,17 +1,24 @@
 // The serving core, driven in-process: cache hit/miss/eviction, governor
 // backpressure as wire-level 503s, queue overflow, concurrent submits,
-// and the stats conservation invariant.
+// the stats conservation invariant, filesystem-ref policy, and the
+// fingerprint-collision content guard.
 #include "serve/server.h"
+
+#include <sys/stat.h>
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "api/json.h"
+#include "serve/dataset_store.h"
+#include "stream/concurrent_histogram.h"
 
 namespace histk {
 namespace {
@@ -314,6 +321,101 @@ TEST(HistkdTest, PathDatasetIsContentAddressedWithInline) {
       GetString(from_path, "fingerprint") + "\"}}"));
   EXPECT_EQ(GetString(by_fp, "status"), "ok");
   EXPECT_EQ(GetString(by_fp, "cache"), "hit");
+}
+
+TEST(HistkdTest, FsRefsCanBeDisabled) {
+  const std::string path = testing::TempDir() + "/histkd_denied.txt";
+  {
+    std::ofstream f(path);
+    f << "0 1 2 3\n";
+  }
+  ServeOptions options;
+  options.workers = 1;
+  options.fs_refs.allow = false;  // the socket frontend's default posture
+  HistkdServer server(options);
+
+  const JsonValue denied = MustParse(server.HandleLine(
+      "{\"id\": \"p\", \"kind\": \"learn\", \"k\": 2, "
+      "\"dataset\": {\"path\": \"" + path + "\"}}"));
+  EXPECT_EQ(GetString(denied, "status"), "invalid-argument");
+  EXPECT_NE(GetString(denied, "error").find("filesystem dataset refs are "
+                                            "disabled"),
+            std::string::npos);
+  // Inline items (and, transitively, fingerprints) still serve.
+  EXPECT_EQ(GetString(MustParse(server.HandleLine(LearnLine("i"))), "status"),
+            "ok");
+}
+
+TEST(HistkdTest, FsRefsAreJailedToTheDataRoot) {
+  const std::string root = testing::TempDir() + "/histkd_root";
+  mkdir(root.c_str(), 0755);
+  const std::string inside = root + "/in.txt";
+  const std::string outside = testing::TempDir() + "/histkd_outside.txt";
+  for (const std::string& p : {inside, outside}) {
+    std::ofstream f(p);
+    f << "0 0 1 1 2 3 3 3 7 7\n";
+  }
+  ServeOptions options;
+  options.workers = 1;
+  options.fs_refs.root = root;
+  HistkdServer server(options);
+
+  auto learn_path = [&server](const std::string& id, const std::string& p) {
+    return MustParse(server.HandleLine(
+        "{\"id\": \"" + id + "\", \"kind\": \"learn\", \"k\": 4, "
+        "\"eps\": 0.2, \"dataset\": {\"path\": \"" + p + "\"}}"));
+  };
+  EXPECT_EQ(GetString(learn_path("in", inside), "status"), "ok");
+
+  const JsonValue out = learn_path("out", outside);
+  EXPECT_EQ(GetString(out, "status"), "invalid-argument");
+  EXPECT_NE(GetString(out, "error").find("outside the configured data root"),
+            std::string::npos);
+
+  // ".." cannot escape: the path canonicalizes before the prefix check.
+  const JsonValue traversal =
+      learn_path("dotdot", root + "/../histkd_outside.txt");
+  EXPECT_EQ(GetString(traversal, "status"), "invalid-argument");
+  EXPECT_NE(GetString(traversal, "error")
+                .find("outside the configured data root"),
+            std::string::npos);
+
+  // Probing a nonexistent out-of-root path reads exactly like a missing
+  // in-root file — no existence oracle.
+  const JsonValue probe = learn_path("probe", "/nonexistent/secret.txt");
+  EXPECT_EQ(GetString(probe, "status"), "invalid-argument");
+  EXPECT_NE(GetString(probe, "error").find("cannot open dataset file"),
+            std::string::npos);
+}
+
+TEST(HistkdTest, FingerprintReuseVerifiesContent) {
+  // The collision guards themselves: same content matches, any content
+  // or domain difference does not — the store turns a mismatch on a live
+  // fingerprint into a typed error instead of aliasing datasets.
+  const std::vector<int64_t> items = {0, 0, 1, 1, 2, 3, 3, 3, 7, 7};
+  Result<std::shared_ptr<serve::ServedDataset>> ds =
+      serve::ServedDataset::FromItems(8, items, AliasKernel::kReplay);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE((*ds)->MatchesItems(8, items));
+  EXPECT_FALSE((*ds)->MatchesItems(16, items));  // same bytes, other domain
+  std::vector<int64_t> tweaked = items;
+  tweaked.back() = 6;
+  EXPECT_FALSE((*ds)->MatchesItems(8, tweaked));
+
+  ConcurrentHistogram hist(7);
+  hist.Record(3, 5);
+  hist.Record(200, 2);
+  std::ostringstream wire_os;
+  WriteSnapshot(wire_os, hist.Snapshot());
+  const std::string wire = wire_os.str();
+  Result<std::shared_ptr<serve::ServedDataset>> sketch =
+      serve::ServedDataset::FromSketchWire(wire, AliasKernel::kReplay);
+  ASSERT_TRUE(sketch.ok()) << sketch.status().ToString();
+  EXPECT_TRUE((*sketch)->MatchesSketchWire(wire));
+  EXPECT_FALSE((*sketch)->MatchesSketchWire(wire + " "));
+  // Cross-kind probes never match: an item entry is not a sketch entry.
+  EXPECT_FALSE((*ds)->MatchesSketchWire(wire));
+  EXPECT_FALSE((*sketch)->MatchesItems(8, items));
 }
 
 TEST(HistkdTest, UnknownFingerprintIsActionableError) {

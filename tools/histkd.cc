@@ -20,7 +20,10 @@
 //
 // A {"kind": "shutdown"} request stops the daemon gracefully after its
 // response is written (used by CI and tests; there is no auth story —
-// run it behind a socket with filesystem permissions).
+// run it behind a socket with filesystem permissions). In socket mode
+// filesystem-backed dataset refs ("path"/"sketch") are disabled unless
+// --data-root jails them to a directory; stdio mode is pipe-local and
+// allows them (like histk_cli), still jailed when --data-root is given.
 //
 // Exit codes: 0 clean shutdown / stdin EOF, 2 usage error, 3 socket error.
 #include <poll.h>
@@ -29,10 +32,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -53,6 +58,7 @@ using serve::ServeOptions;
 struct DaemonArgs {
   ServeOptions serve;
   std::string socket_path;  // empty = stdin/stdout mode
+  std::string data_root;    // empty = mode default (see Main)
 };
 
 void Usage() {
@@ -62,9 +68,14 @@ void Usage() {
       "              [--max-outstanding-budget B] [--retry-after-ms MS]\n"
       "              [--queue-limit Q] [--cache-entries C] [--max-datasets D]\n"
       "              [--kernel replay|packed|simd] [--socket PATH]\n"
+      "              [--data-root DIR]\n"
       "\n"
       "Serves newline-delimited JSON requests (src/api/request.h schema)\n"
-      "from stdin, or from a Unix-domain socket with --socket.\n");
+      "from stdin, or from a Unix-domain socket with --socket.\n"
+      "\n"
+      "--data-root DIR jails \"path\"/\"sketch\" dataset refs to DIR. In\n"
+      "socket mode filesystem refs are rejected unless --data-root is\n"
+      "given; stdin mode allows them (the pipe is the trust boundary).\n");
 }
 
 bool ToI64(const char* s, int64_t& out) { return TokenToI64(s, out); }
@@ -136,6 +147,10 @@ bool Parse(int argc, char** argv, DaemonArgs& args) {
       const char* v = next();
       if (!v) return bad();
       args.socket_path = v;
+    } else if (flag == "--data-root") {
+      const char* v = next();
+      if (!v || *v == '\0') return bad();
+      args.data_root = v;
     } else if (flag == "--help" || flag == "-h") {
       Usage();
       std::exit(0);
@@ -160,20 +175,29 @@ int RunStdio(HistkdServer& server) {
 
 /// Shared per-connection state: callbacks from the worker pool may fire
 /// after the reader saw EOF, so writes go through one mutex and check the
-/// closed flag.
+/// closed flag. `finished` marks the reader thread done (fd closed) so
+/// the accept loop can reap the thread; `fd` is -1 from then on.
 struct Connection {
   explicit Connection(int fd_in) : fd(fd_in) {}
+  std::mutex mu;
   int fd;
-  std::mutex write_mu;
-  bool closed = false;
+  bool closed = false;    // stop writing (peer gone or reader exited)
+  bool finished = false;  // reader thread is done; safe to join
 };
+
+/// A client sending bytes with no newline must not grow the line buffer
+/// without bound (the daemon runs with no auth); past this cap the
+/// connection gets one error envelope and is closed.
+constexpr size_t kMaxRequestBytes = size_t{64} << 20;  // 64 MiB
 
 void WriteResponse(const std::shared_ptr<Connection>& conn,
                    const std::string& response) {
-  std::lock_guard<std::mutex> lock(conn->write_mu);
+  std::lock_guard<std::mutex> lock(conn->mu);
   if (conn->closed) return;
   size_t off = 0;
   while (off < response.size()) {
+    // SIGPIPE is ignored daemon-wide (see Main), so a dead peer surfaces
+    // here as EPIPE instead of killing every other connection.
     const ssize_t wrote =
         write(conn->fd, response.data() + off, response.size() - off);
     if (wrote <= 0) {
@@ -188,7 +212,17 @@ void WriteResponse(const std::shared_ptr<Connection>& conn,
 void ServeConnection(HistkdServer& server, std::shared_ptr<Connection> conn) {
   std::string buffer;
   char chunk[4096];
-  while (true) {
+  while (!server.shutdown_requested()) {
+    // Poll with a coarse tick so an idle connection rechecks the shutdown
+    // flag instead of parking in read() forever and blocking the join in
+    // RunSocket.
+    pollfd pfd{conn->fd, POLLIN, 0};
+    const int ready = poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
     const ssize_t got = read(conn->fd, chunk, sizeof(chunk));
     if (got < 0 && errno == EINTR) continue;
     if (got <= 0) break;
@@ -205,14 +239,47 @@ void ServeConnection(HistkdServer& server, std::shared_ptr<Connection> conn) {
       }
     }
     buffer.erase(0, start);
-    if (server.shutdown_requested()) break;
+    if (buffer.size() > kMaxRequestBytes) {
+      api::ResponseEnvelope env;
+      env.status = StatusCode::kInvalidArgument;
+      env.error = "request line exceeds " + std::to_string(kMaxRequestBytes) +
+                  " bytes with no newline; closing the connection";
+      WriteResponse(conn, api::WriteResponseJson(env));
+      break;
+    }
   }
   server.Drain();  // flush this connection's in-flight responses
   {
-    std::lock_guard<std::mutex> lock(conn->write_mu);
+    std::lock_guard<std::mutex> lock(conn->mu);
     conn->closed = true;
+    close(conn->fd);
+    conn->fd = -1;
+    conn->finished = true;
   }
-  close(conn->fd);
+}
+
+struct ConnSlot {
+  std::thread thread;
+  std::shared_ptr<Connection> conn;
+};
+
+/// Joins (and erases) every connection whose reader thread has finished,
+/// so a long-lived daemon does not accumulate one parked thread per
+/// connection it ever served.
+void ReapFinished(std::list<ConnSlot>& connections) {
+  for (auto it = connections.begin(); it != connections.end();) {
+    bool finished = false;
+    {
+      std::lock_guard<std::mutex> lock(it->conn->mu);
+      finished = it->conn->finished;
+    }
+    if (finished) {
+      it->thread.join();
+      it = connections.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 int RunSocket(HistkdServer& server, const std::string& path) {
@@ -244,7 +311,7 @@ int RunSocket(HistkdServer& server, const std::string& path) {
   }
   std::fprintf(stderr, "histkd: serving on %s\n", path.c_str());
 
-  std::vector<std::thread> connections;
+  std::list<ConnSlot> connections;
   while (!server.shutdown_requested()) {
     // Poll with a coarse tick so a shutdown request served on any
     // connection stops the accept loop promptly.
@@ -254,6 +321,7 @@ int RunSocket(HistkdServer& server, const std::string& path) {
       std::perror("histkd: poll");
       break;
     }
+    ReapFinished(connections);
     if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
     const int fd = accept(listener, nullptr, nullptr);
     if (fd < 0) {
@@ -262,14 +330,21 @@ int RunSocket(HistkdServer& server, const std::string& path) {
       break;
     }
     auto conn = std::make_shared<Connection>(fd);
-    connections.emplace_back(
-        [&server, conn] { ServeConnection(server, conn); });
+    std::thread thread([&server, conn] { ServeConnection(server, conn); });
+    connections.push_back(ConnSlot{std::move(thread), std::move(conn)});
   }
 
   close(listener);
   unlink(path.c_str());
   server.Drain();
-  for (std::thread& t : connections) t.join();
+  // Kick every still-open connection out of its read side so an idle
+  // client holding a connection cannot block the joins below (readers
+  // also recheck shutdown_requested() on a 200 ms tick as a backstop).
+  for (ConnSlot& slot : connections) {
+    std::lock_guard<std::mutex> lock(slot.conn->mu);
+    if (slot.conn->fd >= 0) ::shutdown(slot.conn->fd, SHUT_RD);
+  }
+  for (ConnSlot& slot : connections) slot.thread.join();
   return 0;
 }
 
@@ -278,6 +353,16 @@ int Main(int argc, char** argv) {
   if (!Parse(argc, argv, args)) {
     Usage();
     return 2;
+  }
+  // A peer that disconnects before its responses flush must surface as
+  // EPIPE on that one connection, not SIGPIPE-terminate the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+  if (!args.data_root.empty()) {
+    args.serve.fs_refs.root = args.data_root;
+  } else if (!args.socket_path.empty()) {
+    // Socket clients are untrusted: without an explicit jail, "path" and
+    // "sketch" refs would let any client read server-side files.
+    args.serve.fs_refs.allow = false;
   }
   HistkdServer server(args.serve);
   if (args.socket_path.empty()) return RunStdio(server);

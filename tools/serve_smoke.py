@@ -8,9 +8,12 @@ Two seeded scenarios, each against a freshly started daemon:
   1. serving mix — one client uploads a dataset (learn), then four
      concurrent clients fire 120 fingerprint-referencing estimates plus a
      sprinkle of test/closeness traffic. Every repeat estimate must come
-     back `"cache": "hit"` with zero oracle draws; a final stats request
-     must account for all of it; a shutdown request must end the process
-     with exit code 0.
+     back `"cache": "hit"` with zero oracle draws; a rude client that
+     disconnects without reading its response must not take the daemon
+     down (SIGPIPE regression); a final stats request must account for
+     all of it; a shutdown request must end the process with exit code 0
+     even while another idle connection is still open (join-hang
+     regression).
   2. over-admission burst — a daemon pinned to one session slot and a
      two-deep submit queue receives 48 cold learns at once. The governor
      and the queue must shed the overflow with typed `unavailable`
@@ -191,6 +194,17 @@ def serving_mix(binary, out_dir):
     if errors:
         fail("; ".join(errors[:3]))
 
+    # A rude client: fire a request and slam the connection shut without
+    # reading the response. The daemon must shrug (EPIPE on that one
+    # connection), not die of SIGPIPE — the stats call below proves it is
+    # still serving.
+    rude = Client(sock_path, transcript)
+    rude.send_raw([json.dumps({"id": "rude", "kind": "estimate", "k": 4,
+                               "eps": 0.3, "scale": 0.25, "seed": 7,
+                               "quantiles": [0.5],
+                               "dataset": {"fingerprint": fingerprint}})])
+    rude.close()
+
     stats = main.call({"id": "stats", "kind": "stats"})
     s = stats["stats"]
     if s["cache"]["hits"] < 120:
@@ -200,11 +214,19 @@ def serving_mix(binary, out_dir):
     if s["requests"]["total"] < 123:
         fail(f"stats lost requests: {s['requests']}")
 
+    # An idle connection held open across shutdown: the daemon must not
+    # block joining its reader thread waiting for a line that never comes.
+    idler = Client(sock_path, transcript)
     down = main.call({"id": "bye", "kind": "shutdown"})
     if down["status"] != "ok":
         fail(f"shutdown request failed: {down}")
     main.close()
-    code = proc.wait(timeout=30)
+    try:
+        code = proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail("daemon hung on shutdown with an idle connection open")
+    idler.close()
     if code != 0:
         fail(f"daemon exited {code} after shutdown (want 0)")
     transcript.dump(out_dir, "mix")
